@@ -1,0 +1,124 @@
+// Ablation — what would MAGE cost today?
+//
+// Section 5 closes: "MAGE would directly benefit from having a more
+// optimized Java RMI implementation and condensing the number of RMI
+// calls ... Being even more ambitious, we could bypass this overhead by
+// implementing our own migration protocol directly with TCP/IP."  We rerun
+// Table 3's amortized column under a modern cost model (gigabit LAN,
+// compiled marshalling) and show the models' *ratios* survive even though
+// absolute costs collapse by three orders of magnitude — the model shape
+// is protocol-determined, not hardware-determined.
+#include "support/bench_util.hpp"
+
+namespace mage::bench {
+namespace {
+
+constexpr common::NodeId kClient{1};
+constexpr common::NodeId kServer{2};
+
+template <typename Setup, typename Body>
+double amortized_ms(net::CostModel model, Setup setup, Body body) {
+  auto system = make_system(model);
+  setup(*system);
+  constexpr int kIterations = 10;
+  const auto t0 = system->simulation().now();
+  for (int i = 0; i < kIterations; ++i) body(*system, i);
+  return common::to_ms(system->simulation().now() - t0) / kIterations;
+}
+
+struct ModelBench {
+  const char* name;
+  double (*run)(net::CostModel);
+};
+
+double run_rmi(net::CostModel model) {
+  return amortized_ms(
+      model,
+      [](rts::MageSystem& s) {
+        s.client(kServer).create_component("o", "TestObject");
+        s.server(kClient).registry().update_forward("o", kServer);
+      },
+      [](rts::MageSystem& s, int) {
+        core::Rpc rpc(s.client(kClient), "o", kServer);
+        (void)rpc.bind().invoke<std::int64_t>("increment");
+      });
+}
+
+double run_cod(net::CostModel model) {
+  return amortized_ms(
+      model,
+      [](rts::MageSystem& s) { s.install_class(kServer, "TestObject"); },
+      [](rts::MageSystem& s, int) {
+        core::Cod cod(s.client(kClient), "TestObject", "o", kServer,
+                      core::FactoryMode::Factory);
+        (void)cod.bind().invoke<std::int64_t>("increment");
+      });
+}
+
+double run_rev(net::CostModel model) {
+  return amortized_ms(
+      model,
+      [](rts::MageSystem& s) { s.install_class(kClient, "TestObject"); },
+      [](rts::MageSystem& s, int) {
+        core::Rev rev(s.client(kClient), "TestObject", "o", kServer,
+                      core::FactoryMode::Factory);
+        (void)rev.bind().invoke<std::int64_t>("increment");
+      });
+}
+
+double run_ma(net::CostModel model) {
+  return amortized_ms(
+      model,
+      [](rts::MageSystem& s) {
+        for (int i = 0; i < 10; ++i) {
+          s.client(kClient).create_component("agent" + std::to_string(i),
+                                             "TestObject");
+        }
+      },
+      [](rts::MageSystem& s, int i) {
+        core::MAgent agent(s.client(kClient), "agent" + std::to_string(i),
+                           kServer);
+        agent.bind().invoke_oneway("increment");
+      });
+}
+
+}  // namespace
+}  // namespace mage::bench
+
+int main() {
+  using namespace mage;
+  using namespace mage::bench;
+
+  banner("Ablation: Table 3 amortized costs, 2001 testbed vs modern LAN");
+
+  const ModelBench models[] = {
+      {"MAGE RMI", run_rmi},
+      {"TCOD", run_cod},
+      {"TREV", run_rev},
+      {"MA", run_ma},
+  };
+
+  const auto classic = net::CostModel::jdk122_classic();
+  const auto modern = net::CostModel::modern_lan();
+
+  Table table({"model", "2001 testbed (ms)", "ratio vs RMI",
+               "modern LAN (ms)", "ratio vs RMI"});
+  double classic_rmi = 0, modern_rmi = 0;
+  for (const auto& m : models) {
+    const double c = m.run(classic);
+    const double n = m.run(modern);
+    if (std::string(m.name) == "MAGE RMI") {
+      classic_rmi = c;
+      modern_rmi = n;
+    }
+    table.add_row({m.name, fmt_ms(c, 2), fmt_ms(c / classic_rmi, 2) + "x",
+                   fmt_ms(n, 3), fmt_ms(n / modern_rmi, 2) + "x"});
+  }
+  table.print();
+
+  std::cout << "\nAbsolute costs drop ~three orders of magnitude, but the "
+               "per-model ratios (TREV ~= 4 RMI, MA ~= 3 RMI, TCOD ~= 1 "
+               "RMI) persist: the overhead structure is a property of the "
+               "protocols' RMI call counts, exactly as Section 5 argues.\n";
+  return 0;
+}

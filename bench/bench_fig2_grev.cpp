@@ -1,0 +1,66 @@
+// Figure 2 — "Generalized Remote Evaluation".
+//
+// "P requests component C move from its current namespace D to the
+// computation target B, where the computation occurs.  When the
+// computation completes, P receives the result."  The point of GREV is
+// that it works for *any* initial placement of C — we sweep all of them
+// (including the degenerate ones where C starts at the target or at P)
+// and show a single attribute handles every case, where classical REV or
+// COD each cover only one.
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace mage;
+  using namespace mage::bench;
+
+  banner("Figure 2: GREV moves C from any namespace D to the target B");
+
+  struct Case {
+    const char* description;
+    int start_node;   // where C starts
+    int target_node;  // computation target B
+    const char* classical_equivalent;
+  };
+  const Case cases[] = {
+      {"C at third party D, target B", 3, 2, "none (GREV only)"},
+      {"C local at P, target B", 1, 2, "REV"},
+      {"C remote at B, target P", 2, 1, "COD"},
+      {"C already at target B", 2, 2, "RPC (coerced)"},
+      {"C at P, target P", 1, 1, "LPC-like (no move)"},
+  };
+
+  Table table({"configuration", "C before", "C after", "result",
+               "migrations", "classical equivalent"});
+  bool all_ok = true;
+  for (const auto& c : cases) {
+    auto system = make_system(net::CostModel::zero(), 3);
+    system->warm_all();
+    system->install_class_everywhere("TestObject");
+    const common::NodeId start{static_cast<std::uint32_t>(c.start_node)};
+    const common::NodeId target{static_cast<std::uint32_t>(c.target_node)};
+    system->client(start).create_component("C", "TestObject",
+                                           /*is_public=*/true);
+
+    core::Grev grev(system->client(common::NodeId{1}), "C", target);
+    auto stub = grev.bind();
+    const auto result = stub.invoke<std::int64_t>("increment");
+
+    common::NodeId after = common::kNoNode;
+    for (auto node : system->nodes()) {
+      if (system->server(node).registry().has_local("C")) after = node;
+    }
+    const bool ok = after == target && result == 1;
+    all_ok &= ok;
+    table.add_row({c.description, system->network().label(start),
+                   system->network().label(after), std::to_string(result),
+                   std::to_string(system->stats().counter("rts.migrations")),
+                   c.classical_equivalent});
+  }
+  table.print();
+
+  std::cout << (all_ok ? "\nGREV delivered the computation to its target in "
+                         "every configuration — the generality Figure 2 "
+                         "illustrates.\n"
+                       : "\nGREV FAILED in some configuration.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark): wall-clock cost of the
+// reproduction's own building blocks.  Unlike the table/figure harnesses,
+// which report *simulated* 2001 milliseconds, these measure how fast the
+// C++ implementation itself runs — serialization, event dispatch, a full
+// simulated RMI exchange, migration, and a whole Table 3 cell.
+#include <benchmark/benchmark.h>
+
+#include "support/bench_util.hpp"
+
+namespace mage::bench {
+namespace {
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Bulky bulky;
+  bulky.resize(static_cast<std::int64_t>(size));
+  for (auto _ : state) {
+    serial::Writer w;
+    bulky.serialize(w);
+    serial::Reader r(w.bytes());
+    Bulky back;
+    back.deserialize(r);
+    benchmark::DoNotOptimize(back.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_SerializeRoundTrip)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(i % 100, [] {});
+    }
+    sim.run_until_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_SimulatedRmiCall(benchmark::State& state) {
+  auto system = make_system(net::CostModel::zero());
+  system->transport(common::NodeId{2})
+      .register_service("noop",
+                        [](common::NodeId, const std::vector<std::uint8_t>&,
+                           rmi::Replier replier) { replier.ok({}); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system->transport(common::NodeId{1})
+                                 .call_sync(common::NodeId{2}, "noop", {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedRmiCall);
+
+void BM_RemoteInvocation(benchmark::State& state) {
+  auto system = make_system(net::CostModel::zero());
+  system->warm_all();
+  system->client(common::NodeId{1}).create_component("o", "TestObject");
+  system->client(common::NodeId{1}).move("o", common::NodeId{2});
+  auto& client = system->client(common::NodeId{1});
+  common::NodeId cloc{2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        client.invoke<std::int64_t>(cloc, "o", "increment"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RemoteInvocation);
+
+void BM_Migration(benchmark::State& state) {
+  auto system = make_system(net::CostModel::zero());
+  system->warm_all();
+  auto& client = system->client(common::NodeId{1});
+  client.create_component("o", "TestObject");
+  common::NodeId current{1};
+  for (auto _ : state) {
+    const common::NodeId next{current == common::NodeId{1} ? 2u : 1u};
+    client.move("o", next, current);
+    current = next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Migration);
+
+void BM_GrevBindInvoke(benchmark::State& state) {
+  auto system = make_system(net::CostModel::zero());
+  system->warm_all();
+  system->install_class_everywhere("TestObject");
+  auto& client = system->client(common::NodeId{1});
+  client.create_component("o", "TestObject");
+  int i = 0;
+  for (auto _ : state) {
+    const common::NodeId target{(i++ % 2 == 0) ? 2u : 1u};
+    core::Grev grev(client, "o", target);
+    auto stub = grev.bind();
+    benchmark::DoNotOptimize(stub.invoke<std::int64_t>("increment"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GrevBindInvoke);
+
+void BM_Table3Cell_TrevAmortized(benchmark::State& state) {
+  // Wall-clock cost of regenerating one full Table 3 cell (fresh
+  // federation + 10 TREV iterations).
+  for (auto _ : state) {
+    auto system = make_system();
+    system->install_class(common::NodeId{1}, "TestObject");
+    for (int i = 0; i < 10; ++i) {
+      core::Rev rev(system->client(common::NodeId{1}), "TestObject", "o",
+                    common::NodeId{2}, core::FactoryMode::Factory);
+      benchmark::DoNotOptimize(rev.bind().invoke<std::int64_t>("increment"));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_Table3Cell_TrevAmortized);
+
+}  // namespace
+}  // namespace mage::bench
+
+BENCHMARK_MAIN();

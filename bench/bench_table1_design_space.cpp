@@ -1,0 +1,67 @@
+// Table 1 — "Distributed Programming Models Parameterized".
+//
+// Regenerates the design-space table by instantiating each built-in
+// mobility attribute against a live federation and asking it for its
+// <Location, Target, Moves> triple.  The paper's insight: these triples
+// uniquely determine the classical models, and mobility attributes are
+// simply instances of them.
+#include "support/bench_util.hpp"
+
+int main() {
+  using namespace mage;
+  using namespace mage::bench;
+
+  banner("Table 1: Distributed Programming Models Parameterized");
+
+  auto system = make_system(net::CostModel::zero(), 3);
+  system->warm_all();
+  const common::NodeId n1{1}, n2{2};
+  auto& client = system->client(n1);
+  client.create_component("obj", "TestObject");
+  system->install_class(n2, "TestObject");
+
+  // Instantiate one attribute per model; their triples are intrinsic.
+  core::MAgent ma(client, "obj", n2);
+  core::Rev rev(client, "obj", n2);
+  core::Rpc rpc(client, "obj", n2);
+  core::Cle cle(client, "obj");
+  core::Cod cod(client, "obj");
+  core::Lpc lpc(client, "obj");
+  core::Grev grev(client, "obj", n2);
+
+  struct Row {
+    core::MobilityAttribute* attribute;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {&ma, "<remote, remote, yes>"},
+      {&rev, "<local, remote, yes>"},
+      {&rpc, "<remote, remote, no>"},
+      {&cle, "<not specified, not specified, no>"},
+      {&cod, "<remote, local, yes>"},
+      {&lpc, "<local, local, no>"},
+      {&grev, "(derived, Section 3.3)"},
+  };
+
+  Table table({"Model", "Current Location", "Target", "Moves Component",
+               "Triple (measured)", "Triple (paper)"});
+  bool all_match = true;
+  for (const auto& row : rows) {
+    const auto triple = row.attribute->triple();
+    const auto measured = core::to_string(triple);
+    const bool has_paper_value = row.paper[0] == '<';
+    if (has_paper_value && measured != row.paper) all_match = false;
+    table.add_row({core::model_name(row.attribute->model()),
+                   core::locality_name(triple.location),
+                   core::locality_name(triple.target),
+                   triple.moves ? "yes" : "no", measured, row.paper});
+  }
+  table.print();
+
+  std::cout << "\nDesign-space coverage: every triple above is a distinct "
+               "point; GREV occupies the <any, any, yes> corner the paper "
+               "derives, CLE the <any, any, no> corner.\n";
+  std::cout << (all_match ? "All paper triples reproduced.\n"
+                          : "MISMATCH against the paper's Table 1.\n");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+// Shared helpers for the benchmark/report harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper.  The
+// helpers here provide the paper's test object, federation builders, and a
+// small fixed-width table printer so every harness reports in the same
+// format (EXPERIMENTS.md is assembled from this output).
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/mage.hpp"
+
+namespace mage::bench {
+
+// The paper's test object: "a minimal extension of UnicastRemote ... This
+// class has a single integer attribute, which it increments, so its
+// marshalling overhead is minimal."
+class TestObject : public rts::MageObject {
+ public:
+  std::string class_name() const override { return "TestObject"; }
+  void serialize(serial::Writer& w) const override { w.write_i64(value_); }
+  void deserialize(serial::Reader& r) override { value_ = r.read_i64(); }
+
+  std::int64_t increment() { return ++value_; }
+  std::int64_t get() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// A test object with configurable state size, for the payload ablation.
+class Bulky : public rts::MageObject {
+ public:
+  std::string class_name() const override { return "Bulky"; }
+  void serialize(serial::Writer& w) const override {
+    w.write_u32(static_cast<std::uint32_t>(blob_.size()));
+    if (!blob_.empty()) w.write_raw(blob_.data(), blob_.size());
+  }
+  void deserialize(serial::Reader& r) override {
+    blob_.resize(r.read_u32());
+    if (!blob_.empty()) r.read_raw(blob_.data(), blob_.size());
+  }
+
+  void resize(std::int64_t bytes) {
+    blob_.assign(static_cast<std::size_t>(bytes), 0x42);
+  }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(blob_.size());
+  }
+
+ private:
+  std::vector<std::uint8_t> blob_;
+};
+
+inline void register_bench_classes(rts::MageSystem& system) {
+  rts::ClassBuilder<TestObject>(system.world(), "TestObject",
+                                /*code_size=*/2048)
+      .method("increment", &TestObject::increment)
+      .method("get", &TestObject::get);
+  rts::ClassBuilder<Bulky>(system.world(), "Bulky")
+      .method("resize", &Bulky::resize)
+      .method("size", &Bulky::size);
+}
+
+inline std::unique_ptr<rts::MageSystem> make_system(
+    net::CostModel model = net::CostModel::jdk122_classic(),
+    int nodes = 2, std::uint64_t seed = 0x6D616765u) {
+  auto system = std::make_unique<rts::MageSystem>(model, seed);
+  for (int i = 0; i < nodes; ++i) {
+    static const char* kLabels[] = {"client", "server", "third", "fourth",
+                                    "fifth",  "sixth",  "n7",    "n8"};
+    system->add_node(i < 8 ? kLabels[i] : ("n" + std::to_string(i + 1)));
+  }
+  register_bench_classes(*system);
+  return system;
+}
+
+// --- fixed-width table printer ---------------------------------------------
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      os << "| ";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]))
+           << (c < cells.size() ? cells[c] : "") << " | ";
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    os << "|";
+    for (auto w : widths) os << std::string(w + 2, '-') << "|";
+    os << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_ms(double ms, int precision = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << ms;
+  return os.str();
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace mage::bench

@@ -1,0 +1,150 @@
+// Load-directed migration — the paper's Section 3.1 motivating policy.
+//
+//   public Remote bind() {
+//     if ( cloc.getLoad() > 100 ) {
+//       target = selectNewHost();
+//       cachedStub = send(target);
+//       return cachedStub;
+//     }
+//   }
+//
+// A worker component serves requests on a small farm whose host loads
+// drift over time.  Every invocation goes through a user-defined mobility
+// attribute whose bind() implements exactly the policy above: stay put
+// while the current host is cool, migrate to the least-loaded host when it
+// overheats.  The run prints the migration trail and compares total
+// service time against a no-migration baseline.
+//
+// Build & run:  ./build/examples/load_balancer
+#include <iostream>
+
+#include "core/mage.hpp"
+
+namespace {
+
+using namespace mage;
+
+class Worker : public rts::MageObject {
+ public:
+  std::string class_name() const override { return "Worker"; }
+  void serialize(serial::Writer& w) const override {
+    w.write_i64(requests_);
+  }
+  void deserialize(serial::Reader& r) override { requests_ = r.read_i64(); }
+
+  std::int64_t handle() { return ++requests_; }
+
+ private:
+  std::int64_t requests_ = 0;
+};
+
+// The paper's policy as a mobility attribute.
+class LoadPolicyMa : public core::MobilityAttribute {
+ public:
+  LoadPolicyMa(rts::MageClient& client, common::ComponentName name,
+               std::vector<common::NodeId> farm, double threshold)
+      : core::MobilityAttribute(client, std::move(name)),
+        farm_(std::move(farm)),
+        threshold_(threshold) {}
+
+  [[nodiscard]] core::Model model() const override {
+    return core::Model::Grev;
+  }
+
+  [[nodiscard]] int migrations() const { return migrations_; }
+
+ protected:
+  core::RemoteHandle do_bind() override {
+    const auto at = resolve();
+    if (client_.load_of(at) <= threshold_) {
+      return handle_at(at);  // cachedStub: no need to move
+    }
+    core::LeastLoadedPolicy select_new_host;
+    const auto target = select_new_host.select(client_, farm_);
+    if (target == at) return handle_at(at);
+    client_.move(name_, target, at);
+    cloc_ = target;
+    ++migrations_;
+    return handle_at(target);
+  }
+
+ private:
+  std::vector<common::NodeId> farm_;
+  double threshold_;
+  int migrations_ = 0;
+};
+
+// Synthetic diurnal-ish load for host `n` at request step `t`.
+double load_at(std::uint32_t n, int t) {
+  // Each host's load ramps up in its own phase window, exceeding the
+  // threshold (100) for a stretch, then cooling down.
+  const int phase = (t + static_cast<int>(n) * 7) % 21;
+  return phase < 7 ? 40.0 + 25.0 * phase : 30.0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kThreshold = 100.0;
+
+  auto run = [&](bool adaptive) {
+    rts::MageSystem system;
+    std::vector<common::NodeId> farm;
+    for (const char* label : {"hostA", "hostB", "hostC"}) {
+      farm.push_back(system.add_node(label));
+    }
+    const auto gateway = system.add_node("gateway");
+    rts::ClassBuilder<Worker>(system.world(), "Worker")
+        .method("handle", &Worker::handle, /*cost_us=*/800);
+    system.client(farm[0]).create_component("worker", "Worker",
+                                            /*is_public=*/true);
+    auto& client = system.client(gateway);
+
+    LoadPolicyMa policy(client, "worker", farm, kThreshold);
+    core::Cle plain(client, "worker");
+
+    constexpr int kRequests = 40;
+    for (int t = 0; t < kRequests; ++t) {
+      for (std::size_t i = 0; i < farm.size(); ++i) {
+        system.network().set_load(farm[i],
+                                  load_at(static_cast<std::uint32_t>(i), t));
+      }
+      auto handle = adaptive ? policy.bind() : plain.bind();
+      // Requests on an overloaded host are slowed by queueing: model as
+      // extra service latency proportional to load above threshold.
+      const double host_load = system.network().load(handle.location());
+      if (host_load > kThreshold) {
+        client.charge(common::msec_f((host_load - kThreshold) * 3.0));
+      }
+      (void)handle.invoke<std::int64_t>("handle");
+      if (adaptive && t < 12) {
+        std::cout << "  t=" << t << " load("
+                  << system.network().label(handle.location())
+                  << ")=" << host_load << (host_load > kThreshold
+                                               ? "  [over threshold]"
+                                               : "")
+                  << " served at "
+                  << system.network().label(handle.location()) << "\n";
+      }
+    }
+    struct Outcome {
+      double total_ms;
+      int migrations;
+    };
+    return Outcome{common::to_ms(system.simulation().now()),
+                   adaptive ? policy.migrations() : 0};
+  };
+
+  std::cout << "adaptive run (first steps shown):\n";
+  const auto adaptive = run(true);
+  const auto fixed = run(false);
+
+  std::cout << "\n                      total service time   migrations\n";
+  std::cout << "  load-policy MA       " << adaptive.total_ms << " ms        "
+            << adaptive.migrations << "\n";
+  std::cout << "  fixed placement      " << fixed.total_ms << " ms        0\n";
+  std::cout << "\nThe attribute pays migration latency to escape hot hosts "
+               "and wins overall — the programmer wrote only the policy; "
+               "placement, discovery and movement came from MAGE.\n";
+  return adaptive.total_ms < fixed.total_ms ? 0 : 1;
+}

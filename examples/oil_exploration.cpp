@@ -1,0 +1,182 @@
+// Oil exploration — the paper's running example (Sections 3.6 and 4.4).
+//
+// An oil company's sensors generate enormous amounts of geologic data that
+// should be filtered *in place*, at the sensor.  A GeoDataFilter component
+// migrates: REV instantiates it at sensor1; when sensor1 is exhausted an
+// MA attribute moves it to sensor2; finally COD brings the filtered data
+// home to the research lab for processing.  The second half replaces the
+// three attributes with the paper's user-defined CombinedMA, whose bind()
+// encapsulates the whole itinerary as one fine-grained migration policy.
+//
+// Build & run:  ./build/examples/oil_exploration
+#include <iostream>
+#include <map>
+
+#include "core/mage.hpp"
+
+namespace {
+
+using namespace mage;
+
+// The component: gathers raw readings at its current namespace and keeps a
+// running filtered summary (its heap state, which migrates with it).
+class GeoDataFilterImpl : public rts::MageObject {
+ public:
+  std::string class_name() const override { return "GeoDataFilterImpl"; }
+  void serialize(serial::Writer& w) const override {
+    w.write_i64(samples_filtered_);
+    w.write_f64(signal_);
+  }
+  void deserialize(serial::Reader& r) override {
+    samples_filtered_ = r.read_i64();
+    signal_ = r.read_f64();
+  }
+
+  // Filters one batch of sensor data where the component currently runs;
+  // returns the cumulative number of samples filtered.
+  std::int64_t filter_data(std::int64_t batch) {
+    samples_filtered_ += batch;
+    signal_ += static_cast<double>(batch) * 0.001;
+    return samples_filtered_;
+  }
+
+  // Final processing back at the lab: returns the refined signal.
+  double process_data() { return signal_; }
+
+ private:
+  std::int64_t samples_filtered_ = 0;
+  double signal_ = 0.0;
+};
+
+void print_location(rts::MageSystem& system, const std::string& phase) {
+  for (auto node : system.nodes()) {
+    if (system.server(node).registry().has_local("geoData")) {
+      std::cout << "  [" << phase << "] geoData is at "
+                << system.network().label(node) << "\n";
+      return;
+    }
+  }
+}
+
+// The paper's CombinedMA: one user-defined mobility attribute combining
+// REV, MA and COD into a single fine-grained migration policy.  "Since
+// programmers can define their own mobility attributes ... they can use
+// mobility attributes to control the placement of their components, while
+// keeping their application code clean, spare and focused on its problem
+// domain."
+class CombinedMA : public core::MobilityAttribute {
+ public:
+  CombinedMA(rts::MageClient& client, std::string class_name,
+             common::ComponentName name, std::vector<common::NodeId> sensors,
+             common::NodeId lab)
+      : core::MobilityAttribute(client, std::move(name)),
+        class_name_(std::move(class_name)),
+        sensors_(std::move(sensors)),
+        lab_(lab),
+        rev_(client, class_name_, this->name(), sensors_.front()),
+        cod_(client, this->name()) {}
+
+  [[nodiscard]] core::Model model() const override {
+    return core::Model::Grev;  // the combined policy covers the full space
+  }
+
+  [[nodiscard]] bool more_sensors() const {
+    return next_sensor_ < sensors_.size();
+  }
+
+ protected:
+  core::RemoteHandle do_bind() override {
+    // selectTarget(status): next unexhausted sensor, else the lab.
+    if (next_sensor_ == 0) {
+      ++next_sensor_;
+      return rev_.bind();  // first placement: REV instantiates at sensor1
+    }
+    if (next_sensor_ < sensors_.size()) {
+      // Hop to the next sensor as an agent (a fresh single-stop itinerary).
+      core::MAgent hop(client_, name(), sensors_[next_sensor_++]);
+      return hop.bind();
+    }
+    return cod_.bind();  // exhausted: bring the results home
+  }
+
+ private:
+  std::string class_name_;
+  std::vector<common::NodeId> sensors_;
+  common::NodeId lab_;
+  std::size_t next_sensor_ = 0;
+  core::Rev rev_;
+  core::Cod cod_;
+};
+
+}  // namespace
+
+int main() {
+  rts::MageSystem system;
+  const auto lab = system.add_node("researchLab");
+  const auto sensor1 = system.add_node("sensor1");
+  const auto sensor2 = system.add_node("sensor2");
+
+  rts::ClassBuilder<GeoDataFilterImpl>(system.world(), "GeoDataFilterImpl",
+                                       /*code_size=*/6144)
+      .method("filterData", &GeoDataFilterImpl::filter_data,
+              /*cost_us=*/1500)  // filtering is real work
+      .method("processData", &GeoDataFilterImpl::process_data,
+              /*cost_us=*/4000);
+
+  auto& client = system.client(lab);
+
+  std::cout << "== Phase 1: the paper's three explicit attributes ==\n";
+
+  // REV rev = new REV("GeoDataFilterImpl", "geoData", "sensor1");
+  // filter = (GeoDataFilter) rev.bind();  filter.filterData();
+  core::Rev rev(client, "GeoDataFilterImpl", "geoData", sensor1);
+  auto filter = rev.bind();
+  print_location(system, "after REV.bind");
+  std::cout << "  filtered at sensor1: "
+            << filter.invoke<std::int64_t>("filterData", std::int64_t{5000})
+            << " samples\n";
+
+  // Sensor1 exhausted: MAgent magent = new MAgent("geoData", "sensor2");
+  core::MAgent magent(client, "geoData", sensor2);
+  filter = magent.bind();
+  print_location(system, "after MAgent.bind");
+  std::cout << "  filtered at sensor2 (cumulative): "
+            << filter.invoke<std::int64_t>("filterData", std::int64_t{3000})
+            << " samples\n";
+
+  // COD cod = new COD("geoData");  // target is local
+  // Bracketed with the Section 4.4 lock protocol:
+  //   lock("geoData", cod.getTarget()); ... unlock("geoData");
+  core::Cod cod(client, "geoData");
+  auto lock = client.lock("geoData", cod.target());
+  filter = cod.bind();
+  print_location(system, "after COD.bind");
+  std::cout << "  processed at the lab: signal = "
+            << filter.invoke<double>("processData") << " (lock was a "
+            << (lock.kind == rts::LockKind::Stay ? "stay" : "move")
+            << " lock)\n";
+  client.unlock(lock);
+
+  std::cout << "\n== Phase 2: the same itinerary as one CombinedMA ==\n";
+  CombinedMA combined(client, "GeoDataFilterImpl", "geoData2",
+                      {sensor1, sensor2}, lab);
+  // while (iterator.moreSensors()) { filter = combinedMA.bind(); ... }
+  std::int64_t batch = 4000;
+  while (combined.more_sensors()) {
+    auto f = combined.bind();
+    std::cout << "  filterData at "
+              << system.network().label(f.location()) << " -> "
+              << f.invoke<std::int64_t>("filterData", batch) << " samples\n";
+    batch -= 1500;  // later sensors have less left to give
+  }
+  auto f = combined.bind();  // sensors exhausted: comes home
+  std::cout << "  processData at " << system.network().label(f.location())
+            << " -> signal = " << f.invoke<double>("processData") << "\n";
+
+  std::cout << "\nsimulated time: "
+            << common::to_ms(system.simulation().now()) << " ms, migrations: "
+            << system.stats().counter("rts.migrations")
+            << ", rmi calls: " << system.stats().counter("rmi.calls")
+            << "\n";
+  return 0;
+}

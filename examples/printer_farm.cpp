@@ -1,0 +1,127 @@
+// Printer farm — the paper's CLE illustration (Section 3.3).
+//
+// "Consider a printer management program consisting of clients, print
+// servers and a job controller.  In the unlikely event that users did not
+// care which printer they used, clients could fruitfully use CLE to invoke
+// a print server component while the job controller moved the print server
+// components around the network in response to printer availability."
+//
+// Two clients submit jobs through CLE attributes; a controller reacts to
+// printers jamming and recovering by migrating the spooler component.
+// Throughout, the clients refer to the SAME live component (its queue
+// length carries across moves) — the property that distinguishes CLE from
+// Jini's destroy-and-recreate (the paper's explicit contrast).
+//
+// Build & run:  ./build/examples/printer_farm
+#include <iostream>
+
+#include "core/mage.hpp"
+
+namespace {
+
+using namespace mage;
+
+class PrintSpooler : public rts::MageObject {
+ public:
+  std::string class_name() const override { return "PrintSpooler"; }
+  void serialize(serial::Writer& w) const override {
+    w.write_i64(jobs_printed_);
+    w.write_u32(static_cast<std::uint32_t>(queue_.size()));
+    for (const auto& job : queue_) w.write_string(job);
+  }
+  void deserialize(serial::Reader& r) override {
+    jobs_printed_ = r.read_i64();
+    queue_.resize(r.read_u32());
+    for (auto& job : queue_) job = r.read_string();
+  }
+
+  std::int64_t submit(std::string job) {
+    queue_.push_back(std::move(job));
+    return static_cast<std::int64_t>(queue_.size());
+  }
+
+  std::int64_t drain() {  // the local printer prints everything queued
+    jobs_printed_ += static_cast<std::int64_t>(queue_.size());
+    queue_.clear();
+    return jobs_printed_;
+  }
+
+  std::int64_t printed() const { return jobs_printed_; }
+
+ private:
+  std::int64_t jobs_printed_ = 0;
+  std::vector<std::string> queue_;
+};
+
+}  // namespace
+
+int main() {
+  rts::MageSystem system;
+  const auto office = system.add_node("office");      // clients live here
+  const auto printer1 = system.add_node("printer1");
+  const auto printer2 = system.add_node("printer2");
+  const auto printer3 = system.add_node("printer3");
+
+  rts::ClassBuilder<PrintSpooler>(system.world(), "PrintSpooler")
+      .method("submit", &PrintSpooler::submit, /*cost_us=*/200)
+      .method("drain", &PrintSpooler::drain, /*cost_us=*/5000)
+      .method("printed", &PrintSpooler::printed);
+
+  // The spooler is a shared (public) component: the controller and all
+  // clients coordinate on it by name.
+  system.client(printer1).create_component("spooler", "PrintSpooler",
+                                           /*is_public=*/true);
+
+  // Two office clients; neither knows nor cares where the spooler runs.
+  core::Cle alice(system.client(office), "spooler");
+  core::Cle bob(system.client(office), "spooler");
+
+  // The job controller reacts to availability and migrates the component.
+  auto& controller = system.client(printer3);
+
+  struct Step {
+    const char* event;
+    common::NodeId move_to;  // kNoNode = no migration this step
+    const char* job;
+  };
+  const Step script[] = {
+      {"printer1 online", common::kNoNode, "alice: quarterly-report.ps"},
+      {"printer1 jammed -> controller moves spooler to printer2", printer2,
+       "bob: seismic-plot.ps"},
+      {"printer2 busy   -> controller moves spooler to printer3", printer3,
+       "alice: core-samples.ps"},
+      {"printer1 fixed  -> controller moves spooler back", printer1,
+       "bob: drill-permits.ps"},
+  };
+
+  std::cout << "printer farm with a migrating spooler; clients use CLE\n\n";
+  int step_index = 0;
+  for (const auto& step : script) {
+    if (!common::is_no_node(step.move_to)) {
+      controller.move("spooler", step.move_to);
+    }
+    core::Cle& client = (step_index % 2 == 0) ? alice : bob;
+    auto spooler = client.bind();  // CLE: find it wherever it is
+    const auto queued =
+        spooler.invoke<std::int64_t>("submit", std::string(step.job));
+    const auto printed = spooler.invoke<std::int64_t>("drain");
+    std::cout << "  " << step.event << "\n    spooler found at "
+              << system.network().label(spooler.location()) << "; queued "
+              << queued << " job, total printed so far " << printed << "\n";
+    ++step_index;
+  }
+
+  // The monotonically increasing total proves every client invocation hit
+  // the same live component across all four namespaces.
+  core::Cle check(system.client(office), "spooler");
+  auto spooler = check.bind();
+  std::cout << "\nfinal: spooler at "
+            << system.network().label(spooler.location()) << " with "
+            << spooler.invoke<std::int64_t>("printed")
+            << " jobs printed (same object across "
+            << system.stats().counter("rts.migrations") << " migrations — "
+            << "CLE tracked it; Jini would have created fresh instances)\n";
+  std::cout << "simulated time: " << common::to_ms(system.simulation().now())
+            << " ms\n";
+  return 0;
+}

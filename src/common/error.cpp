@@ -1,0 +1,14 @@
+#include "common/error.hpp"
+
+namespace mage::common {
+
+NotFoundError::NotFoundError(const ComponentName& name,
+                             const std::string& detail)
+    : MageError("component '" + name + "' not found: " + detail),
+      name_(name) {}
+
+CoercionError::CoercionError(const ComponentName& name,
+                             const std::string& detail)
+    : MageError("coercion error on '" + name + "': " + detail), name_(name) {}
+
+}  // namespace mage::common

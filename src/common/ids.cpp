@@ -1,0 +1,12 @@
+#include "common/ids.hpp"
+
+#include <ostream>
+
+namespace mage::common {
+
+std::ostream& operator<<(std::ostream& os, NodeId id) {
+  if (is_no_node(id)) return os << "node(-)";
+  return os << "node(" << id.value() << ")";
+}
+
+}  // namespace mage::common

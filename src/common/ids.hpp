@@ -1,0 +1,73 @@
+// Strongly typed identifiers used throughout MAGE.
+//
+// A MAGE deployment is a federation of cooperating virtual machines; each VM
+// hosts exactly one *namespace* (an execution environment that defines
+// name-to-component bindings, Section 2 of the paper).  We identify a
+// namespace / VM / host by a NodeId.  Components are addressed by string
+// names registered in the MAGE registry, mirroring the paper's use of RMI
+// registry names.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace mage::common {
+
+// Tag-dispatched strong integral id.  Prevents mixing, say, a NodeId with a
+// RequestId at compile time while staying trivially copyable and hashable.
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  Rep value_ = 0;
+};
+
+struct NodeIdTag {};
+struct RequestIdTag {};
+struct LockIdTag {};
+struct ActivityIdTag {};
+
+// Identifies one namespace (one cooperating VM) in the MAGE federation.
+using NodeId = StrongId<NodeIdTag, std::uint32_t>;
+
+// Identifies one RMI request for at-most-once matching of replies.
+using RequestId = StrongId<RequestIdTag, std::uint64_t>;
+
+// Identifies one granted or queued lock on a mobile object.
+using LockId = StrongId<LockIdTag, std::uint64_t>;
+
+// Identifies one logical thread of execution (client activity).
+using ActivityId = StrongId<ActivityIdTag, std::uint64_t>;
+
+// Sentinel used where the paper's models leave a location "not specified"
+// (e.g. CLE's computation target, Table 1).
+inline constexpr NodeId kNoNode{0xFFFFFFFFu};
+
+[[nodiscard]] inline bool is_no_node(NodeId n) { return n == kNoNode; }
+
+// The name under which a component (class/object pair) is bound in the MAGE
+// registry.  Plain string, but aliased for readability at call sites.
+using ComponentName = std::string;
+
+std::ostream& operator<<(std::ostream& os, NodeId id);
+
+}  // namespace mage::common
+
+template <typename Tag, typename Rep>
+struct std::hash<mage::common::StrongId<Tag, Rep>> {
+  std::size_t operator()(mage::common::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

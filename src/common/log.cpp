@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace mage::common {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() { set_sink(nullptr); }
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+    return;
+  }
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::cerr << "[mage " << log_level_name(level) << "] " << message << '\n';
+  };
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace mage::common

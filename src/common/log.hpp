@@ -1,0 +1,78 @@
+// Minimal leveled logger with pluggable sink.
+//
+// Default sink is stderr at Warn level so tests stay quiet; benches and
+// examples raise the level or install a capture sink when they want message
+// traces.  Not thread-safe by design: the reproduction's hot paths run on
+// the single-threaded simulation driver.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace mage::common {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  // Process-wide logger used by all modules.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  // Replaces the output sink; pass nullptr to restore the stderr default.
+  void set_sink(Sink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::Warn;
+  Sink sink_;
+};
+
+namespace detail {
+
+// Builds the log line with a stream so call sites can use operator<<.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace mage::common
+
+#define MAGE_LOG(level)                                            \
+  if (!::mage::common::Logger::instance().enabled(level)) {       \
+  } else                                                           \
+    ::mage::common::detail::LogLine(level)
+
+#define MAGE_TRACE() MAGE_LOG(::mage::common::LogLevel::Trace)
+#define MAGE_DEBUG() MAGE_LOG(::mage::common::LogLevel::Debug)
+#define MAGE_INFO() MAGE_LOG(::mage::common::LogLevel::Info)
+#define MAGE_WARN() MAGE_LOG(::mage::common::LogLevel::Warn)
+#define MAGE_ERROR() MAGE_LOG(::mage::common::LogLevel::Error)

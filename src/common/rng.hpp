@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in the reproduction (message-loss injection, random
+// target-selection policies, synthetic workload generators) draws from this
+// generator so a seed fully determines a run.  xoshiro256** seeded through
+// splitmix64, the standard pairing recommended by the algorithms' authors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mage::common {
+
+// splitmix64: used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6D616765u /* "mage" */);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound).  bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // True with probability p (clamped to [0, 1]).
+  bool next_bool(double p);
+
+  // UniformRandomBitGenerator interface so <random> distributions and
+  // std::shuffle can consume an Rng directly.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mage::common

@@ -1,0 +1,256 @@
+#include "core/attributes.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mage::core {
+namespace {
+
+// Resolves a component's class name from the shared static directory.
+const std::string& class_of(rts::MageClient& client,
+                            const common::ComponentName& name) {
+  return client.directory().info(name).class_name;
+}
+
+}  // namespace
+
+// --- LPC ---------------------------------------------------------------------
+
+Lpc::Lpc(rts::MageClient& client, common::ComponentName name)
+    : MobilityAttribute(client, std::move(name)) {}
+
+RemoteHandle Lpc::do_bind() {
+  const common::NodeId at = resolve();
+  if (at != client_.self()) {
+    record_action(BindAction::RaiseException);
+    throw common::CoercionError(name_,
+                                "LPC requires a local component, but it is "
+                                "at node " +
+                                    std::to_string(at.value()));
+  }
+  record_action(BindAction::Default);
+  return handle_at(at);
+}
+
+// --- RPC ---------------------------------------------------------------------
+
+Rpc::Rpc(rts::MageClient& client, common::ComponentName name,
+         common::NodeId target)
+    : MobilityAttribute(client, std::move(name)), target_(target) {}
+
+RemoteHandle Rpc::do_bind() {
+  const common::NodeId at = resolve();
+  const auto action = CoercionPolicy::decide(
+      Model::Rpc, CoercionPolicy::classify(at == client_.self() &&
+                                               target_ != client_.self(),
+                                           at == target_));
+  record_action(action);
+  if (action == BindAction::RaiseException) {
+    throw common::CoercionError(
+        name_, "RPC did not find its object on its target (object at node " +
+                   std::to_string(at.value()) + ", target node " +
+                   std::to_string(target_.value()) + ")");
+  }
+  // Default behaviour: hand back a stub to the immobile object.
+  return handle_at(at);
+}
+
+// --- COD ---------------------------------------------------------------------
+
+Cod::Cod(rts::MageClient& client, common::ComponentName name)
+    : MobilityAttribute(client, std::move(name)) {}
+
+Cod::Cod(rts::MageClient& client, std::string class_name,
+         common::ComponentName object_name, common::NodeId source,
+         FactoryMode mode)
+    : MobilityAttribute(client, std::move(object_name)),
+      class_name_(std::move(class_name)),
+      source_(source),
+      mode_(mode) {}
+
+RemoteHandle Cod::do_bind() {
+  if (mode_ == FactoryMode::Factory ||
+      (mode_ == FactoryMode::SingleUseFactory &&
+       common::is_no_node(cloc_))) {
+    // Traditional COD: migrate the class image to the local host (a
+    // revalidation round trip to the origin on every bind; the image bytes
+    // only travel while the local cache is cold), instantiate locally.
+    client_.fetch_class_to_local(source_, class_name_);
+    client_.charge(client_.local_server().transport().network().cost_model()
+                       .instantiate_us);
+    client_.create_component(name_, class_name_, /*is_public=*/false);
+    record_action(BindAction::Default);
+    cloc_ = client_.self();
+    return handle_at(cloc_);
+  }
+
+  // Object flavour (and SingleUseFactory after the first bind).
+  const common::NodeId at = resolve();
+  const auto action = CoercionPolicy::decide(
+      Model::Cod,
+      CoercionPolicy::classify(at == client_.self(), at == client_.self()));
+  record_action(action);
+  if (action == BindAction::CoerceToLpc) {
+    return handle_at(at);  // already local: plain local calls
+  }
+  // Default behaviour: pull the object (class ships automatically when the
+  // local cache lacks it).
+  cloc_ = client_.move(name_, client_.self(), at);
+  return handle_at(cloc_);
+}
+
+// --- REV ---------------------------------------------------------------------
+
+Rev::Rev(rts::MageClient& client, common::ComponentName name,
+         common::NodeId target)
+    : MobilityAttribute(client, std::move(name)), target_(target) {}
+
+Rev::Rev(rts::MageClient& client, std::string class_name,
+         common::ComponentName object_name, common::NodeId target,
+         FactoryMode mode)
+    : MobilityAttribute(client, std::move(object_name)),
+      class_name_(std::move(class_name)),
+      target_(target),
+      mode_(mode) {}
+
+RemoteHandle Rev::do_bind() {
+  if (mode_ == FactoryMode::Factory ||
+      (mode_ == FactoryMode::SingleUseFactory &&
+       common::is_no_node(cloc_))) {
+    return bind_factory();
+  }
+  return bind_object();
+}
+
+RemoteHandle Rev::bind_factory() {
+  // Traditional REV, the paper's four-RMI-call protocol: look up the remote
+  // execution server's stub, revalidate/push the class, instantiate on the
+  // target.  (The fourth call is the invocation the programmer makes
+  // through the returned stub.)
+  client_.resolve_server(target_);
+  client_.ensure_class_at(target_, class_name_);
+  client_.instantiate_at(target_, class_name_, name_);
+  record_action(BindAction::Default);
+  cloc_ = target_;
+  return handle_at(target_);
+}
+
+RemoteHandle Rev::bind_object() {
+  const common::NodeId at = resolve();
+  const auto action = CoercionPolicy::decide(
+      Model::Rev, CoercionPolicy::classify(
+                      at == client_.self() && target_ != client_.self(),
+                      at == target_));
+  record_action(action);
+  if (action == BindAction::CoerceToRpc) {
+    return handle_at(at);  // already at the target: no move needed
+  }
+  // Default behaviour: single-hop synchronous move to the target.
+  if (at == client_.self()) {
+    client_.transfer_out(name_, target_);
+  } else {
+    client_.move(name_, target_, at);
+  }
+  cloc_ = target_;
+  return handle_at(target_);
+}
+
+// --- GREV --------------------------------------------------------------------
+
+Grev::Grev(rts::MageClient& client, common::ComponentName name,
+           common::NodeId target)
+    : MobilityAttribute(client, std::move(name)), target_(target) {}
+
+RemoteHandle Grev::do_bind() {
+  // "GREV moves its component to its target, regardless of whether the
+  // component was initially local or remote and whether the target is
+  // local or remote."  Figure 7's protocol: find (1-2), move request (3),
+  // object send (4), ack (5); the invocation (6-7) follows through the
+  // returned handle.
+  const common::NodeId at = resolve();
+  const auto action = CoercionPolicy::decide(
+      Model::Grev,
+      CoercionPolicy::classify(at == client_.self() &&
+                                   target_ != client_.self(),
+                               at == target_));
+  record_action(action);
+  if (action == BindAction::CoerceToRpc) {
+    return handle_at(at);
+  }
+  if (at == client_.self()) {
+    client_.transfer_out(name_, target_);
+  } else {
+    client_.move(name_, target_, at);
+  }
+  cloc_ = target_;
+  return handle_at(target_);
+}
+
+// --- CLE ---------------------------------------------------------------------
+
+Cle::Cle(rts::MageClient& client, common::ComponentName name)
+    : MobilityAttribute(client, std::move(name)) {}
+
+RemoteHandle Cle::do_bind() {
+  // Always a fresh find: the component may have been moved by anyone since
+  // the last bind — that is the point of CLE.
+  const common::NodeId at = find();
+  record_action(BindAction::Default);
+  return handle_at(at);
+}
+
+// --- MA ----------------------------------------------------------------------
+
+MAgent::MAgent(rts::MageClient& client, common::ComponentName name,
+               common::NodeId target)
+    : MobilityAttribute(client, std::move(name)), itinerary_{target} {}
+
+MAgent::MAgent(rts::MageClient& client, common::ComponentName name,
+               std::vector<common::NodeId> itinerary)
+    : MobilityAttribute(client, std::move(name)),
+      itinerary_(std::move(itinerary)) {
+  if (itinerary_.empty()) {
+    throw common::MageError("MAgent itinerary must not be empty");
+  }
+}
+
+void MAgent::retarget(common::NodeId target) {
+  itinerary_.push_back(target);
+}
+
+common::NodeId MAgent::target() const {
+  const std::size_t i =
+      next_stop_ < itinerary_.size() ? next_stop_ : itinerary_.size() - 1;
+  return itinerary_[i];
+}
+
+RemoteHandle MAgent::do_bind() {
+  const common::NodeId next = target();
+  if (next_stop_ + 1 < itinerary_.size()) ++next_stop_;
+
+  const common::NodeId at = resolve();
+  const auto action = CoercionPolicy::decide(
+      Model::MobileAgent,
+      CoercionPolicy::classify(at == client_.self() &&
+                                   next != client_.self(),
+                               at == next));
+  record_action(action);
+  if (action == BindAction::CoerceToRpc) {
+    cloc_ = at;
+    return handle_at(at);
+  }
+
+  // Weak migration of the agent: make sure the next stop can host it
+  // (class revalidation/push), then ship heap state.
+  client_.ensure_class_at(next, class_of(client_, name_));
+  if (at == client_.self()) {
+    client_.transfer_out(name_, next);
+  } else {
+    client_.move(name_, next, at);
+  }
+  cloc_ = next;
+  return handle_at(next);
+}
+
+}  // namespace mage::core

@@ -1,0 +1,206 @@
+// The built-in mobility attribute hierarchy (Section 3.5, Figure 5).
+//
+// MAGE ships attributes for every classical model — LPC, RPC, COD, REV,
+// MA — plus the two models the paper derives from the design space: GREV
+// (generalized remote evaluation, Section 3.3/Figure 2) and CLE
+// (current-location evaluation, Figure 3).  "Mobility attributes differ
+// mainly in their implementations of this bind method."
+//
+// COD and REV come in the three flavours Section 4.2 describes for
+// class/object component pairs:
+//   * Factory        — traditional: ship the class, instantiate a fresh
+//                      object per bind;
+//   * SingleUseFactory — first bind instantiates, later binds move that
+//                      same object;
+//   * Object         — bind directly to an existing object and move it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/mobility_attribute.hpp"
+
+namespace mage::core {
+
+enum class FactoryMode { Object, Factory, SingleUseFactory };
+
+// --- LPC ----------------------------------------------------------------------
+
+// Plain local invocation; included because "programmers employ it in
+// distributed systems wherever possible because of its inherent
+// efficiency".  Throws CoercionError when the component is not local.
+class Lpc : public MobilityAttribute {
+ public:
+  Lpc(rts::MageClient& client, common::ComponentName name);
+
+  [[nodiscard]] Model model() const override { return Model::Lpc; }
+  [[nodiscard]] common::NodeId target() const override {
+    return client_.self();
+  }
+
+ protected:
+  RemoteHandle do_bind() override;
+};
+
+// --- RPC -----------------------------------------------------------------------
+
+// "We provided one anyway so that a programmer could use it to denote an
+// immobile object.  MAGE RPC throws an exception if it does not find its
+// object on its target."  Returns (and caches) a stub; never moves
+// anything.
+class Rpc : public MobilityAttribute {
+ public:
+  Rpc(rts::MageClient& client, common::ComponentName name,
+      common::NodeId target);
+
+  [[nodiscard]] Model model() const override { return Model::Rpc; }
+  [[nodiscard]] common::NodeId target() const override { return target_; }
+
+ protected:
+  RemoteHandle do_bind() override;
+
+ private:
+  common::NodeId target_;
+};
+
+// --- COD ----------------------------------------------------------------------
+
+// Code on demand: the computation target is always the caller's own
+// namespace.  Factory flavours pull the class image from `source` and
+// instantiate locally; the Object flavour pulls the bound object itself.
+class Cod : public MobilityAttribute {
+ public:
+  // Object flavour: bind to an existing component and pull it local
+  // (the paper's `new COD("geoData")`).
+  Cod(rts::MageClient& client, common::ComponentName name);
+
+  // Factory flavours: pull `class_name` from `source`, instantiate under
+  // `object_name` locally.
+  Cod(rts::MageClient& client, std::string class_name,
+      common::ComponentName object_name, common::NodeId source,
+      FactoryMode mode = FactoryMode::Factory);
+
+  [[nodiscard]] Model model() const override { return Model::Cod; }
+  [[nodiscard]] common::NodeId target() const override {
+    return client_.self();
+  }
+  [[nodiscard]] FactoryMode mode() const { return mode_; }
+
+ protected:
+  RemoteHandle do_bind() override;
+
+ private:
+  std::string class_name_;
+  common::NodeId source_ = common::kNoNode;
+  FactoryMode mode_ = FactoryMode::Object;
+};
+
+// --- REV ----------------------------------------------------------------------
+
+// Remote evaluation: push the component to the target and execute there.
+// Single hop and synchronous (Section 3.5).  The factory form matches the
+// paper's example: REV("GeoDataFilterImpl", "geoData", "sensor1").
+class Rev : public MobilityAttribute {
+ public:
+  // Object flavour: move the existing component to `target`.
+  Rev(rts::MageClient& client, common::ComponentName name,
+      common::NodeId target);
+
+  // Factory flavours: push `class_name` to `target`, instantiate there
+  // under `object_name`.
+  Rev(rts::MageClient& client, std::string class_name,
+      common::ComponentName object_name, common::NodeId target,
+      FactoryMode mode = FactoryMode::Factory);
+
+  // "Programs can also dynamically rebind mobility attributes to modify
+  // their distribution characteristics."
+  void retarget(common::NodeId target) { target_ = target; }
+
+  [[nodiscard]] Model model() const override { return Model::Rev; }
+  [[nodiscard]] common::NodeId target() const override { return target_; }
+  [[nodiscard]] FactoryMode mode() const { return mode_; }
+
+ protected:
+  RemoteHandle do_bind() override;
+
+ private:
+  RemoteHandle bind_factory();
+  RemoteHandle bind_object();
+
+  std::string class_name_;
+  common::NodeId target_;
+  FactoryMode mode_ = FactoryMode::Object;
+};
+
+// --- GREV --------------------------------------------------------------------
+
+// Generalized remote evaluation (Section 3.3, Figure 2): "GREV moves its
+// component to its target, regardless of whether the component was
+// initially local or remote and whether the target is local or remote."
+class Grev : public MobilityAttribute {
+ public:
+  Grev(rts::MageClient& client, common::ComponentName name,
+       common::NodeId target);
+
+  void retarget(common::NodeId target) { target_ = target; }
+
+  [[nodiscard]] Model model() const override { return Model::Grev; }
+  [[nodiscard]] common::NodeId target() const override { return target_; }
+
+ protected:
+  RemoteHandle do_bind() override;
+
+ private:
+  common::NodeId target_;
+};
+
+// --- CLE --------------------------------------------------------------------
+
+// Current-location evaluation (Section 3.3, Figure 3): "CLE does not
+// specify a computation target; rather, CLE evaluates its component in the
+// namespace in which the component currently resides."  Its target is
+// conceptually the set of all namespaces, so every bind is a fresh find.
+class Cle : public MobilityAttribute {
+ public:
+  Cle(rts::MageClient& client, common::ComponentName name);
+
+  [[nodiscard]] Model model() const override { return Model::Cle; }
+
+ protected:
+  RemoteHandle do_bind() override;
+};
+
+// --- MA ----------------------------------------------------------------------
+
+// Mobile agent: multi-hop and asynchronous (Section 3.5).  Each bind moves
+// the component to the next stop of its itinerary (weak migration: heap
+// state only).  Invocations through the returned handle may be one-way;
+// results stay at the remote host until fetched.
+class MAgent : public MobilityAttribute {
+ public:
+  MAgent(rts::MageClient& client, common::ComponentName name,
+         common::NodeId target);
+
+  // Multi-hop form: bind() visits the itinerary stops in order.
+  MAgent(rts::MageClient& client, common::ComponentName name,
+         std::vector<common::NodeId> itinerary);
+
+  void retarget(common::NodeId target);
+
+  [[nodiscard]] Model model() const override { return Model::MobileAgent; }
+  [[nodiscard]] common::NodeId target() const override;
+
+  // Remaining itinerary stops (the next bind consumes the front).
+  [[nodiscard]] std::size_t stops_remaining() const {
+    return itinerary_.size() - next_stop_;
+  }
+
+ protected:
+  RemoteHandle do_bind() override;
+
+ private:
+  std::vector<common::NodeId> itinerary_;
+  std::size_t next_stop_ = 0;
+};
+
+}  // namespace mage::core

@@ -1,0 +1,89 @@
+#include "core/coercion.hpp"
+
+namespace mage::core {
+
+const char* situation_name(Situation s) {
+  switch (s) {
+    case Situation::Local:
+      return "Local";
+    case Situation::RemoteAtTarget:
+      return "Remote, At Computation Target";
+    case Situation::RemoteNotAtTarget:
+      return "Remote, Not At Computation Target";
+  }
+  return "?";
+}
+
+const char* bind_action_name(BindAction a) {
+  switch (a) {
+    case BindAction::Default:
+      return "Default Behavior";
+    case BindAction::CoerceToRpc:
+      return "RPC";
+    case BindAction::CoerceToLpc:
+      return "LPC";
+    case BindAction::RaiseException:
+      return "Exception thrown";
+    case BindAction::NotApplicable:
+      return "n/a";
+  }
+  return "?";
+}
+
+Situation CoercionPolicy::classify(bool local, bool at_target) {
+  if (local) return Situation::Local;
+  return at_target ? Situation::RemoteAtTarget
+                   : Situation::RemoteNotAtTarget;
+}
+
+BindAction CoercionPolicy::decide(Model model, Situation situation) {
+  // Table 2: "Component Location and Programming Model Behavior".
+  switch (model) {
+    case Model::MobileAgent:
+    case Model::Rev:
+      switch (situation) {
+        case Situation::Local:
+          return BindAction::Default;  // move it to the target
+        case Situation::RemoteAtTarget:
+          return BindAction::CoerceToRpc;  // no move needed
+        case Situation::RemoteNotAtTarget:
+          return BindAction::Default;  // move it to the target
+      }
+      break;
+    case Model::Cod:
+      switch (situation) {
+        case Situation::Local:
+          return BindAction::CoerceToLpc;  // already here
+        case Situation::RemoteAtTarget:
+          // COD's target is the caller's namespace, so "remote yet at the
+          // target" cannot arise.
+          return BindAction::NotApplicable;
+        case Situation::RemoteNotAtTarget:
+          return BindAction::Default;  // pull it here
+      }
+      break;
+    case Model::Rpc:
+      switch (situation) {
+        case Situation::Local:
+          return BindAction::RaiseException;
+        case Situation::RemoteAtTarget:
+          return BindAction::Default;
+        case Situation::RemoteNotAtTarget:
+          return BindAction::RaiseException;
+      }
+      break;
+    case Model::Cle:
+      return BindAction::Default;  // wherever it is, invoke it there
+    case Model::Grev:
+      // GREV was *designed* for every configuration (Section 3.3); the only
+      // shortcut is skipping the move when already at the target.
+      return situation == Situation::RemoteAtTarget ? BindAction::CoerceToRpc
+                                                    : BindAction::Default;
+    case Model::Lpc:
+      return situation == Situation::Local ? BindAction::Default
+                                           : BindAction::RaiseException;
+  }
+  return BindAction::RaiseException;
+}
+
+}  // namespace mage::core

@@ -1,0 +1,54 @@
+// Mobility coercion (Section 3.4, Table 2).
+//
+// "A mobility attribute can specify component migration that does not make
+// sense, as when applying COD to a component that is already local. ...
+// Whenever a mismatch occurs, MAGE attempts to coerce the computation into
+// a distributed programming paradigm that matches the actual distribution
+// of code and data."
+//
+// The CoercionPolicy is Table 2 as an executable function: given the
+// attribute's model and the component's situation relative to the caller
+// and the computation target, it yields what the bind should do.  The
+// bench for Table 2 regenerates the table by driving real binds through
+// every cell.
+#pragma once
+
+#include <string>
+
+#include "core/model_triple.hpp"
+
+namespace mage::core {
+
+// Component location relative to the invoking namespace and the
+// attribute's computation target — the columns of Table 2.
+enum class Situation {
+  Local,              // component is in the caller's namespace
+  RemoteAtTarget,     // elsewhere, and already at the computation target
+  RemoteNotAtTarget,  // elsewhere, and not at the computation target
+};
+
+[[nodiscard]] const char* situation_name(Situation s);
+
+// What a bind does after coercion — the cells of Table 2.
+enum class BindAction {
+  Default,        // the model's own behaviour
+  CoerceToRpc,    // no move needed: invoke in place through a stub
+  CoerceToLpc,    // already local: plain local call
+  RaiseException, // the model forbids this configuration
+  NotApplicable,  // the situation cannot arise for this model
+};
+
+[[nodiscard]] const char* bind_action_name(BindAction a);
+
+class CoercionPolicy {
+ public:
+  // Table 2, verbatim.
+  [[nodiscard]] static BindAction decide(Model model, Situation situation);
+
+  // Classifies a component configuration into a Situation (a component in
+  // the caller's namespace is Local even when the caller is also the
+  // target; attributes short-circuit the at-target case before moving).
+  [[nodiscard]] static Situation classify(bool local, bool at_target);
+};
+
+}  // namespace mage::core

@@ -1,0 +1,60 @@
+// Composite mobility attributes.
+//
+// Section 3.6's CombinedMA shows the pattern: a user-defined attribute
+// whose bind() selects among child attributes ("this mobility attribute
+// would contain the three mobility attributes declared above").  This
+// header provides the pattern as a library type, so applications can write
+//
+//   CompositeAttribute policy(client, "geoData",
+//       [&](std::size_t n_binds) -> MobilityAttribute& {
+//         return n_binds < sensors ? rev : cod;
+//       });
+//
+// without subclassing.  The selector sees how many binds have happened and
+// returns the child whose model should govern this invocation.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "core/mobility_attribute.hpp"
+
+namespace mage::core {
+
+class CompositeAttribute : public MobilityAttribute {
+ public:
+  // `select` receives the number of completed binds (0 for the first) and
+  // returns the child attribute to delegate to.
+  using Selector = std::function<MobilityAttribute&(std::size_t bind_count)>;
+
+  CompositeAttribute(rts::MageClient& client, common::ComponentName name,
+                     Selector select)
+      : MobilityAttribute(client, std::move(name)),
+        select_(std::move(select)) {}
+
+  // The composite's own model is whatever the *next* child would use.
+  [[nodiscard]] Model model() const override {
+    return select_(bind_count_).model();
+  }
+
+  [[nodiscard]] common::NodeId target() const override {
+    return select_(bind_count_).target();
+  }
+
+  [[nodiscard]] std::size_t bind_count() const { return bind_count_; }
+
+ protected:
+  RemoteHandle do_bind() override {
+    MobilityAttribute& child = select_(bind_count_);
+    auto handle = child.bind(name_);  // rebind the child to our component
+    ++bind_count_;
+    cloc_ = handle.location();
+    return handle;
+  }
+
+ private:
+  Selector select_;
+  std::size_t bind_count_ = 0;
+};
+
+}  // namespace mage::core

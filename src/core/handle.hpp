@@ -1,0 +1,55 @@
+// RemoteHandle: the "stub" a mobility attribute's bind() returns.
+//
+// The paper's bind() returns a `Remote` that the programmer casts to the
+// component's interface and invokes ("o = ma.bind(); o.f();").  Our handle
+// is the typed-by-method-name equivalent: invoke<R>("f", args...) marshals
+// the arguments, chases the component if it moved, and unmarshals the
+// result.  A handle to a component in the caller's own namespace takes the
+// LPC fast path inside MageClient.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "rts/client.hpp"
+
+namespace mage::core {
+
+class RemoteHandle {
+ public:
+  RemoteHandle() = default;
+  RemoteHandle(rts::MageClient* client, common::ComponentName name,
+               common::NodeId location)
+      : client_(client), name_(std::move(name)), location_(location) {}
+
+  [[nodiscard]] bool valid() const { return client_ != nullptr; }
+  [[nodiscard]] const common::ComponentName& name() const { return name_; }
+
+  // Last known location; refreshed as invocations chase the component.
+  [[nodiscard]] common::NodeId location() const { return location_; }
+
+  // Synchronous invocation with result.
+  template <typename R, typename... Args>
+  R invoke(const std::string& method, const Args&... args) {
+    return client_->invoke<R>(location_, name_, method, args...);
+  }
+
+  // Asynchronous one-way invocation (mobile-agent semantics).
+  template <typename... Args>
+  void invoke_oneway(const std::string& method, const Args&... args) {
+    client_->invoke_oneway(location_, name_, method, args...);
+  }
+
+  // Retrieves a result parked by invoke_oneway.
+  template <typename R>
+  R fetch_result() {
+    return client_->fetch_result<R>(location_, name_);
+  }
+
+ private:
+  rts::MageClient* client_ = nullptr;
+  common::ComponentName name_;
+  common::NodeId location_ = common::kNoNode;
+};
+
+}  // namespace mage::core

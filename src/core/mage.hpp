@@ -1,0 +1,26 @@
+// Umbrella header: everything a MAGE application needs.
+//
+//   #include "core/mage.hpp"
+//
+//   mage::rts::MageSystem system;                  // the federation
+//   auto lab = system.add_node("lab");
+//   auto sensor = system.add_node("sensor1");
+//   mage::rts::ClassBuilder<GeoDataFilter>(system.world(), "GeoDataFilter")
+//       .method("filterData", &GeoDataFilter::filter_data);
+//   auto& client = system.client(lab);
+//   client.create_component("geoData", "GeoDataFilter");
+//   mage::core::Rev rev(client, "GeoDataFilter", "geoData", sensor);
+//   auto filter = rev.bind();
+//   filter.invoke<double>("filterData");
+#pragma once
+
+#include "core/attributes.hpp"        // IWYU pragma: export
+#include "core/coercion.hpp"          // IWYU pragma: export
+#include "core/composite.hpp"         // IWYU pragma: export
+#include "core/handle.hpp"            // IWYU pragma: export
+#include "core/mobility_attribute.hpp"  // IWYU pragma: export
+#include "core/model_triple.hpp"      // IWYU pragma: export
+#include "core/policy.hpp"            // IWYU pragma: export
+#include "core/mission.hpp"           // IWYU pragma: export
+#include "core/restricted.hpp"        // IWYU pragma: export
+#include "rts/system.hpp"             // IWYU pragma: export

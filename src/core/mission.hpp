@@ -1,0 +1,70 @@
+// AgentMission: the multi-hop mobile-agent pattern as a reusable harness.
+//
+// Section 3.5 distinguishes MA from REV as "multi-hop and asynchronous".
+// An AgentMission drives an MAgent through its itinerary, invoking a chosen
+// method at every stop and collecting each stop's result — the classic
+// travelling-agent workload (gather readings at every sensor, audit every
+// host).  Weak migration means the agent's accumulated heap state travels
+// with it from stop to stop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/attributes.hpp"
+
+namespace mage::core {
+
+struct MissionStop {
+  common::NodeId node;
+  std::vector<std::uint8_t> result;  // serialized result of the stop's call
+};
+
+class AgentMission {
+ public:
+  // The agent will visit `itinerary` in order; at each stop it invokes
+  // `method` (one-way, mobile-agent style) and fetches the parked result
+  // before hopping on.
+  AgentMission(rts::MageClient& client, common::ComponentName agent_name,
+               std::vector<common::NodeId> itinerary, std::string method)
+      : client_(client),
+        agent_(client, agent_name, itinerary),
+        name_(std::move(agent_name)),
+        itinerary_(std::move(itinerary)),
+        method_(std::move(method)) {}
+
+  // Runs the whole itinerary synchronously; returns one entry per stop.
+  template <typename... Args>
+  std::vector<MissionStop> run(const Args&... args) {
+    std::vector<MissionStop> stops;
+    stops.reserve(itinerary_.size());
+    for (std::size_t i = 0; i < itinerary_.size(); ++i) {
+      auto handle = agent_.bind();  // hop to the next stop
+      handle.invoke_oneway(method_, args...);
+      MissionStop stop;
+      stop.node = handle.location();
+      common::NodeId at = handle.location();
+      stop.result = client_.fetch_result_raw(at, name_);
+      stops.push_back(std::move(stop));
+    }
+    return stops;
+  }
+
+  // Decodes one stop's result.
+  template <typename T>
+  static T result_of(const MissionStop& stop) {
+    serial::Reader r(stop.result);
+    return serial::get<T>(r);
+  }
+
+  [[nodiscard]] MAgent& agent() { return agent_; }
+
+ private:
+  rts::MageClient& client_;
+  MAgent agent_;
+  common::ComponentName name_;
+  std::vector<common::NodeId> itinerary_;
+  std::string method_;
+};
+
+}  // namespace mage::core

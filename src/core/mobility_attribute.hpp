@@ -1,0 +1,93 @@
+// MobilityAttribute: the paper's central abstraction (Sections 3.1, 3.5).
+//
+// "Mobility attributes are first class objects that bind to program
+// components.  A mobility attribute intercepts invocation requests on the
+// components to which it has been bound.  For a given network
+// configuration, mobility attributes describe where their component should
+// execute.  If necessary, the component moves before executing."
+//
+// Usage mirrors the paper exactly:
+//
+//     Rev rev(client, "GeoDataFilterImpl", "geoData", sensor1);
+//     auto filter = rev.bind();
+//     filter.invoke<double>("filterData");
+//
+// bind() is where the programming-model decision happens: the attribute
+// finds its component, classifies the configuration against its model,
+// applies mobility coercion (Table 2), moves the component when its model
+// says so, and returns a stub.  Programmers define new models (like the
+// paper's CombinedMA) by subclassing and overriding do_bind().
+#pragma once
+
+#include <string>
+
+#include "core/coercion.hpp"
+#include "core/handle.hpp"
+#include "core/model_triple.hpp"
+#include "rts/client.hpp"
+
+namespace mage::core {
+
+class MobilityAttribute {
+ public:
+  MobilityAttribute(rts::MageClient& client, common::ComponentName name);
+  virtual ~MobilityAttribute() = default;
+
+  MobilityAttribute(const MobilityAttribute&) = delete;
+  MobilityAttribute& operator=(const MobilityAttribute&) = delete;
+
+  // Finds the component, applies this attribute's mobility semantics
+  // (moving the component when required), and returns a stub.
+  RemoteHandle bind();
+
+  // The paper's `bind(String n)`: rebinds this attribute to a different
+  // component, then binds.
+  RemoteHandle bind(const common::ComponentName& name);
+
+  // The paper's `find()`: resolves the component's current location.
+  // Shared (public) objects are re-found on every call because another
+  // activity may have moved them; for private objects the cached cloc
+  // "always accurately represents the bound object's current location".
+  common::NodeId find();
+
+  // The paper's `isShared()`.
+  [[nodiscard]] bool is_shared() const;
+
+  [[nodiscard]] virtual Model model() const = 0;
+
+  // The attribute's point in the <Location, Target, Moves> design space.
+  [[nodiscard]] virtual ModelTriple triple() const {
+    return canonical_triple(model());
+  }
+
+  // The computation target, kNoNode when the model leaves it unspecified
+  // (CLE) or the caller's namespace is implied (COD, LPC).
+  [[nodiscard]] virtual common::NodeId target() const {
+    return common::kNoNode;
+  }
+
+  [[nodiscard]] const common::ComponentName& name() const { return name_; }
+  [[nodiscard]] common::NodeId cloc() const { return cloc_; }
+  [[nodiscard]] rts::MageClient& client() { return client_; }
+
+ protected:
+  // Model-specific bind behaviour; called by bind() after accounting.
+  virtual RemoteHandle do_bind() = 0;
+
+  // Resolves the component per the paper's find() semantics (see find()).
+  common::NodeId resolve();
+
+  [[nodiscard]] RemoteHandle handle_at(common::NodeId at) {
+    return RemoteHandle(&client_, name_, at);
+  }
+
+  // Records the coercion outcome in the stats registry (feeds the Table 2
+  // bench and the attribute-metrics counters).
+  void record_action(BindAction action);
+
+  rts::MageClient& client_;
+  common::ComponentName name_;
+  common::NodeId cloc_ = common::kNoNode;
+};
+
+}  // namespace mage::core

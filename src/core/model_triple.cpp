@@ -1,0 +1,62 @@
+#include "core/model_triple.hpp"
+
+namespace mage::core {
+
+const char* locality_name(Locality l) {
+  switch (l) {
+    case Locality::Local:
+      return "local";
+    case Locality::Remote:
+      return "remote";
+    case Locality::Unspecified:
+      return "not specified";
+  }
+  return "?";
+}
+
+const char* model_name(Model m) {
+  switch (m) {
+    case Model::Lpc:
+      return "LPC";
+    case Model::Rpc:
+      return "RPC";
+    case Model::Cod:
+      return "COD";
+    case Model::Rev:
+      return "REV";
+    case Model::Grev:
+      return "GREV";
+    case Model::Cle:
+      return "CLE";
+    case Model::MobileAgent:
+      return "MA";
+  }
+  return "?";
+}
+
+ModelTriple canonical_triple(Model m) {
+  switch (m) {
+    case Model::Lpc:
+      return {Locality::Local, Locality::Local, false};
+    case Model::Rpc:
+      return {Locality::Remote, Locality::Remote, false};
+    case Model::Cod:
+      return {Locality::Remote, Locality::Local, true};
+    case Model::Rev:
+      return {Locality::Local, Locality::Remote, true};
+    case Model::Grev:
+      return {Locality::Unspecified, Locality::Unspecified, true};
+    case Model::Cle:
+      return {Locality::Unspecified, Locality::Unspecified, false};
+    case Model::MobileAgent:
+      return {Locality::Remote, Locality::Remote, true};
+  }
+  return {};
+}
+
+std::string to_string(const ModelTriple& t) {
+  return std::string("<") + locality_name(t.location) + ", " +
+         locality_name(t.target) + ", " + (t.moves ? "yes" : "no") + ">";
+}
+
+}  // namespace mage::core

@@ -1,0 +1,45 @@
+// The <Location, Target, Moves> design space (Section 3.2, Table 1).
+//
+// "The triple <Location, Target, Moves>, where Location, Target ∈ {remote,
+// local, not specified} and Moves ∈ {yes, no}, uniquely specifies all
+// distributed programming models discussed in this paper."  Mobility
+// attributes are instances of these triples; the bench for Table 1
+// enumerates the built-in attributes and prints theirs.
+#pragma once
+
+#include <string>
+
+namespace mage::core {
+
+enum class Locality { Local, Remote, Unspecified };
+
+[[nodiscard]] const char* locality_name(Locality l);
+
+// The classical models plus the two models the paper derives (Section 3.3).
+enum class Model {
+  Lpc,          // local procedure call
+  Rpc,          // remote procedure call (client-server)
+  Cod,          // code on demand
+  Rev,          // remote evaluation
+  Grev,         // generalized remote evaluation (paper's new model #1)
+  Cle,          // current-location evaluation (paper's new model #2)
+  MobileAgent,  // MA
+};
+
+[[nodiscard]] const char* model_name(Model m);
+
+struct ModelTriple {
+  Locality location = Locality::Unspecified;
+  Locality target = Locality::Unspecified;
+  bool moves = false;
+
+  friend bool operator==(const ModelTriple&, const ModelTriple&) = default;
+};
+
+// The canonical triple of each model, exactly Table 1 (GREV's is derived
+// from Section 3.3: any location, any target, always moves).
+[[nodiscard]] ModelTriple canonical_triple(Model m);
+
+[[nodiscard]] std::string to_string(const ModelTriple& t);
+
+}  // namespace mage::core

@@ -1,0 +1,85 @@
+// Namespace-restricted mobility attributes.
+//
+// "We can also use MAGE to define mobility attributes that restrict the
+// namespace on which a component can execute by restricting current
+// location and target to subsets of the available hosts."  (Section 3.3.)
+//
+// RestrictedAttribute decorates any inner attribute with two node sets:
+// the component may only be *found* inside `allowed_locations` and may only
+// be *sent* to members of `allowed_targets`.  Violations raise
+// CoercionError before anything moves — the restriction is a property of
+// the attribute, checked at bind time, not a property of the nodes.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "core/mobility_attribute.hpp"
+
+namespace mage::core {
+
+class RestrictedAttribute : public MobilityAttribute {
+ public:
+  // Empty sets mean "unrestricted" for that side.
+  RestrictedAttribute(std::unique_ptr<MobilityAttribute> inner,
+                      std::set<common::NodeId> allowed_locations,
+                      std::set<common::NodeId> allowed_targets)
+      : MobilityAttribute(inner->client(), inner->name()),
+        inner_(std::move(inner)),
+        allowed_locations_(std::move(allowed_locations)),
+        allowed_targets_(std::move(allowed_targets)) {}
+
+  [[nodiscard]] Model model() const override { return inner_->model(); }
+
+  [[nodiscard]] ModelTriple triple() const override {
+    return inner_->triple();
+  }
+
+  [[nodiscard]] common::NodeId target() const override {
+    return inner_->target();
+  }
+
+  [[nodiscard]] const std::set<common::NodeId>& allowed_locations() const {
+    return allowed_locations_;
+  }
+  [[nodiscard]] const std::set<common::NodeId>& allowed_targets() const {
+    return allowed_targets_;
+  }
+
+ protected:
+  RemoteHandle do_bind() override {
+    const auto inner_target = inner_->target();
+    if (!common::is_no_node(inner_target) && !allowed_targets_.empty() &&
+        !allowed_targets_.contains(inner_target)) {
+      record_action(BindAction::RaiseException);
+      throw common::CoercionError(
+          name_, "restricted attribute: target node " +
+                     std::to_string(inner_target.value()) +
+                     " is outside the allowed target set");
+    }
+    // Verify the component's current namespace before letting the inner
+    // attribute act on it.
+    if (!allowed_locations_.empty()) {
+      const auto at = client_.find(name_);
+      if (!allowed_locations_.contains(at) &&
+          !allowed_targets_.contains(at)) {
+        record_action(BindAction::RaiseException);
+        throw common::CoercionError(
+            name_, "restricted attribute: component found at node " +
+                       std::to_string(at.value()) +
+                       ", outside the allowed location set");
+      }
+    }
+    auto handle = inner_->bind();
+    cloc_ = handle.location();
+    return handle;
+  }
+
+ private:
+  std::unique_ptr<MobilityAttribute> inner_;
+  std::set<common::NodeId> allowed_locations_;
+  std::set<common::NodeId> allowed_targets_;
+};
+
+}  // namespace mage::core

@@ -1,0 +1,43 @@
+#include "net/cost_model.hpp"
+
+namespace mage::net {
+
+CostModel CostModel::jdk122_classic() {
+  return CostModel{};  // defaults are the calibrated JDK 1.2.2 values
+}
+
+CostModel CostModel::modern_lan() {
+  CostModel m;
+  m.propagation_us = 25;            // same-rack gigabit
+  m.bytes_per_usec = 125.0;         // 1 Gb/s
+  m.per_message_cpu_us = 5;
+  m.connection_setup_us = 200;
+  m.rmi_client_overhead_us = 20;
+  m.rmi_server_dispatch_us = 20;
+  m.marshal_us_per_byte = 0.002;    // ~500 MB/s serialization
+  m.local_invoke_us = 1;
+  m.instantiate_us = 2;
+  m.class_load_us = 50;
+  m.registry_consult_us = 2;
+  m.engine_warmup_us = 500;
+  return m;
+}
+
+CostModel CostModel::zero() {
+  CostModel m;
+  m.propagation_us = 1;
+  m.bytes_per_usec = 1e9;
+  m.per_message_cpu_us = 0;
+  m.connection_setup_us = 0;
+  m.rmi_client_overhead_us = 0;
+  m.rmi_server_dispatch_us = 0;
+  m.marshal_us_per_byte = 0.0;
+  m.local_invoke_us = 0;
+  m.instantiate_us = 0;
+  m.class_load_us = 0;
+  m.registry_consult_us = 0;
+  m.engine_warmup_us = 0;
+  return m;
+}
+
+}  // namespace mage::net

@@ -1,0 +1,45 @@
+// Wire message: the unit the simulated network delivers between namespaces.
+//
+// The payload is opaque to the network; upper layers (src/rmi) serialize
+// envelopes into it.  `verb` duplicates the envelope's operation name purely
+// for tracing and stats — benches reconstruct the paper's protocol figures
+// (Figure 1, Figure 7) from the sequence of verbs on the wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace mage::net {
+
+// Fixed per-message framing overhead charged by the cost model
+// (Ethernet + IP + TCP headers plus RMI stream framing).
+inline constexpr std::size_t kHeaderBytes = 96;
+
+struct Message {
+  common::NodeId from;
+  common::NodeId to;
+  std::string verb;                   // operation name, for tracing only
+  std::vector<std::uint8_t> payload;  // serialized envelope
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return payload.size() + kHeaderBytes;
+  }
+};
+
+// One entry of the network's message trace (enabled on demand; benches use
+// it to print protocol diagrams).
+struct TraceEntry {
+  common::SimTime sent_at;
+  common::SimTime delivered_at;  // -1 when dropped
+  common::NodeId from;
+  common::NodeId to;
+  std::string verb;
+  std::size_t wire_size;
+  bool dropped;
+};
+
+}  // namespace mage::net

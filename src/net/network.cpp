@@ -1,0 +1,172 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace mage::net {
+namespace {
+
+std::pair<common::NodeId, common::NodeId> ordered_pair(common::NodeId a,
+                                                       common::NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+Network::Network(sim::Simulation& sim, CostModel model)
+    : sim_(sim), model_(model) {}
+
+common::NodeId Network::add_node(std::string label) {
+  const common::NodeId id{static_cast<std::uint32_t>(nodes_.size() + 1)};
+  NodeState state;
+  state.label = std::move(label);
+  nodes_.push_back(std::move(state));
+  return id;
+}
+
+Network::NodeState& Network::state(common::NodeId node) {
+  assert(node.value() >= 1 && node.value() <= nodes_.size());
+  return nodes_[node.value() - 1];
+}
+
+const Network::NodeState& Network::state(common::NodeId node) const {
+  assert(node.value() >= 1 && node.value() <= nodes_.size());
+  return nodes_[node.value() - 1];
+}
+
+void Network::set_handler(common::NodeId node, Handler handler) {
+  state(node).handler = std::move(handler);
+}
+
+const std::string& Network::label(common::NodeId node) const {
+  return state(node).label;
+}
+
+std::vector<common::NodeId> Network::node_ids() const {
+  std::vector<common::NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (std::uint32_t i = 1; i <= nodes_.size(); ++i) {
+    ids.push_back(common::NodeId{i});
+  }
+  return ids;
+}
+
+void Network::send(Message msg) {
+  auto& stats = sim_.stats();
+  stats.add("net.messages_sent");
+  stats.add("net.bytes_sent", static_cast<std::int64_t>(msg.wire_size()));
+
+  const common::SimTime sent_at = sim_.now();
+  const bool loopback = msg.from == msg.to;
+
+  if (!loopback && (state(msg.from).down || state(msg.to).down)) {
+    stats.add("net.messages_dropped");
+    if (tracing_) {
+      trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.verb,
+                                  msg.wire_size(), true});
+    }
+    return;
+  }
+
+  if (!loopback && partitions_.contains(ordered_pair(msg.from, msg.to))) {
+    stats.add("net.messages_dropped");
+    if (tracing_) {
+      trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.verb,
+                                  msg.wire_size(), true});
+    }
+    return;
+  }
+
+  if (!loopback && loss_rate_ > 0.0 && sim_.rng().next_bool(loss_rate_)) {
+    stats.add("net.messages_dropped");
+    MAGE_DEBUG() << "dropped " << msg.verb << " " << msg.from << " -> "
+                 << msg.to;
+    if (tracing_) {
+      trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.verb,
+                                  msg.wire_size(), true});
+    }
+    return;
+  }
+
+  common::SimDuration delay = 0;
+  if (loopback) {
+    delay = model_.local_invoke_us;
+  } else {
+    delay = model_.propagation_us + model_.wire_time(msg.wire_size()) +
+            model_.per_message_cpu_us;
+    auto link = std::make_pair(msg.from, msg.to);
+    if (auto it = extra_latency_.find(link); it != extra_latency_.end()) {
+      delay += it->second;
+    }
+    // One-time connection setup per unordered pair: once either side has
+    // connected, the TCP connection is reused in both directions.
+    if (warm_connections_.insert(ordered_pair(msg.from, msg.to)).second) {
+      delay += model_.connection_setup_us;
+      stats.add("net.connections_opened");
+    }
+  }
+
+  common::SimTime deliver_at = sent_at + delay;
+  if (!loopback) {
+    // TCP in-order delivery per directed link.
+    auto& floor = state(msg.to).earliest_delivery_from[msg.from];
+    deliver_at = std::max(deliver_at, floor);
+    floor = deliver_at + 1;
+  }
+
+  if (tracing_) {
+    trace_.push_back(TraceEntry{sent_at, deliver_at, msg.from, msg.to,
+                                msg.verb, msg.wire_size(), false});
+  }
+
+  sim_.schedule_at(deliver_at, [this, msg = std::move(msg)]() mutable {
+    auto& node = state(msg.to);
+    if (!node.handler) {
+      throw common::TransportError("node '" + node.label +
+                                   "' has no message handler installed");
+    }
+    sim_.stats().add("net.messages_delivered");
+    node.handler(std::move(msg));
+  });
+}
+
+void Network::set_partitioned(common::NodeId a, common::NodeId b,
+                              bool partitioned) {
+  if (partitioned) {
+    partitions_.insert(ordered_pair(a, b));
+  } else {
+    partitions_.erase(ordered_pair(a, b));
+  }
+}
+
+void Network::set_extra_latency(common::NodeId from, common::NodeId to,
+                                common::SimDuration extra) {
+  extra_latency_[{from, to}] = extra;
+}
+
+void Network::set_load(common::NodeId node, double load) {
+  state(node).load = load;
+}
+
+double Network::load(common::NodeId node) const { return state(node).load; }
+
+void Network::set_node_down(common::NodeId node, bool down) {
+  state(node).down = down;
+}
+
+bool Network::node_down(common::NodeId node) const {
+  return state(node).down;
+}
+
+void Network::set_domain(common::NodeId node, std::string domain) {
+  state(node).domain = std::move(domain);
+}
+
+const std::string& Network::domain(common::NodeId node) const {
+  return state(node).domain;
+}
+
+}  // namespace mage::net

@@ -1,0 +1,135 @@
+// Simulated network connecting MAGE namespaces.
+//
+// Responsibilities:
+//   * node table: each cooperating VM registers and installs a message
+//     handler (the MAGE server's dispatch entry point);
+//   * delivery timing from the CostModel: propagation + serialization onto
+//     a shared-medium wire + receive CPU, plus one-time connection setup
+//     per (from, to) pair (models TCP/RMI handshake and explains the
+//     paper's cold-vs-warm split in Table 3);
+//   * in-order delivery per directed link (TCP semantics);
+//   * fault injection: IID message loss and per-link partitions, used by
+//     the at-most-once RMI tests ("protocols must recover from message
+//     loss", Section 4.3);
+//   * tracing: optional per-message trace that benches turn into the
+//     paper's protocol figures;
+//   * a per-node load metric for load-directed mobility policies
+//     (the paper's `cloc.getLoad()`).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/cost_model.hpp"
+#include "net/message.hpp"
+#include "sim/simulation.hpp"
+
+namespace mage::net {
+
+class Network {
+ public:
+  using Handler = std::function<void(Message)>;
+
+  Network(sim::Simulation& sim, CostModel model);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology -------------------------------------------------------
+
+  // Adds a namespace/VM to the federation; label is for traces only.
+  common::NodeId add_node(std::string label);
+
+  void set_handler(common::NodeId node, Handler handler);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& label(common::NodeId node) const;
+  [[nodiscard]] std::vector<common::NodeId> node_ids() const;
+
+  // --- traffic ----------------------------------------------------------
+
+  // Sends msg; delivery is scheduled on the simulation.  A message to the
+  // sender's own node is delivered after local_invoke_us with no wire cost
+  // and is never dropped (loopback).
+  void send(Message msg);
+
+  // --- fault injection --------------------------------------------------
+
+  // IID probability that a non-loopback message is dropped in flight.
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  // Cuts / restores both directions between a and b.
+  void set_partitioned(common::NodeId a, common::NodeId b, bool partitioned);
+
+  // Crashes / restarts a node: while down, every message to or from it is
+  // dropped (its hosted objects are lost to the federation until restart —
+  // MAGE has no replication; callers see timeouts and forwarding chains
+  // pointing into the void).
+  void set_node_down(common::NodeId node, bool down);
+  [[nodiscard]] bool node_down(common::NodeId node) const;
+
+  // Extra one-way latency for a directed link (e.g. a WAN hop).
+  void set_extra_latency(common::NodeId from, common::NodeId to,
+                         common::SimDuration extra);
+
+  // --- load metric --------------------------------------------------------
+
+  void set_load(common::NodeId node, double load);
+  [[nodiscard]] double load(common::NodeId node) const;
+
+  // --- administrative domains ------------------------------------------------
+
+  // Assigns the node to a named administrative domain (Section 7's WAN
+  // vision: "competing and disjoint administrative domains").  Empty by
+  // default; access-control policies may key on it.
+  void set_domain(common::NodeId node, std::string domain);
+  [[nodiscard]] const std::string& domain(common::NodeId node) const;
+
+  // --- introspection -----------------------------------------------------
+
+  [[nodiscard]] const CostModel& cost_model() const { return model_; }
+
+  void set_tracing(bool enabled) { tracing_ = enabled; }
+  [[nodiscard]] const std::vector<TraceEntry>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  // Forgets all warm connections, so the next message on every pair pays
+  // connection setup again (benches use this between "single" runs).
+  void reset_connections() { warm_connections_.clear(); }
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+ private:
+  struct NodeState {
+    std::string label;
+    Handler handler;
+    double load = 0.0;
+    std::string domain;
+    bool down = false;
+    // Per TCP ordering: no message on a directed link may be delivered
+    // before one sent earlier on the same link.
+    std::map<common::NodeId, common::SimTime> earliest_delivery_from;
+  };
+
+  [[nodiscard]] NodeState& state(common::NodeId node);
+  [[nodiscard]] const NodeState& state(common::NodeId node) const;
+
+  sim::Simulation& sim_;
+  CostModel model_;
+  std::vector<NodeState> nodes_;
+  std::set<std::pair<common::NodeId, common::NodeId>> warm_connections_;
+  std::set<std::pair<common::NodeId, common::NodeId>> partitions_;
+  std::map<std::pair<common::NodeId, common::NodeId>, common::SimDuration>
+      extra_latency_;
+  double loss_rate_ = 0.0;
+  bool tracing_ = false;
+  std::vector<TraceEntry> trace_;
+};
+
+}  // namespace mage::net

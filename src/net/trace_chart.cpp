@@ -1,0 +1,104 @@
+#include "net/trace_chart.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/time.hpp"
+
+namespace mage::net {
+namespace {
+
+std::size_t lane_of(const std::vector<common::NodeId>& participants,
+                    common::NodeId node) {
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (participants[i] == node) return i;
+  }
+  return participants.size();
+}
+
+}  // namespace
+
+std::string render_sequence_chart(
+    const Network& network, const std::vector<TraceEntry>& trace,
+    const std::vector<common::NodeId>& participants,
+    const TraceChartOptions& options) {
+  const std::size_t width = options.column_width;
+  std::ostringstream os;
+
+  // Header: participant labels centred over their lifelines.
+  const std::size_t time_pad = options.show_times ? 12 : 0;
+  os << std::string(time_pad, ' ');
+  for (auto node : participants) {
+    std::string label = network.label(node);
+    if (label.size() > width - 2) label.resize(width - 2);
+    const std::size_t left = (width - label.size()) / 2;
+    os << std::string(left, ' ') << label
+       << std::string(width - left - label.size(), ' ');
+  }
+  os << "\n";
+
+  auto lifeline_row = [&](std::ostringstream& row) {
+    row << std::string(time_pad, ' ');
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      row << std::string(width / 2, ' ') << '|'
+          << std::string(width - width / 2 - 1, ' ');
+    }
+  };
+
+  for (const auto& entry : trace) {
+    if (entry.dropped && !options.include_drops) continue;
+    const bool is_reply =
+        entry.verb.find(".reply") != std::string::npos ||
+        (entry.verb.size() > 3 &&
+         entry.verb.compare(entry.verb.size() - 3, 3, ".re") == 0);
+    if (is_reply && !options.include_replies) continue;
+
+    const std::size_t from = lane_of(participants, entry.from);
+    const std::size_t to = lane_of(participants, entry.to);
+    if (from >= participants.size() || to >= participants.size()) continue;
+    if (from == to) continue;  // loopback: no arrow to draw
+
+    std::ostringstream row;
+    lifeline_row(row);
+    std::string line = row.str();
+
+    const std::size_t from_col = time_pad + from * width + width / 2;
+    const std::size_t to_col = time_pad + to * width + width / 2;
+    const std::size_t lo = std::min(from_col, to_col);
+    const std::size_t hi = std::max(from_col, to_col);
+
+    // Arrow body between the two lifelines.
+    for (std::size_t c = lo + 1; c < hi; ++c) line[c] = '-';
+    if (to_col > from_col) {
+      line[hi - 1] = '>';
+    } else {
+      line[lo + 1] = '<';
+    }
+
+    // Label: the verb (and X for drops), centred on the arrow.
+    std::string label = entry.verb;
+    if (entry.dropped) label += " [LOST]";
+    if (label.size() > hi - lo - 3 && hi - lo > 6) {
+      label.resize(hi - lo - 3);
+    }
+    const std::size_t label_start = lo + 1 + ((hi - lo - 1) - label.size()) / 2;
+    for (std::size_t i = 0;
+         i < label.size() && label_start + i < line.size(); ++i) {
+      line[label_start + i] = label[i];
+    }
+
+    if (options.show_times) {
+      std::ostringstream stamp;
+      stamp << std::fixed << std::setprecision(1)
+            << common::to_ms(entry.sent_at) << "ms";
+      std::string s = stamp.str();
+      if (s.size() > time_pad - 1) s.resize(time_pad - 1);
+      for (std::size_t i = 0; i < s.size(); ++i) line[i] = s[i];
+    }
+    os << line << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mage::net

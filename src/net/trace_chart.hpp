@@ -1,0 +1,35 @@
+// ASCII message-sequence charts from network traces.
+//
+// Turns a Network trace into the kind of arrow diagram the paper draws for
+// its protocols (Figures 1, 2, 7), e.g.:
+//
+//      client            server
+//        |--mage.invoke--->|
+//        |<--....reply-----|
+//
+// Used by the figure benches; also handy when debugging a new protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace mage::net {
+
+struct TraceChartOptions {
+  std::size_t column_width = 24;  // per-participant lane width
+  bool include_replies = true;
+  bool include_drops = true;
+  bool show_times = true;
+};
+
+// Renders the trace as a sequence chart over the given participant nodes
+// (in lane order).  Messages touching nodes outside `participants` are
+// skipped.
+[[nodiscard]] std::string render_sequence_chart(
+    const Network& network, const std::vector<TraceEntry>& trace,
+    const std::vector<common::NodeId>& participants,
+    const TraceChartOptions& options = {});
+
+}  // namespace mage::net

@@ -1,0 +1,44 @@
+#include "rmi/envelope.hpp"
+
+#include "common/error.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace mage::rmi {
+
+std::vector<std::uint8_t> Envelope::encode() const {
+  serial::Writer w;
+  w.write_u8(static_cast<std::uint8_t>(kind));
+  w.write_u64(request_id.value());
+  w.write_string(verb);
+  if (kind == EnvelopeKind::Reply) {
+    w.write_bool(ok);
+    if (!ok) w.write_string(error);
+  }
+  w.write_u32(static_cast<std::uint32_t>(body.size()));
+  if (!body.empty()) w.write_raw(body.data(), body.size());
+  return w.take();
+}
+
+Envelope Envelope::decode(const std::vector<std::uint8_t>& bytes) {
+  serial::Reader r(bytes);
+  Envelope e;
+  const std::uint8_t kind = r.read_u8();
+  if (kind > 1) {
+    throw common::SerializationError("bad envelope kind " +
+                                     std::to_string(kind));
+  }
+  e.kind = static_cast<EnvelopeKind>(kind);
+  e.request_id = common::RequestId{r.read_u64()};
+  e.verb = r.read_string();
+  if (e.kind == EnvelopeKind::Reply) {
+    e.ok = r.read_bool();
+    if (!e.ok) e.error = r.read_string();
+  }
+  const std::uint32_t body_size = r.read_u32();
+  e.body.resize(body_size);
+  if (body_size > 0) r.read_raw(e.body.data(), body_size);
+  return e;
+}
+
+}  // namespace mage::rmi

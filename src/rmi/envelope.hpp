@@ -1,0 +1,33 @@
+// RMI wire envelopes.
+//
+// Every MAGE network interaction is a request/reply pair ("mobility
+// attributes boil down to RMI calls", Section 4.2).  A Request names the
+// remote operation (verb) and carries a serialized argument body; a Reply
+// carries either a result body or a remote error string.  Replies double as
+// acknowledgements; retransmitted Requests are deduplicated at the receiver
+// (at-most-once execution).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mage::rmi {
+
+enum class EnvelopeKind : std::uint8_t { Request = 0, Reply = 1 };
+
+struct Envelope {
+  EnvelopeKind kind = EnvelopeKind::Request;
+  common::RequestId request_id;
+  std::string verb;                 // Request: operation name; Reply: echo
+  bool ok = true;                   // Reply only: false => error
+  std::string error;                // Reply only, when !ok
+  std::vector<std::uint8_t> body;   // args (Request) or result (Reply)
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static Envelope decode(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace mage::rmi

@@ -1,0 +1,220 @@
+#include "rmi/transport.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace mage::rmi {
+
+void Replier::ok(std::vector<std::uint8_t> body) const {
+  assert(transport_ != nullptr && "reply on a default-constructed Replier");
+  transport_->send_reply(to_, id_, verb_, true, {}, std::move(body));
+}
+
+void Replier::error(const std::string& message) const {
+  assert(transport_ != nullptr && "reply on a default-constructed Replier");
+  transport_->send_reply(to_, id_, verb_, false, message, {});
+}
+
+Transport::Transport(net::Network& network, common::NodeId self)
+    : network_(network), sim_(network.simulation()), self_(self) {
+  network_.set_handler(self_,
+                       [this](net::Message msg) { on_message(std::move(msg)); });
+}
+
+void Transport::register_service(const std::string& verb, Service service) {
+  services_[verb] = std::move(service);
+}
+
+void Transport::call(common::NodeId dest, const std::string& verb,
+                     std::vector<std::uint8_t> body, Callback callback,
+                     CallOptions options) {
+  const common::RequestId id{next_request_++};
+  PendingCall pc;
+  pc.dest = dest;
+  pc.verb = verb;
+  pc.body = std::move(body);
+  pc.callback = std::move(callback);
+  pc.options = options;
+  auto [it, inserted] = pending_.emplace(id, std::move(pc));
+  assert(inserted);
+  (void)it;
+
+  sim_.stats().add("rmi.calls");
+  sim_.stats().add("rmi.calls." + verb);
+
+  // Client-side overhead: stub entry + argument marshalling, charged as
+  // simulated CPU time before the request reaches the wire.
+  const auto& model = network_.cost_model();
+  const common::SimDuration prep =
+      model.rmi_client_overhead_us +
+      model.marshal_time(pending_.at(id).body.size());
+  sim_.schedule_after(prep, [this, id] { transmit(id); });
+}
+
+void Transport::transmit(common::RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.done) return;
+  PendingCall& pc = it->second;
+
+  if (pc.attempts >= pc.options.max_attempts) {
+    pc.done = true;
+    auto callback = std::move(pc.callback);
+    const std::string message =
+        "rmi call '" + pc.verb + "' timed out after " +
+        std::to_string(pc.options.max_attempts) + " attempts";
+    pending_.erase(it);
+    sim_.stats().add("rmi.failures");
+    callback(CallResult::failure(message));
+    return;
+  }
+
+  ++pc.attempts;
+  if (pc.attempts > 1) sim_.stats().add("rmi.retransmissions");
+
+  Envelope env;
+  env.kind = EnvelopeKind::Request;
+  env.request_id = id;
+  env.verb = pc.verb;
+  env.body = pc.body;
+  network_.send(net::Message{self_, pc.dest, pc.verb, env.encode()});
+  arm_retry_timer(id);
+}
+
+void Transport::arm_retry_timer(common::RequestId id) {
+  const auto timeout = pending_.at(id).options.retry_timeout_us;
+  sim_.schedule_after(timeout, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.done) return;  // already answered
+    transmit(id);
+  });
+}
+
+std::vector<std::uint8_t> Transport::call_sync(common::NodeId dest,
+                                               const std::string& verb,
+                                               std::vector<std::uint8_t> body,
+                                               CallOptions options) {
+  std::optional<CallResult> result;
+  call(
+      dest, verb, std::move(body),
+      [&result](CallResult r) { result = std::move(r); }, options);
+  const bool completed =
+      sim_.run_until([&result] { return result.has_value(); });
+  if (!completed) {
+    throw common::TransportError("simulation drained while waiting for '" +
+                                 verb + "' reply");
+  }
+  if (!result->ok) {
+    // Distinguish error families by marker prefix: the wire carries only a
+    // string, so the remote side tags policy rejections.
+    if (result->error.rfind("rmi call", 0) == 0) {
+      throw common::TransportError(result->error);
+    }
+    if (result->error.rfind("access denied", 0) == 0) {
+      throw common::AccessDeniedError(result->error);
+    }
+    if (result->error.rfind("capacity exceeded", 0) == 0) {
+      throw common::CapacityError(result->error);
+    }
+    throw common::RemoteInvocationError(result->error);
+  }
+  return std::move(result->body);
+}
+
+void Transport::on_message(net::Message msg) {
+  Envelope env = Envelope::decode(msg.payload);
+  if (env.kind == EnvelopeKind::Request) {
+    on_request(msg.from, std::move(env));
+  } else {
+    on_reply(env);
+  }
+}
+
+void Transport::on_request(common::NodeId from, Envelope env) {
+  const auto key = std::make_pair(from, env.request_id);
+  if (auto it = reply_cache_.find(key); it != reply_cache_.end()) {
+    // Duplicate (retransmission).  If we already answered, answer again
+    // from the cache; if the service is still working, stay silent.
+    sim_.stats().add("rmi.duplicates_suppressed");
+    if (it->second.completed) {
+      network_.send(net::Message{self_, from, it->second.reply.verb + ".re",
+                                 it->second.reply.encode()});
+    }
+    return;
+  }
+
+  auto service_it = services_.find(env.verb);
+  if (service_it == services_.end()) {
+    send_reply(from, env.request_id, env.verb, false,
+               "no service registered for verb '" + env.verb + "' on node " +
+                   std::to_string(self_.value()),
+               {});
+    return;
+  }
+
+  reply_cache_.emplace(key, ReplyCacheEntry{});
+  reply_cache_order_.push_back(key);
+  while (reply_cache_order_.size() > kReplyCacheCapacity) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+
+  // Server-side overhead: skeleton dispatch + argument unmarshalling.
+  const auto& model = network_.cost_model();
+  const common::SimDuration prep =
+      model.rmi_server_dispatch_us + model.marshal_time(env.body.size());
+  Replier replier(this, from, env.request_id, env.verb);
+  sim_.schedule_after(
+      prep, [this, service = service_it->second, from,
+             body = std::move(env.body), replier]() mutable {
+        service(from, body, std::move(replier));
+      });
+}
+
+void Transport::send_reply(common::NodeId to, common::RequestId id,
+                           const std::string& verb, bool ok,
+                           const std::string& error,
+                           std::vector<std::uint8_t> body) {
+  Envelope reply;
+  reply.kind = EnvelopeKind::Reply;
+  reply.request_id = id;
+  reply.verb = verb;
+  reply.ok = ok;
+  reply.error = error;
+  reply.body = std::move(body);
+
+  const auto key = std::make_pair(to, id);
+  if (auto it = reply_cache_.find(key); it != reply_cache_.end()) {
+    assert(!it->second.completed && "service replied twice to one request");
+    it->second.completed = true;
+    it->second.reply = reply;
+  }
+
+  // Result marshalling charged on the serving side before the wire.
+  const auto& model = network_.cost_model();
+  sim_.schedule_after(
+      model.marshal_time(reply.body.size()),
+      [this, to, reply = std::move(reply)]() mutable {
+        network_.send(
+            net::Message{self_, to, reply.verb + ".reply", reply.encode()});
+      });
+}
+
+void Transport::on_reply(const Envelope& env) {
+  auto it = pending_.find(env.request_id);
+  if (it == pending_.end() || it->second.done) {
+    sim_.stats().add("rmi.stale_replies");
+    return;
+  }
+  PendingCall& pc = it->second;
+  pc.done = true;
+  auto callback = std::move(pc.callback);
+  CallResult result = env.ok ? CallResult::success(env.body)
+                             : CallResult::failure(env.error);
+  pending_.erase(it);
+  callback(std::move(result));
+}
+
+}  // namespace mage::rmi

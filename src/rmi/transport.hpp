@@ -1,0 +1,150 @@
+// Per-node RMI endpoint.
+//
+// One Transport is attached to each namespace's network node.  It provides:
+//
+//   * `call(dest, verb, body, callback)` — asynchronous remote invocation
+//     with retransmission on timeout and exactly-one completion of the
+//     callback (result, remote error, or transport error after the retry
+//     budget is exhausted);
+//   * `register_service(verb, service)` — server-side dispatch.  A service
+//     may reply immediately or hold its Replier and reply later, which is
+//     how multi-party protocols (object move, class fetch, forwarding-chain
+//     walks) are written without nested blocking;
+//   * at-most-once execution: duplicate requests (retransmissions) never
+//     re-execute a service; completed requests re-send the cached reply,
+//     in-progress requests are ignored (the eventual reply will answer all
+//     copies).
+//
+// Cost accounting per the CostModel: the caller is charged client overhead
+// plus marshalling before the request hits the wire; the callee is charged
+// dispatch plus unmarshalling before the service runs.  Every successful
+// call increments "rmi.calls" — the unit the paper uses to explain Table 3.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/network.hpp"
+#include "rmi/envelope.hpp"
+
+namespace mage::rmi {
+
+// Outcome of one RMI call, exactly one of which reaches the callback.
+struct CallResult {
+  bool ok = false;
+  std::string error;                // set when !ok
+  std::vector<std::uint8_t> body;   // set when ok
+
+  static CallResult success(std::vector<std::uint8_t> body) {
+    return CallResult{true, {}, std::move(body)};
+  }
+  static CallResult failure(std::string error) {
+    return CallResult{false, std::move(error), {}};
+  }
+};
+
+class Transport;
+
+// Handle a service uses to answer one request; movable, one-shot.
+class Replier {
+ public:
+  Replier() = default;
+  Replier(Transport* transport, common::NodeId to, common::RequestId id,
+          std::string verb)
+      : transport_(transport), to_(to), id_(id), verb_(std::move(verb)) {}
+
+  void ok(std::vector<std::uint8_t> body) const;
+  void error(const std::string& message) const;
+
+  [[nodiscard]] common::NodeId caller() const { return to_; }
+
+ private:
+  Transport* transport_ = nullptr;
+  common::NodeId to_;
+  common::RequestId id_;
+  std::string verb_;
+};
+
+struct CallOptions {
+  common::SimDuration retry_timeout_us = 150'000;  // 150 simulated ms
+  int max_attempts = 24;
+};
+
+class Transport {
+ public:
+  using Callback = std::function<void(CallResult)>;
+  // Service receives the caller's node, the argument body, and a Replier.
+  using Service = std::function<void(common::NodeId caller,
+                                     const std::vector<std::uint8_t>& body,
+                                     Replier replier)>;
+
+  Transport(net::Network& network, common::NodeId self);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  [[nodiscard]] common::NodeId self() const { return self_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+
+  void register_service(const std::string& verb, Service service);
+
+  // Asynchronous call; `callback` fires exactly once.
+  void call(common::NodeId dest, const std::string& verb,
+            std::vector<std::uint8_t> body, Callback callback,
+            CallOptions options = {});
+
+  // Synchronous call usable only from driver code (runs the event loop
+  // until the reply arrives).  Throws RemoteInvocationError on remote
+  // error, TransportError when retries are exhausted.
+  std::vector<std::uint8_t> call_sync(common::NodeId dest,
+                                      const std::string& verb,
+                                      std::vector<std::uint8_t> body,
+                                      CallOptions options = {});
+
+ private:
+  friend class Replier;
+
+  struct PendingCall {
+    common::NodeId dest;
+    std::string verb;
+    std::vector<std::uint8_t> body;  // retained for retransmission
+    Callback callback;
+    CallOptions options;
+    int attempts = 0;
+    bool done = false;
+  };
+
+  void on_message(net::Message msg);
+  void on_request(common::NodeId from, Envelope env);
+  void on_reply(const Envelope& env);
+  void transmit(common::RequestId id);
+  void arm_retry_timer(common::RequestId id);
+  void send_reply(common::NodeId to, common::RequestId id,
+                  const std::string& verb, bool ok, const std::string& error,
+                  std::vector<std::uint8_t> body);
+
+  net::Network& network_;
+  sim::Simulation& sim_;
+  common::NodeId self_;
+  std::map<std::string, Service> services_;
+  std::map<common::RequestId, PendingCall> pending_;
+  std::uint64_t next_request_ = 1;
+
+  // At-most-once receiver state, keyed by (caller, request id).
+  struct ReplyCacheEntry {
+    bool completed = false;  // false => execution still in progress
+    Envelope reply;          // valid when completed
+  };
+  std::map<std::pair<common::NodeId, common::RequestId>, ReplyCacheEntry>
+      reply_cache_;
+  std::deque<std::pair<common::NodeId, common::RequestId>> reply_cache_order_;
+  static constexpr std::size_t kReplyCacheCapacity = 8192;
+};
+
+}  // namespace mage::rmi

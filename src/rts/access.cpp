@@ -1,0 +1,57 @@
+#include "rts/access.hpp"
+
+namespace mage::rts {
+
+const char* operation_name(Operation op) {
+  switch (op) {
+    case Operation::Lookup:
+      return "lookup";
+    case Operation::Invoke:
+      return "invoke";
+    case Operation::MoveOut:
+      return "move-out";
+    case Operation::TransferIn:
+      return "transfer-in";
+    case Operation::FetchClass:
+      return "fetch-class";
+    case Operation::LoadClass:
+      return "load-class";
+    case Operation::Instantiate:
+      return "instantiate";
+    case Operation::Lock:
+      return "lock";
+  }
+  return "?";
+}
+
+void AccessController::allow_node(Operation op, common::NodeId caller) {
+  node_rules_[{op, caller}] = Verdict::Allow;
+}
+
+void AccessController::deny_node(Operation op, common::NodeId caller) {
+  node_rules_[{op, caller}] = Verdict::Deny;
+}
+
+void AccessController::allow_domain(Operation op, const std::string& domain) {
+  domain_rules_[{op, domain}] = Verdict::Allow;
+}
+
+void AccessController::deny_domain(Operation op, const std::string& domain) {
+  domain_rules_[{op, domain}] = Verdict::Deny;
+}
+
+bool AccessController::permitted(Operation op, common::NodeId caller,
+                                 const std::string& caller_domain) const {
+  if (auto it = node_rules_.find({op, caller}); it != node_rules_.end()) {
+    return it->second == Verdict::Allow;
+  }
+  if (!caller_domain.empty()) {
+    if (auto it = domain_rules_.find({op, caller_domain});
+        it != domain_rules_.end()) {
+      return it->second == Verdict::Allow;
+    }
+  }
+  return default_ == Verdict::Allow;
+}
+
+}  // namespace mage::rts

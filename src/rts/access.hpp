@@ -1,0 +1,91 @@
+// Access control for MAGE namespaces.
+//
+// "Currently, MAGE trusts its constituent servers.  We are exploring a
+// version of MAGE that runs on and scales to WANs ... fragmented into
+// competing and disjoint administrative domains, each with different
+// services, resources and security needs ...  We also are working on
+// adding access control and resource allocation models to MAGE."
+// (Section 7.)
+//
+// This module is that access-control model: each namespace owns an
+// AccessController consulted by its MageServer before executing an
+// operation on behalf of a remote caller.  The default policy is the
+// paper's status quo — trust everyone — and deployments tighten it with
+// per-operation allow/deny rules keyed by caller node or caller domain.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace mage::rts {
+
+// The remotely invocable operation families a policy can gate.
+enum class Operation : std::uint8_t {
+  Lookup,       // walking forwarding chains through this namespace
+  Invoke,       // executing a method on a hosted object
+  MoveOut,      // migrating a hosted object away
+  TransferIn,   // accepting a migrating object
+  FetchClass,   // serving a class image
+  LoadClass,    // accepting a pushed class image
+  Instantiate,  // acting as a remote object factory
+  Lock,         // locking a hosted object
+};
+
+[[nodiscard]] const char* operation_name(Operation op);
+
+enum class Verdict : std::uint8_t { Allow, Deny };
+
+class AccessController {
+ public:
+  // The paper's default: "MAGE trusts its constituent servers".
+  AccessController() = default;
+
+  // Changes the fall-through verdict for callers matching no rule.
+  void set_default(Verdict verdict) { default_ = verdict; }
+
+  // Node-level rules take precedence over domain-level rules.
+  void allow_node(Operation op, common::NodeId caller);
+  void deny_node(Operation op, common::NodeId caller);
+  void allow_domain(Operation op, const std::string& domain);
+  void deny_domain(Operation op, const std::string& domain);
+
+  // Decides whether `caller` (member of `caller_domain`, empty when
+  // domains are unused) may perform `op` here.
+  [[nodiscard]] bool permitted(Operation op, common::NodeId caller,
+                               const std::string& caller_domain) const;
+
+  [[nodiscard]] std::uint64_t denials() const { return denials_; }
+  void count_denial() const { ++denials_; }
+
+ private:
+  Verdict default_ = Verdict::Allow;
+  std::map<std::pair<Operation, common::NodeId>, Verdict> node_rules_;
+  std::map<std::pair<Operation, std::string>, Verdict> domain_rules_;
+  mutable std::uint64_t denials_ = 0;
+};
+
+// Resource-allocation model for one namespace (the other half of the
+// paper's Section 7 agenda): admission control over what a namespace will
+// host.  A migration or remote instantiation that would exceed the budget
+// is rejected; the mover's attribute can then pick another target.
+struct ResourceModel {
+  // Maximum mobile objects resident at once; nullopt = unlimited.
+  std::optional<std::size_t> max_objects;
+  // Maximum serialized state accepted in one transfer; nullopt = any.
+  std::optional<std::size_t> max_transfer_bytes;
+
+  [[nodiscard]] bool admits_object(std::size_t currently_hosted) const {
+    return !max_objects.has_value() || currently_hosted < *max_objects;
+  }
+  [[nodiscard]] bool admits_transfer(std::size_t state_bytes) const {
+    return !max_transfer_bytes.has_value() ||
+           state_bytes <= *max_transfer_bytes;
+  }
+};
+
+}  // namespace mage::rts

@@ -1,0 +1,43 @@
+// Per-namespace class cache.
+//
+// "MAGE currently clones classes, leaving behind a copy of each object's
+// class that visited a particular node.  Caching class definitions in this
+// way is an optimization that can speed up object migration."
+// (Section 4.2.)  The cache records which class images this namespace has
+// received; instantiation and deserialization require the image.  The
+// `caching_enabled` switch implements the paper's implied ablation: with
+// caching off, every arrival re-ships the class image.
+#pragma once
+
+#include <set>
+#include <string>
+
+namespace mage::rts {
+
+class ClassCache {
+ public:
+  // A node is born with the classes "on its classpath" — installed at
+  // deployment time rather than shipped (see MageSystem::install_class).
+  void install(const std::string& class_name) { cached_.insert(class_name); }
+
+  // Records receipt of a shipped class image.  With caching disabled the
+  // image is used once and forgotten, forcing a re-fetch next time.
+  void on_image_received(const std::string& class_name) {
+    if (caching_enabled_) cached_.insert(class_name);
+  }
+
+  [[nodiscard]] bool has(const std::string& class_name) const {
+    return cached_.contains(class_name);
+  }
+
+  void set_caching_enabled(bool enabled) { caching_enabled_ = enabled; }
+  [[nodiscard]] bool caching_enabled() const { return caching_enabled_; }
+
+  [[nodiscard]] std::size_t size() const { return cached_.size(); }
+
+ private:
+  std::set<std::string> cached_;
+  bool caching_enabled_ = true;
+};
+
+}  // namespace mage::rts

@@ -1,0 +1,37 @@
+// The MAGE component model.
+//
+// "In Java, objects cannot exist without classes, but classes can exist
+// without objects.  Thus, a class and an object form a pair, whose object
+// can be null.  MAGE maps its notion of component to this pair."
+// (Section 4.2.)  A component is therefore identified by a registry name
+// and consists of a class (always) plus at most one live object.  Mobility
+// attributes bind to components; binding to the class alone acts as an
+// object factory.
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+#include "serial/serializable.hpp"
+
+namespace mage::rts {
+
+// Base class for all migratable MAGE objects.  State moves via weak
+// migration (serialize/deserialize); behaviour never moves — method bodies
+// live in the process-wide ClassWorld, mirroring how MAGE clones class
+// files to every namespace an object visits.
+class MageObject : public serial::Serializable {};
+
+// Statically shared knowledge about one component: "MAGE requires that
+// mobile objects and their clients share the name of the mobile object's
+// origin server, an interface to the mobile object and the mobile object's
+// name as bound in the MAGE registry" (Section 7).  This struct is that
+// shared static information.
+struct ComponentInfo {
+  common::ComponentName name;
+  std::string class_name;
+  common::NodeId home;   // origin server whose registry anchors the chain
+  bool is_public = false;  // public objects are shared across activities
+};
+
+}  // namespace mage::rts

@@ -1,0 +1,48 @@
+// Static component directory.
+//
+// The paper concedes (Section 7): "MAGE has inherited RMI's reliance on
+// static information shared between clients and servers.  Specifically,
+// MAGE requires that mobile objects and their clients share the name of the
+// mobile object's origin server, an interface to the mobile object and the
+// mobile object's name as bound in the MAGE registry."
+//
+// The Directory is exactly that shared static knowledge: name -> (origin
+// server, class, public/private).  It is deployment-time configuration, so
+// consulting it costs nothing at runtime.  Everything *dynamic* — where the
+// object currently lives — is tracked by the per-node registries and their
+// forwarding chains, never here.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "rts/component.hpp"
+
+namespace mage::rts {
+
+class Directory {
+ public:
+  void announce(const ComponentInfo& info) { entries_[info.name] = info; }
+
+  [[nodiscard]] bool contains(const common::ComponentName& name) const {
+    return entries_.contains(name);
+  }
+
+  [[nodiscard]] const ComponentInfo& info(
+      const common::ComponentName& name) const {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw common::NotFoundError(name, "no directory entry");
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<common::ComponentName, ComponentInfo> entries_;
+};
+
+}  // namespace mage::rts

@@ -1,0 +1,60 @@
+// Resource discovery.
+//
+// The paper's introduction requires that distributed systems "support host
+// and resource discovery, incorporate new hardware and robustly cope with
+// changing network conditions".  This module is MAGE's discovery service:
+// each namespace advertises named resources ("printer", "sensor",
+// "cpu-pool") with an attached capacity figure; clients query the
+// federation and feed the answers to target-selection policies.
+//
+// Discovery is deliberately registry-like rather than broadcast-based: a
+// client asks each candidate namespace directly (one get-resources RMI per
+// node), mirroring how the paper's MAGE rides on RMI rather than multicast.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mage::rts {
+
+struct ResourceAdvert {
+  std::string kind;     // e.g. "printer"
+  double capacity = 0;  // kind-specific units (pages/min, MB/s, ...)
+};
+
+// Per-namespace advertisement table; owned by the MageServer.
+class ResourceBoard {
+ public:
+  void advertise(const std::string& kind, double capacity) {
+    adverts_[kind] = capacity;
+  }
+
+  void withdraw(const std::string& kind) { adverts_.erase(kind); }
+
+  [[nodiscard]] bool offers(const std::string& kind) const {
+    return adverts_.contains(kind);
+  }
+
+  [[nodiscard]] double capacity(const std::string& kind) const {
+    auto it = adverts_.find(kind);
+    return it == adverts_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& all() const {
+    return adverts_;
+  }
+
+ private:
+  std::map<std::string, double> adverts_;
+};
+
+// One discovery answer: a namespace and what it offers.
+struct DiscoveredHost {
+  common::NodeId node;
+  double capacity = 0;
+};
+
+}  // namespace mage::rts

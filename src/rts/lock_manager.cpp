@@ -1,0 +1,91 @@
+#include "rts/lock_manager.hpp"
+
+#include <algorithm>
+
+namespace mage::rts {
+
+LockGrant LockManager::make_grant(common::NodeId target) {
+  const LockKind kind = target == self_ ? LockKind::Stay : LockKind::Move;
+  if (kind == LockKind::Stay) {
+    ++stay_grants_;
+  } else {
+    ++move_grants_;
+  }
+  return LockGrant{common::LockId{next_lock_id_++}, kind};
+}
+
+void LockManager::request(const common::ComponentName& name,
+                          common::ActivityId activity, common::NodeId target,
+                          GrantFn grant, BounceFn bounce) {
+  ObjectLock& lock = locks_[name];
+  if (!lock.holder.has_value()) {
+    lock.holder = make_grant(target);
+    lock.holder_activity = activity;
+    grant(*lock.holder);
+    return;
+  }
+  lock.queue.push_back(
+      Pending{activity, target, std::move(grant), std::move(bounce)});
+}
+
+bool LockManager::release(const common::ComponentName& name,
+                          common::LockId id) {
+  auto it = locks_.find(name);
+  if (it == locks_.end()) return false;
+  ObjectLock& lock = it->second;
+  if (!lock.holder.has_value() || lock.holder->id != id) return false;
+  lock.holder.reset();
+  grant_next(name, lock);
+  if (!lock.holder.has_value() && lock.queue.empty()) locks_.erase(it);
+  return true;
+}
+
+void LockManager::grant_next(const common::ComponentName& name,
+                             ObjectLock& lock) {
+  (void)name;
+  if (lock.queue.empty()) return;
+
+  auto chosen = lock.queue.begin();
+  if (!fair_) {
+    // The paper's unfair policy: any waiting stay-lock request (target ==
+    // this node) jumps the queue, because granting a move lock would pay
+    // for a migration.
+    auto stay = std::find_if(lock.queue.begin(), lock.queue.end(),
+                             [this](const Pending& p) {
+                               return p.target == self_;
+                             });
+    if (stay != lock.queue.end()) chosen = stay;
+  }
+
+  Pending pending = std::move(*chosen);
+  lock.queue.erase(chosen);
+  lock.holder = make_grant(pending.target);
+  lock.holder_activity = pending.activity;
+  pending.grant(*lock.holder);
+}
+
+void LockManager::on_object_departed(const common::ComponentName& name,
+                                     common::NodeId new_host) {
+  auto it = locks_.find(name);
+  if (it == locks_.end()) return;
+  ObjectLock& lock = it->second;
+  std::deque<Pending> bounced = std::move(lock.queue);
+  lock.queue.clear();
+  for (Pending& pending : bounced) {
+    if (pending.bounce) pending.bounce(new_host);
+  }
+  if (!lock.holder.has_value()) locks_.erase(it);
+}
+
+bool LockManager::is_locked(const common::ComponentName& name) const {
+  auto it = locks_.find(name);
+  return it != locks_.end() && it->second.holder.has_value();
+}
+
+std::size_t LockManager::queue_length(
+    const common::ComponentName& name) const {
+  auto it = locks_.find(name);
+  return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+}  // namespace mage::rts

@@ -1,0 +1,442 @@
+#include "rts/protocol.hpp"
+
+namespace mage::rts::proto {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return "Ok";
+    case Status::Moved:
+      return "Moved";
+    case Status::NotFound:
+      return "NotFound";
+    case Status::Error:
+      return "Error";
+  }
+  return "?";
+}
+
+void put_node(serial::Writer& w, common::NodeId n) { w.write_u32(n.value()); }
+
+common::NodeId get_node(serial::Reader& r) {
+  return common::NodeId{r.read_u32()};
+}
+
+namespace {
+
+serial::Reader make_reader(const std::vector<std::uint8_t>& bytes) {
+  return serial::Reader(bytes);
+}
+
+}  // namespace
+
+// --- LookupRequest -----------------------------------------------------------
+
+std::vector<std::uint8_t> LookupRequest::encode() const {
+  serial::Writer w;
+  w.write_string(name);
+  w.write_u32(hops);
+  return w.take();
+}
+
+LookupRequest LookupRequest::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  LookupRequest v;
+  v.name = r.read_string();
+  v.hops = r.read_u32();
+  return v;
+}
+
+// --- LookupReply ---------------------------------------------------------------
+
+std::vector<std::uint8_t> LookupReply::encode() const {
+  serial::Writer w;
+  w.write_u8(static_cast<std::uint8_t>(status));
+  put_node(w, host);
+  w.write_string(error);
+  return w.take();
+}
+
+LookupReply LookupReply::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  LookupReply v;
+  v.status = static_cast<Status>(r.read_u8());
+  v.host = get_node(r);
+  v.error = r.read_string();
+  return v;
+}
+
+// --- ClassCheckRequest / Reply --------------------------------------------------
+
+std::vector<std::uint8_t> ClassCheckRequest::encode() const {
+  serial::Writer w;
+  w.write_string(class_name);
+  return w.take();
+}
+
+ClassCheckRequest ClassCheckRequest::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  return ClassCheckRequest{r.read_string()};
+}
+
+std::vector<std::uint8_t> ClassCheckReply::encode() const {
+  serial::Writer w;
+  w.write_bool(cached);
+  return w.take();
+}
+
+ClassCheckReply ClassCheckReply::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  return ClassCheckReply{r.read_bool()};
+}
+
+// --- FetchClassRequest / ClassImage / LoadClassRequest ---------------------------
+
+std::vector<std::uint8_t> FetchClassRequest::encode() const {
+  serial::Writer w;
+  w.write_string(class_name);
+  return w.take();
+}
+
+FetchClassRequest FetchClassRequest::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  return FetchClassRequest{r.read_string()};
+}
+
+std::vector<std::uint8_t> ClassImage::encode() const {
+  serial::Writer w;
+  w.write_string(class_name);
+  w.write_u32(code_size);
+  // Filler standing in for the class file's bytecode so the simulated wire
+  // pays the real transfer cost.
+  const std::vector<std::uint8_t> filler(code_size, 0xCA);
+  w.write_raw(filler.data(), filler.size());
+  return w.take();
+}
+
+ClassImage ClassImage::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  ClassImage v;
+  v.class_name = r.read_string();
+  v.code_size = r.read_u32();
+  std::vector<std::uint8_t> filler(v.code_size);
+  if (v.code_size > 0) r.read_raw(filler.data(), filler.size());
+  return v;
+}
+
+std::vector<std::uint8_t> LoadClassRequest::encode() const {
+  return image.encode();
+}
+
+LoadClassRequest LoadClassRequest::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  return LoadClassRequest{ClassImage::decode(bytes)};
+}
+
+// --- InstantiateRequest ---------------------------------------------------------
+
+std::vector<std::uint8_t> InstantiateRequest::encode() const {
+  serial::Writer w;
+  w.write_string(class_name);
+  w.write_string(object_name);
+  w.write_bool(is_public);
+  put_node(w, class_source);
+  return w.take();
+}
+
+InstantiateRequest InstantiateRequest::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  InstantiateRequest v;
+  v.class_name = r.read_string();
+  v.object_name = r.read_string();
+  v.is_public = r.read_bool();
+  v.class_source = get_node(r);
+  return v;
+}
+
+// --- SimpleReply ------------------------------------------------------------------
+
+std::vector<std::uint8_t> SimpleReply::encode() const {
+  serial::Writer w;
+  w.write_u8(static_cast<std::uint8_t>(status));
+  put_node(w, hint);
+  w.write_string(error);
+  return w.take();
+}
+
+SimpleReply SimpleReply::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  SimpleReply v;
+  v.status = static_cast<Status>(r.read_u8());
+  v.hint = get_node(r);
+  v.error = r.read_string();
+  return v;
+}
+
+// --- MoveRequest -------------------------------------------------------------------
+
+std::vector<std::uint8_t> MoveRequest::encode() const {
+  serial::Writer w;
+  w.write_string(name);
+  put_node(w, to);
+  return w.take();
+}
+
+MoveRequest MoveRequest::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  MoveRequest v;
+  v.name = r.read_string();
+  v.to = get_node(r);
+  return v;
+}
+
+// --- TransferRequest ----------------------------------------------------------------
+
+std::vector<std::uint8_t> TransferRequest::encode() const {
+  serial::Writer w;
+  w.write_string(name);
+  w.write_string(class_name);
+  w.write_bool(is_public);
+  w.write_u32(static_cast<std::uint32_t>(state.size()));
+  if (!state.empty()) w.write_raw(state.data(), state.size());
+  return w.take();
+}
+
+TransferRequest TransferRequest::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  TransferRequest v;
+  v.name = r.read_string();
+  v.class_name = r.read_string();
+  v.is_public = r.read_bool();
+  const std::uint32_t n = r.read_u32();
+  v.state.resize(n);
+  if (n > 0) r.read_raw(v.state.data(), n);
+  return v;
+}
+
+// --- InvokeRequest / InvokeReply ------------------------------------------------------
+
+std::vector<std::uint8_t> InvokeRequest::encode() const {
+  serial::Writer w;
+  w.write_string(name);
+  w.write_string(method);
+  w.write_u32(static_cast<std::uint32_t>(args.size()));
+  if (!args.empty()) w.write_raw(args.data(), args.size());
+  return w.take();
+}
+
+InvokeRequest InvokeRequest::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  InvokeRequest v;
+  v.name = r.read_string();
+  v.method = r.read_string();
+  const std::uint32_t n = r.read_u32();
+  v.args.resize(n);
+  if (n > 0) r.read_raw(v.args.data(), n);
+  return v;
+}
+
+std::vector<std::uint8_t> InvokeReply::encode() const {
+  serial::Writer w;
+  w.write_u8(static_cast<std::uint8_t>(status));
+  put_node(w, hint);
+  w.write_string(error);
+  w.write_u32(static_cast<std::uint32_t>(result.size()));
+  if (!result.empty()) w.write_raw(result.data(), result.size());
+  return w.take();
+}
+
+InvokeReply InvokeReply::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  InvokeReply v;
+  v.status = static_cast<Status>(r.read_u8());
+  v.hint = get_node(r);
+  v.error = r.read_string();
+  const std::uint32_t n = r.read_u32();
+  v.result.resize(n);
+  if (n > 0) r.read_raw(v.result.data(), n);
+  return v;
+}
+
+// --- FetchResultRequest ------------------------------------------------------------
+
+std::vector<std::uint8_t> FetchResultRequest::encode() const {
+  serial::Writer w;
+  w.write_string(name);
+  return w.take();
+}
+
+FetchResultRequest FetchResultRequest::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  return FetchResultRequest{r.read_string()};
+}
+
+// --- LockRequest / LockReply / UnlockRequest -------------------------------------------
+
+std::vector<std::uint8_t> LockRequest::encode() const {
+  serial::Writer w;
+  w.write_string(name);
+  put_node(w, target);
+  w.write_u64(activity);
+  return w.take();
+}
+
+LockRequest LockRequest::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  LockRequest v;
+  v.name = r.read_string();
+  v.target = get_node(r);
+  v.activity = r.read_u64();
+  return v;
+}
+
+std::vector<std::uint8_t> LockReply::encode() const {
+  serial::Writer w;
+  w.write_u8(static_cast<std::uint8_t>(status));
+  put_node(w, hint);
+  w.write_u64(lock_id);
+  w.write_u8(static_cast<std::uint8_t>(kind));
+  w.write_string(error);
+  return w.take();
+}
+
+LockReply LockReply::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  LockReply v;
+  v.status = static_cast<Status>(r.read_u8());
+  v.hint = get_node(r);
+  v.lock_id = r.read_u64();
+  v.kind = static_cast<LockKind>(r.read_u8());
+  v.error = r.read_string();
+  return v;
+}
+
+std::vector<std::uint8_t> UnlockRequest::encode() const {
+  serial::Writer w;
+  w.write_string(name);
+  w.write_u64(lock_id);
+  return w.take();
+}
+
+UnlockRequest UnlockRequest::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  UnlockRequest v;
+  v.name = r.read_string();
+  v.lock_id = r.read_u64();
+  return v;
+}
+
+// --- StaticGetRequest / StaticPutRequest -----------------------------------------------
+
+std::vector<std::uint8_t> StaticGetRequest::encode() const {
+  serial::Writer w;
+  w.write_string(class_name);
+  w.write_string(key);
+  return w.take();
+}
+
+StaticGetRequest StaticGetRequest::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  StaticGetRequest v;
+  v.class_name = r.read_string();
+  v.key = r.read_string();
+  return v;
+}
+
+std::vector<std::uint8_t> StaticPutRequest::encode() const {
+  serial::Writer w;
+  w.write_string(class_name);
+  w.write_string(key);
+  w.write_u32(static_cast<std::uint32_t>(value.size()));
+  if (!value.empty()) w.write_raw(value.data(), value.size());
+  return w.take();
+}
+
+StaticPutRequest StaticPutRequest::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  StaticPutRequest v;
+  v.class_name = r.read_string();
+  v.key = r.read_string();
+  const std::uint32_t n = r.read_u32();
+  v.value.resize(n);
+  if (n > 0) r.read_raw(v.value.data(), n);
+  return v;
+}
+
+// --- ExecRequest ----------------------------------------------------------------------
+
+std::vector<std::uint8_t> ExecRequest::encode() const {
+  serial::Writer w;
+  w.write_string(class_name);
+  w.write_string(object_name);
+  w.write_string(method);
+  w.write_u32(static_cast<std::uint32_t>(args.size()));
+  if (!args.empty()) w.write_raw(args.data(), args.size());
+  put_node(w, class_source);
+  return w.take();
+}
+
+ExecRequest ExecRequest::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  ExecRequest v;
+  v.class_name = r.read_string();
+  v.object_name = r.read_string();
+  v.method = r.read_string();
+  const std::uint32_t n = r.read_u32();
+  v.args.resize(n);
+  if (n > 0) r.read_raw(v.args.data(), n);
+  v.class_source = get_node(r);
+  return v;
+}
+
+// --- DiscoverRequest / DiscoverReply ---------------------------------------------------
+
+std::vector<std::uint8_t> DiscoverRequest::encode() const {
+  serial::Writer w;
+  w.write_string(kind);
+  return w.take();
+}
+
+DiscoverRequest DiscoverRequest::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  return DiscoverRequest{r.read_string()};
+}
+
+std::vector<std::uint8_t> DiscoverReply::encode() const {
+  serial::Writer w;
+  w.write_bool(offers);
+  w.write_f64(capacity);
+  return w.take();
+}
+
+DiscoverReply DiscoverReply::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  DiscoverReply v;
+  v.offers = r.read_bool();
+  v.capacity = r.read_f64();
+  return v;
+}
+
+// --- LoadReply ------------------------------------------------------------------------
+
+std::vector<std::uint8_t> LoadReply::encode() const {
+  serial::Writer w;
+  w.write_f64(load);
+  return w.take();
+}
+
+LoadReply LoadReply::decode(const std::vector<std::uint8_t>& bytes) {
+  auto r = make_reader(bytes);
+  return LoadReply{r.read_f64()};
+}
+
+}  // namespace mage::rts::proto

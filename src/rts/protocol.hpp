@@ -1,0 +1,287 @@
+// MAGE wire protocol: verbs and message bodies.
+//
+// Every struct encodes to / decodes from the RMI envelope body.  The verbs
+// are the operations MageServer registers with its Transport; together they
+// implement the protocols of Section 4 — registry lookup with forwarding
+// chains (4.1), class shipping and object migration (4.2, 4.3/Figure 7),
+// invocation, and lock requests (4.4/Figure 8).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "rts/lock_manager.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace mage::rts::proto {
+
+// Operation names.  The ".reply"-suffixed verbs on the wire are added by
+// the transport; these are the request verbs.
+namespace verbs {
+inline constexpr const char* kLookup = "mage.lookup";
+inline constexpr const char* kClassCheck = "mage.class_check";
+inline constexpr const char* kFetchClass = "mage.fetch_class";
+inline constexpr const char* kLoadClass = "mage.load_class";
+inline constexpr const char* kInstantiate = "mage.instantiate";
+inline constexpr const char* kMove = "mage.move";
+inline constexpr const char* kTransfer = "mage.transfer";
+inline constexpr const char* kInvoke = "mage.invoke";
+inline constexpr const char* kInvokeOneway = "mage.invoke_oneway";
+inline constexpr const char* kFetchResult = "mage.fetch_result";
+inline constexpr const char* kLock = "mage.lock";
+inline constexpr const char* kUnlock = "mage.unlock";
+inline constexpr const char* kGetLoad = "mage.get_load";
+inline constexpr const char* kPing = "mage.ping";
+// Traditional REV's per-bind lookup of the remote execution server's stub
+// (Naming.lookup against the target's RMI registry).
+inline constexpr const char* kResolveServer = "mage.resolve_server";
+// Static-field coherency (the Section 4.2 limitation, implemented): class
+// data lives at the class's statics home and is read/written there.
+inline constexpr const char* kStaticGet = "mage.static_get";
+inline constexpr const char* kStaticPut = "mage.static_put";
+// Resource discovery ("support host and resource discovery", Section 1).
+inline constexpr const char* kDiscover = "mage.discover";
+// Condensed remote evaluation — the Section 5 optimization: "condensing
+// the number of RMI calls ... by better utilizing the in and out variables
+// of a single Java RMI call".  One exchange carries instantiate + invoke.
+inline constexpr const char* kExec = "mage.exec";
+}  // namespace verbs
+
+// Shared status for operations addressed to "the node currently hosting X":
+// the host may answer Ok, or redirect the caller along its forwarding chain
+// (Moved + hint), or declare the name unknown.
+enum class Status : std::uint8_t {
+  Ok = 0,
+  Moved = 1,     // not here; try `hint`
+  NotFound = 2,  // unknown name, no forwarding information
+  Error = 3,     // application-level failure, see `error`
+};
+
+[[nodiscard]] const char* status_name(Status s);
+
+void put_node(serial::Writer& w, common::NodeId n);
+[[nodiscard]] common::NodeId get_node(serial::Reader& r);
+
+// --- registry lookup ---------------------------------------------------
+
+struct LookupRequest {
+  common::ComponentName name;
+  std::uint32_t hops = 0;  // cycle guard for the forwarding-chain walk
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static LookupRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct LookupReply {
+  Status status = Status::NotFound;
+  common::NodeId host = common::kNoNode;  // valid when Ok
+  std::string error;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static LookupReply decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// --- class shipping ------------------------------------------------------
+
+struct ClassCheckRequest {
+  std::string class_name;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static ClassCheckRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct ClassCheckReply {
+  bool cached = false;  // does the queried node hold the class image?
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static ClassCheckReply decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct FetchClassRequest {
+  std::string class_name;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static FetchClassRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// The class image: name + simulated code bytes (filler sized to the
+// descriptor's code_size so the wire pays the real transfer cost).
+struct ClassImage {
+  std::string class_name;
+  std::uint32_t code_size = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static ClassImage decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// Push-style class load (REV/MA push the class toward the target).
+struct LoadClassRequest {
+  ClassImage image;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static LoadClassRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// --- instantiation (class-bound REV/COD act as object factories) -----------
+
+struct InstantiateRequest {
+  std::string class_name;
+  common::ComponentName object_name;
+  bool is_public = false;
+  // Node able to serve the class image if the target lacks it.
+  common::NodeId class_source = common::kNoNode;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static InstantiateRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct SimpleReply {
+  Status status = Status::Ok;
+  common::NodeId hint = common::kNoNode;  // valid when Moved
+  std::string error;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static SimpleReply decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// --- migration (Figure 7) ---------------------------------------------------
+
+struct MoveRequest {
+  common::ComponentName name;
+  common::NodeId to = common::kNoNode;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static MoveRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct TransferRequest {
+  common::ComponentName name;
+  std::string class_name;
+  bool is_public = false;
+  std::vector<std::uint8_t> state;  // weakly migrated heap state
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static TransferRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// --- invocation ---------------------------------------------------------
+
+struct InvokeRequest {
+  common::ComponentName name;
+  std::string method;
+  std::vector<std::uint8_t> args;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static InvokeRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct InvokeReply {
+  Status status = Status::Ok;
+  common::NodeId hint = common::kNoNode;  // valid when Moved
+  std::string error;                      // valid when Error
+  std::vector<std::uint8_t> result;       // valid when Ok
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static InvokeReply decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct FetchResultRequest {
+  common::ComponentName name;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static FetchResultRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// --- locking -------------------------------------------------------------
+
+struct LockRequest {
+  common::ComponentName name;
+  common::NodeId target = common::kNoNode;  // the attribute's target
+  std::uint64_t activity = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static LockRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct LockReply {
+  Status status = Status::Ok;
+  common::NodeId hint = common::kNoNode;  // valid when Moved
+  std::uint64_t lock_id = 0;              // valid when Ok
+  LockKind kind = LockKind::Stay;         // valid when Ok
+  std::string error;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static LockReply decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct UnlockRequest {
+  common::ComponentName name;
+  std::uint64_t lock_id = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static UnlockRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// --- class statics ------------------------------------------------------------
+
+struct StaticGetRequest {
+  std::string class_name;
+  std::string key;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static StaticGetRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct StaticPutRequest {
+  std::string class_name;
+  std::string key;
+  std::vector<std::uint8_t> value;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static StaticPutRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// --- condensed remote evaluation --------------------------------------------------
+
+struct ExecRequest {
+  std::string class_name;
+  common::ComponentName object_name;  // bound at the target after the call
+  std::string method;
+  std::vector<std::uint8_t> args;
+  common::NodeId class_source = common::kNoNode;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static ExecRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// --- resource discovery ---------------------------------------------------------
+
+struct DiscoverRequest {
+  std::string kind;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static DiscoverRequest decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct DiscoverReply {
+  bool offers = false;
+  double capacity = 0.0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static DiscoverReply decode(const std::vector<std::uint8_t>& bytes);
+};
+
+// --- misc ------------------------------------------------------------------
+
+struct LoadReply {
+  double load = 0.0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static LoadReply decode(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace mage::rts::proto

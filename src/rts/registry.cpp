@@ -1,0 +1,69 @@
+#include "rts/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace mage::rts {
+
+void Registry::bind(const common::ComponentName& name,
+                    std::unique_ptr<MageObject> object) {
+  objects_[name] = std::move(object);
+  forwards_.erase(name);
+}
+
+std::unique_ptr<MageObject> Registry::unbind(
+    const common::ComponentName& name) {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw common::NotFoundError(name, "unbind: not bound in this namespace");
+  }
+  auto object = std::move(it->second);
+  objects_.erase(it);
+  return object;
+}
+
+MageObject& Registry::local(const common::ComponentName& name) {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw common::NotFoundError(name, "not bound in this namespace");
+  }
+  return *it->second;
+}
+
+std::vector<common::ComponentName> Registry::local_names() const {
+  std::vector<common::ComponentName> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, object] : objects_) names.push_back(name);
+  return names;
+}
+
+void Registry::update_forward(const common::ComponentName& name,
+                              common::NodeId to) {
+  if (to == self_) {
+    forwards_.erase(name);
+    return;
+  }
+  forwards_[name] = to;
+}
+
+std::optional<common::NodeId> Registry::forward(
+    const common::ComponentName& name) const {
+  auto it = forwards_.find(name);
+  if (it == forwards_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Registry::park_result(const common::ComponentName& name,
+                           std::vector<std::uint8_t> result) {
+  results_[name] = std::move(result);
+}
+
+std::optional<std::vector<std::uint8_t>> Registry::take_result(
+    const common::ComponentName& name) {
+  auto it = results_.find(name);
+  if (it == results_.end()) return std::nullopt;
+  auto result = std::move(it->second);
+  results_.erase(it);
+  return result;
+}
+
+}  // namespace mage::rts

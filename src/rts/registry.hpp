@@ -1,0 +1,79 @@
+// Per-namespace MAGE registry (Section 4.1).
+//
+// "The MAGE Registry wraps the RMI registry and tracks object locations.
+// ...  For mobile objects, the registry maintains a list of all the objects
+// that have ever been moved into a namespace in the registry's JVM and
+// their last known location.  To find an object, the registry simply
+// follows the chain of forwarding addresses until it reaches the MAGE
+// server currently hosting the component.  As the result returns, each
+// server updates its forwarding address, thus collapsing the path."
+//
+// This class is the *local* slice of that global namespace: objects bound
+// here, plus forwarding addresses for objects that left.  The chain walk
+// itself is a network protocol and lives in MageServer; path collapsing
+// calls back into update_forward().
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "rts/component.hpp"
+
+namespace mage::rts {
+
+class Registry {
+ public:
+  explicit Registry(common::NodeId self) : self_(self) {}
+
+  // --- local bindings -----------------------------------------------------
+
+  // Binds `object` under `name` in this namespace; clears any forwarding
+  // entry (the object is back).
+  void bind(const common::ComponentName& name,
+            std::unique_ptr<MageObject> object);
+
+  // Removes and returns the local object (it is about to migrate).
+  [[nodiscard]] std::unique_ptr<MageObject> unbind(
+      const common::ComponentName& name);
+
+  [[nodiscard]] bool has_local(const common::ComponentName& name) const {
+    return objects_.contains(name);
+  }
+
+  // Borrow the live object; throws NotFoundError when not local.
+  [[nodiscard]] MageObject& local(const common::ComponentName& name);
+
+  [[nodiscard]] std::vector<common::ComponentName> local_names() const;
+
+  // --- forwarding chain -----------------------------------------------------
+
+  // Records "the object left this namespace toward `to`" or collapses the
+  // chain after a successful lookup.
+  void update_forward(const common::ComponentName& name, common::NodeId to);
+
+  [[nodiscard]] std::optional<common::NodeId> forward(
+      const common::ComponentName& name) const;
+
+  // --- MA result store ------------------------------------------------------
+
+  // Under the mobile-agent model the invocation result "stays at the remote
+  // host"; it is parked here until fetched.
+  void park_result(const common::ComponentName& name,
+                   std::vector<std::uint8_t> result);
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> take_result(
+      const common::ComponentName& name);
+
+  [[nodiscard]] common::NodeId self() const { return self_; }
+
+ private:
+  common::NodeId self_;
+  std::map<common::ComponentName, std::unique_ptr<MageObject>> objects_;
+  std::map<common::ComponentName, common::NodeId> forwards_;
+  std::map<common::ComponentName, std::vector<std::uint8_t>> results_;
+};
+
+}  // namespace mage::rts

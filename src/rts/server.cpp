@@ -1,0 +1,681 @@
+#include "rts/server.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace mage::rts {
+
+namespace proto_verbs = proto::verbs;
+
+// Longest forwarding chain a lookup will walk before declaring a cycle.
+constexpr std::uint32_t kMaxLookupHops = 32;
+
+MageServer::MageServer(rmi::Transport& transport, const ClassWorld& world,
+                       const Directory& directory)
+    : transport_(transport),
+      world_(world),
+      directory_(directory),
+      registry_(transport.self()),
+      locks_(transport.self()) {
+  register_services();
+}
+
+sim::Simulation& MageServer::sim() {
+  return transport_.network().simulation();
+}
+
+void MageServer::register_services() {
+  using namespace std::placeholders;
+  auto bind_to = [this](void (MageServer::*fn)(common::NodeId, const Body&,
+                                               rmi::Replier)) {
+    return [this, fn](common::NodeId caller, const Body& body,
+                      rmi::Replier replier) {
+      (this->*fn)(caller, body, std::move(replier));
+    };
+  };
+
+  transport_.register_service(proto_verbs::kLookup,
+                              bind_to(&MageServer::handle_lookup));
+  transport_.register_service(proto_verbs::kInvoke,
+                              bind_to(&MageServer::handle_invoke));
+  transport_.register_service(proto_verbs::kInvokeOneway,
+                              bind_to(&MageServer::handle_invoke_oneway));
+  transport_.register_service(proto_verbs::kFetchResult,
+                              bind_to(&MageServer::handle_fetch_result));
+  transport_.register_service(proto_verbs::kLock,
+                              bind_to(&MageServer::handle_lock));
+  transport_.register_service(proto_verbs::kUnlock,
+                              bind_to(&MageServer::handle_unlock));
+  transport_.register_service(proto_verbs::kGetLoad,
+                              bind_to(&MageServer::handle_get_load));
+  transport_.register_service(
+      proto_verbs::kPing,
+      [](common::NodeId, const Body& body, rmi::Replier replier) {
+        replier.ok(body);
+      });
+  transport_.register_service(
+      proto_verbs::kResolveServer,
+      [](common::NodeId, const Body&, rmi::Replier replier) {
+        replier.ok({});  // "here is my MageExternalServer stub"
+      });
+  transport_.register_service(proto_verbs::kStaticGet,
+                              bind_to(&MageServer::handle_static_get));
+  transport_.register_service(proto_verbs::kStaticPut,
+                              bind_to(&MageServer::handle_static_put));
+  transport_.register_service(proto_verbs::kDiscover,
+                              bind_to(&MageServer::handle_discover));
+
+  // MageExternalServer role: migration-family operations pay the one-time
+  // engine warm-up ("priming the MAGE engine", Section 5).
+  register_warmable(proto_verbs::kClassCheck,
+                    bind_to(&MageServer::handle_class_check));
+  register_warmable(proto_verbs::kFetchClass,
+                    bind_to(&MageServer::handle_fetch_class));
+  register_warmable(proto_verbs::kLoadClass,
+                    bind_to(&MageServer::handle_load_class));
+  register_warmable(proto_verbs::kInstantiate,
+                    bind_to(&MageServer::handle_instantiate));
+  register_warmable(proto_verbs::kMove, bind_to(&MageServer::handle_move));
+  register_warmable(proto_verbs::kTransfer,
+                    bind_to(&MageServer::handle_transfer));
+  register_warmable(proto_verbs::kExec, bind_to(&MageServer::handle_exec));
+}
+
+void MageServer::register_warmable(const std::string& verb,
+                                   rmi::Transport::Service fn) {
+  transport_.register_service(
+      verb, [this, fn = std::move(fn)](common::NodeId caller, const Body& body,
+                                       rmi::Replier replier) {
+        if (warmed_) {
+          fn(caller, body, std::move(replier));
+          return;
+        }
+        warmed_ = true;
+        sim().stats().add("rts.engine_warmups");
+        sim().schedule_after(
+            model().engine_warmup_us,
+            [fn, caller, body, replier = std::move(replier)]() mutable {
+              fn(caller, body, std::move(replier));
+            });
+      });
+}
+
+bool MageServer::check_access(Operation op, common::NodeId caller,
+                              const rmi::Replier& replier) {
+  if (caller == self()) return true;  // a namespace always trusts itself
+  const std::string& caller_domain =
+      transport_.network().domain(caller);
+  if (access_.permitted(op, caller, caller_domain)) return true;
+  access_.count_denial();
+  sim().stats().add("rts.access_denials");
+  replier.error(std::string("access denied: ") + operation_name(op) +
+                " by node " + std::to_string(caller.value()) +
+                (caller_domain.empty() ? "" : " (domain " + caller_domain +
+                                                  ")") +
+                " rejected by node " + std::to_string(self().value()) +
+                "'s policy");
+  return false;
+}
+
+std::pair<proto::Status, common::NodeId> MageServer::locate_hint(
+    const common::ComponentName& name) const {
+  if (auto it = in_transit_.find(name); it != in_transit_.end()) {
+    return {proto::Status::Moved, it->second};
+  }
+  if (auto fwd = registry_.forward(name)) {
+    return {proto::Status::Moved, *fwd};
+  }
+  return {proto::Status::NotFound, common::kNoNode};
+}
+
+// --- registry lookup (forwarding chain + path collapsing) --------------------
+
+void MageServer::handle_lookup(common::NodeId caller, const Body& body,
+                               rmi::Replier replier) {
+  if (!check_access(Operation::Lookup, caller, replier)) return;
+  auto request = proto::LookupRequest::decode(body);
+  sim().stats().add("rts.lookups");
+
+  // An in-transit object still has a local binding, but answering "here"
+  // would hand out a namespace it is about to leave; chase the transfer.
+  if (registry_.has_local(request.name) && !in_transit(request.name)) {
+    proto::LookupReply reply;
+    reply.status = proto::Status::Ok;
+    reply.host = self();
+    replier.ok(reply.encode());
+    return;
+  }
+
+  if (request.hops >= kMaxLookupHops) {
+    proto::LookupReply reply;
+    reply.status = proto::Status::Error;
+    reply.error = "forwarding chain exceeded " +
+                  std::to_string(kMaxLookupHops) + " hops (cycle?)";
+    replier.ok(reply.encode());
+    return;
+  }
+
+  auto [status, next] = locate_hint(request.name);
+  if (status != proto::Status::Moved) {
+    proto::LookupReply reply;
+    reply.status = proto::Status::NotFound;
+    reply.error = "no binding and no forwarding address";
+    replier.ok(reply.encode());
+    return;
+  }
+
+  // Walk the chain: ask the next hop, collapse our forwarding entry when
+  // the answer comes back ("as the result returns, each server updates its
+  // forwarding address", Section 4.1).
+  proto::LookupRequest forwarded;
+  forwarded.name = request.name;
+  forwarded.hops = request.hops + 1;
+  sim().stats().add("rts.lookup_hops");
+  transport_.call(
+      next, proto_verbs::kLookup, forwarded.encode(),
+      [this, name = request.name, replier](rmi::CallResult result) {
+        if (!result.ok) {
+          proto::LookupReply reply;
+          reply.status = proto::Status::Error;
+          reply.error = result.error;
+          replier.ok(reply.encode());
+          return;
+        }
+        auto reply = proto::LookupReply::decode(result.body);
+        if (reply.status == proto::Status::Ok) {
+          registry_.update_forward(name, reply.host);  // collapse the path
+        }
+        replier.ok(reply.encode());
+      });
+}
+
+// --- class shipping -----------------------------------------------------------
+
+void MageServer::handle_class_check(common::NodeId caller, const Body& body,
+                                    rmi::Replier replier) {
+  (void)caller;
+  auto request = proto::ClassCheckRequest::decode(body);
+  proto::ClassCheckReply reply;
+  reply.cached = class_cache_.has(request.class_name);
+  replier.ok(reply.encode());
+}
+
+void MageServer::handle_fetch_class(common::NodeId caller, const Body& body,
+                                    rmi::Replier replier) {
+  if (!check_access(Operation::FetchClass, caller, replier)) return;
+  auto request = proto::FetchClassRequest::decode(body);
+  if (!class_cache_.has(request.class_name) ||
+      !world_.contains(request.class_name)) {
+    replier.error("class '" + request.class_name +
+                  "' is not available on node " +
+                  std::to_string(self().value()));
+    return;
+  }
+  sim().stats().add("rts.class_fetches");
+  proto::ClassImage image;
+  image.class_name = request.class_name;
+  image.code_size = world_.descriptor(request.class_name).code_size;
+  replier.ok(image.encode());
+}
+
+void MageServer::handle_load_class(common::NodeId caller, const Body& body,
+                                   rmi::Replier replier) {
+  if (!check_access(Operation::LoadClass, caller, replier)) return;
+  auto request = proto::LoadClassRequest::decode(body);
+  if (!world_.contains(request.image.class_name)) {
+    replier.error("class '" + request.image.class_name +
+                  "' has no registered implementation");
+    return;
+  }
+  if (class_cache_.has(request.image.class_name)) {
+    proto::SimpleReply reply;
+    replier.ok(reply.encode());
+    return;
+  }
+  sim().stats().add("rts.class_loads");
+  sim().schedule_after(model().class_load_us, [this, request, replier] {
+    class_cache_.on_image_received(request.image.class_name);
+    proto::SimpleReply reply;
+    replier.ok(reply.encode());
+  });
+}
+
+void MageServer::ensure_class_then(
+    const std::string& class_name, common::NodeId source,
+    std::function<void(bool ok, std::string error)> then) {
+  if (class_cache_.has(class_name)) {
+    then(true, {});
+    return;
+  }
+  if (common::is_no_node(source) || source == self()) {
+    then(false, "class '" + class_name + "' missing and no source to fetch");
+    return;
+  }
+  proto::FetchClassRequest request{class_name};
+  transport_.call(
+      source, proto_verbs::kFetchClass, request.encode(),
+      [this, class_name, then = std::move(then)](rmi::CallResult result) {
+        if (!result.ok) {
+          then(false, result.error);
+          return;
+        }
+        sim().stats().add("rts.class_loads");
+        sim().schedule_after(model().class_load_us, [this, class_name, then] {
+          class_cache_.on_image_received(class_name);
+          then(true, {});
+        });
+      });
+}
+
+// --- instantiation ---------------------------------------------------------------
+
+void MageServer::handle_instantiate(common::NodeId caller, const Body& body,
+                                    rmi::Replier replier) {
+  if (!check_access(Operation::Instantiate, caller, replier)) return;
+  if (!resources_.admits_object(registry_.local_names().size())) {
+    replier.error("capacity exceeded: node " +
+                  std::to_string(self().value()) +
+                  " will not host another object");
+    sim().stats().add("rts.capacity_rejections");
+    return;
+  }
+  auto request = proto::InstantiateRequest::decode(body);
+  const common::NodeId source = common::is_no_node(request.class_source)
+                                    ? caller
+                                    : request.class_source;
+  ensure_class_then(
+      request.class_name, source,
+      [this, request, replier](bool ok, std::string error) {
+        if (!ok) {
+          proto::SimpleReply reply;
+          reply.status = proto::Status::Error;
+          reply.error = std::move(error);
+          replier.ok(reply.encode());
+          return;
+        }
+        sim().schedule_after(model().instantiate_us, [this, request,
+                                                      replier] {
+          registry_.bind(request.object_name,
+                         world_.instantiate(request.class_name));
+          sim().stats().add("rts.instantiations");
+          proto::SimpleReply reply;
+          replier.ok(reply.encode());
+        });
+      });
+}
+
+// Condensed remote evaluation (the Section 5 optimization): class check,
+// instantiation, invocation and result return ride one RMI exchange.
+void MageServer::handle_exec(common::NodeId caller, const Body& body,
+                             rmi::Replier replier) {
+  if (!check_access(Operation::Instantiate, caller, replier)) return;
+  if (!resources_.admits_object(registry_.local_names().size())) {
+    replier.error("capacity exceeded: node " +
+                  std::to_string(self().value()) +
+                  " will not host another object");
+    sim().stats().add("rts.capacity_rejections");
+    return;
+  }
+  auto request = proto::ExecRequest::decode(body);
+  const common::NodeId source = common::is_no_node(request.class_source)
+                                    ? caller
+                                    : request.class_source;
+  ensure_class_then(
+      request.class_name, source,
+      [this, request, replier](bool ok, std::string error) {
+        if (!ok) {
+          proto::InvokeReply reply;
+          reply.status = proto::Status::Error;
+          reply.error = std::move(error);
+          replier.ok(reply.encode());
+          return;
+        }
+        sim().schedule_after(model().instantiate_us, [this, request,
+                                                      replier] {
+          registry_.bind(request.object_name,
+                         world_.instantiate(request.class_name));
+          sim().stats().add("rts.instantiations");
+          proto::InvokeRequest invoke;
+          invoke.name = request.object_name;
+          invoke.method = request.method;
+          invoke.args = request.args;
+          common::SimDuration cost = 0;
+          try {
+            cost = world_.method(request.class_name, request.method).cost_us;
+          } catch (const common::MageError&) {
+          }
+          sim().stats().add("rts.condensed_execs");
+          sim().schedule_after(cost, [this, invoke, replier] {
+            replier.ok(run_method(invoke).encode());
+          });
+        });
+      });
+}
+
+// --- migration (the Figure 7 protocol, server side) ----------------------------
+
+void MageServer::handle_move(common::NodeId caller, const Body& body,
+                             rmi::Replier replier) {
+  if (!check_access(Operation::MoveOut, caller, replier)) return;
+  auto request = proto::MoveRequest::decode(body);
+
+  if (!registry_.has_local(request.name) || in_transit(request.name)) {
+    auto [status, hint] = locate_hint(request.name);
+    proto::SimpleReply reply;
+    reply.status = status;
+    reply.hint = hint;
+    reply.error = "object is not at this node";
+    replier.ok(reply.encode());
+    return;
+  }
+
+  if (request.to == self()) {
+    proto::SimpleReply reply;  // already at the target: nothing to move
+    replier.ok(reply.encode());
+    return;
+  }
+
+  // Weak migration: serialize heap state, ship it, and only unbind the
+  // local copy once the destination acknowledges.  While the transfer is in
+  // flight the object is marked in-transit so concurrent invocations and
+  // moves are redirected rather than seeing a half-moved object — this is
+  // the "object movement is not atomic" hazard of Section 4.4 handled
+  // structurally.
+  MageObject& object = registry_.local(request.name);
+  serial::Writer state_writer;
+  object.serialize(state_writer);
+
+  proto::TransferRequest transfer;
+  transfer.name = request.name;
+  transfer.class_name = object.class_name();
+  transfer.is_public = directory_.contains(request.name)
+                           ? directory_.info(request.name).is_public
+                           : false;
+  transfer.state = state_writer.take();
+
+  in_transit_[request.name] = request.to;
+  transport_.call(
+      request.to, proto_verbs::kTransfer, transfer.encode(),
+      [this, name = request.name, to = request.to,
+       replier](rmi::CallResult result) {
+        in_transit_.erase(name);
+        proto::SimpleReply reply;
+        if (!result.ok) {
+          reply.status = proto::Status::Error;
+          reply.error = "transfer failed: " + result.error;
+          replier.ok(reply.encode());
+          return;
+        }
+        auto transfer_reply = proto::SimpleReply::decode(result.body);
+        if (transfer_reply.status != proto::Status::Ok) {
+          reply.status = proto::Status::Error;
+          reply.error = "transfer rejected: " + transfer_reply.error;
+          replier.ok(reply.encode());
+          return;
+        }
+        // Destination has the object: retire the local copy and leave a
+        // forwarding address behind.
+        auto departed = registry_.unbind(name);
+        departed.reset();
+        registry_.update_forward(name, to);
+        locks_.on_object_departed(name, to);
+        sim().stats().add("rts.migrations");
+        replier.ok(reply.encode());
+      });
+}
+
+void MageServer::handle_transfer(common::NodeId caller, const Body& body,
+                                 rmi::Replier replier) {
+  if (!check_access(Operation::TransferIn, caller, replier)) return;
+  auto request = proto::TransferRequest::decode(body);
+  if (!resources_.admits_object(registry_.local_names().size()) ||
+      !resources_.admits_transfer(request.state.size())) {
+    replier.error("capacity exceeded: node " +
+                  std::to_string(self().value()) +
+                  " rejects transfer of '" + request.name + "' (" +
+                  std::to_string(request.state.size()) + " state bytes)");
+    sim().stats().add("rts.capacity_rejections");
+    return;
+  }
+  ensure_class_then(
+      request.class_name, caller,
+      [this, request, replier](bool ok, std::string error) {
+        if (!ok) {
+          proto::SimpleReply reply;
+          reply.status = proto::Status::Error;
+          reply.error = std::move(error);
+          replier.ok(reply.encode());
+          return;
+        }
+        sim().schedule_after(model().instantiate_us, [this, request,
+                                                      replier] {
+          serial::Reader state(request.state);
+          registry_.bind(request.name,
+                         world_.deserialize(request.class_name, state));
+          sim().stats().add("rts.transfers_in");
+          proto::SimpleReply reply;
+          replier.ok(reply.encode());
+        });
+      });
+}
+
+// --- invocation -------------------------------------------------------------------
+
+proto::InvokeReply MageServer::run_method(const proto::InvokeRequest& request) {
+  proto::InvokeReply reply;
+  try {
+    MageObject& object = registry_.local(request.name);
+    const MethodEntry& entry =
+        world_.method(object.class_name(), request.method);
+    reply.result = entry.fn(object, request.args);
+    reply.status = proto::Status::Ok;
+  } catch (const common::MageError& e) {
+    reply.status = proto::Status::Error;
+    reply.error = e.what();
+  }
+  return reply;
+}
+
+void MageServer::handle_invoke(common::NodeId caller, const Body& body,
+                               rmi::Replier replier) {
+  if (!check_access(Operation::Invoke, caller, replier)) return;
+  auto request = proto::InvokeRequest::decode(body);
+  if (!registry_.has_local(request.name) || in_transit(request.name)) {
+    auto [status, hint] = locate_hint(request.name);
+    proto::InvokeReply reply;
+    reply.status = status;
+    reply.hint = hint;
+    reply.error = "object is not at this node";
+    replier.ok(reply.encode());
+    return;
+  }
+
+  sim().stats().add("rts.invocations");
+  common::SimDuration cost = 0;
+  try {
+    MageObject& object = registry_.local(request.name);
+    cost = world_.method(object.class_name(), request.method).cost_us;
+  } catch (const common::MageError&) {
+    // run_method will produce the error reply below.
+  }
+  sim().schedule_after(cost, [this, request, replier] {
+    replier.ok(run_method(request).encode());
+  });
+}
+
+void MageServer::handle_invoke_oneway(common::NodeId caller, const Body& body,
+                                      rmi::Replier replier) {
+  if (!check_access(Operation::Invoke, caller, replier)) return;
+  auto request = proto::InvokeRequest::decode(body);
+  if (!registry_.has_local(request.name) || in_transit(request.name)) {
+    auto [status, hint] = locate_hint(request.name);
+    proto::InvokeReply reply;
+    reply.status = status;
+    reply.hint = hint;
+    reply.error = "object is not at this node";
+    replier.ok(reply.encode());
+    return;
+  }
+
+  // Mobile-agent semantics (Section 3.5): the invocation is asynchronous
+  // and "the result stays at the remote host".  Acknowledge first, execute
+  // after, park the result for a later fetch_result.
+  proto::InvokeReply ack;
+  ack.status = proto::Status::Ok;
+  replier.ok(ack.encode());
+
+  sim().stats().add("rts.oneway_invocations");
+  common::SimDuration cost = 0;
+  try {
+    MageObject& object = registry_.local(request.name);
+    cost = world_.method(object.class_name(), request.method).cost_us;
+  } catch (const common::MageError&) {
+  }
+  sim().schedule_after(cost, [this, request] {
+    auto reply = run_method(request);
+    registry_.park_result(request.name, reply.status == proto::Status::Ok
+                                            ? std::move(reply.result)
+                                            : std::vector<std::uint8_t>{});
+  });
+}
+
+void MageServer::handle_fetch_result(common::NodeId caller, const Body& body,
+                                     rmi::Replier replier) {
+  (void)caller;
+  auto request = proto::FetchResultRequest::decode(body);
+  proto::InvokeReply reply;
+  if (auto result = registry_.take_result(request.name)) {
+    reply.status = proto::Status::Ok;
+    reply.result = std::move(*result);
+  } else {
+    reply.status = proto::Status::Error;
+    reply.error = "no parked result for '" + request.name + "'";
+  }
+  replier.ok(reply.encode());
+}
+
+// --- locking ---------------------------------------------------------------------
+
+void MageServer::handle_lock(common::NodeId caller, const Body& body,
+                             rmi::Replier replier) {
+  if (!check_access(Operation::Lock, caller, replier)) return;
+  auto request = proto::LockRequest::decode(body);
+  if (!registry_.has_local(request.name) || in_transit(request.name)) {
+    auto [status, hint] = locate_hint(request.name);
+    proto::LockReply reply;
+    reply.status = status;
+    reply.hint = hint;
+    reply.error = "object is not at this node";
+    replier.ok(reply.encode());
+    return;
+  }
+
+  locks_.request(
+      request.name, common::ActivityId{request.activity},
+      request.target,
+      [this, replier](LockGrant grant) {
+        sim().stats().add(grant.kind == LockKind::Stay ? "rts.locks_stay"
+                                                       : "rts.locks_move");
+        proto::LockReply reply;
+        reply.status = proto::Status::Ok;
+        reply.lock_id = grant.id.value();
+        reply.kind = grant.kind;
+        replier.ok(reply.encode());
+      },
+      [replier](common::NodeId new_host) {
+        proto::LockReply reply;
+        reply.status = proto::Status::Moved;
+        reply.hint = new_host;
+        reply.error = "object departed while the lock request was queued";
+        replier.ok(reply.encode());
+      });
+}
+
+void MageServer::handle_unlock(common::NodeId caller, const Body& body,
+                               rmi::Replier replier) {
+  (void)caller;
+  auto request = proto::UnlockRequest::decode(body);
+  proto::SimpleReply reply;
+  if (!locks_.release(request.name, common::LockId{request.lock_id})) {
+    reply.status = proto::Status::Error;
+    reply.error = "lock " + std::to_string(request.lock_id) +
+                  " does not hold '" + request.name + "'";
+  }
+  replier.ok(reply.encode());
+}
+
+// --- misc ----------------------------------------------------------------------
+
+void MageServer::handle_get_load(common::NodeId caller, const Body& body,
+                                 rmi::Replier replier) {
+  (void)caller;
+  (void)body;
+  proto::LoadReply reply;
+  reply.load = transport_.network().load(self());
+  replier.ok(reply.encode());
+}
+
+void MageServer::handle_discover(common::NodeId caller, const Body& body,
+                                 rmi::Replier replier) {
+  (void)caller;
+  auto request = proto::DiscoverRequest::decode(body);
+  proto::DiscoverReply reply;
+  reply.offers = resource_board_.offers(request.kind);
+  reply.capacity = resource_board_.capacity(request.kind);
+  replier.ok(reply.encode());
+}
+
+// --- class statics (home-station coherency) ----------------------------------
+//
+// Every read and write of a class's static fields is served by the class's
+// statics home, so class data is trivially sequentially consistent — the
+// coherency extension Section 4.2 says cloning classes requires.
+
+void MageServer::handle_static_get(common::NodeId caller, const Body& body,
+                                   rmi::Replier replier) {
+  (void)caller;
+  auto request = proto::StaticGetRequest::decode(body);
+  if (!world_.contains(request.class_name) ||
+      world_.descriptor(request.class_name).statics_home != self()) {
+    replier.error("node " + std::to_string(self().value()) +
+                  " is not the statics home of class '" +
+                  request.class_name + "'");
+    return;
+  }
+  proto::InvokeReply reply;
+  const auto class_it = statics_.find(request.class_name);
+  if (class_it != statics_.end()) {
+    if (auto it = class_it->second.find(request.key);
+        it != class_it->second.end()) {
+      reply.status = proto::Status::Ok;
+      reply.result = it->second;
+      replier.ok(reply.encode());
+      return;
+    }
+  }
+  reply.status = proto::Status::NotFound;
+  reply.error = "no static '" + request.key + "' on class '" +
+                request.class_name + "'";
+  replier.ok(reply.encode());
+}
+
+void MageServer::handle_static_put(common::NodeId caller, const Body& body,
+                                   rmi::Replier replier) {
+  (void)caller;
+  auto request = proto::StaticPutRequest::decode(body);
+  if (!world_.contains(request.class_name) ||
+      world_.descriptor(request.class_name).statics_home != self()) {
+    replier.error("node " + std::to_string(self().value()) +
+                  " is not the statics home of class '" +
+                  request.class_name + "'");
+    return;
+  }
+  statics_[request.class_name][request.key] = std::move(request.value);
+  sim().stats().add("rts.static_writes");
+  proto::SimpleReply reply;
+  replier.ok(reply.encode());
+}
+
+}  // namespace mage::rts

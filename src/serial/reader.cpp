@@ -1,0 +1,94 @@
+#include "serial/reader.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mage::serial {
+namespace {
+
+template <typename T>
+T read_le(std::span<const std::uint8_t> bytes, std::size_t offset) {
+  T v;
+  if constexpr (std::endian::native == std::endian::big) {
+    std::uint8_t raw[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      raw[i] = bytes[offset + sizeof(T) - 1 - i];
+    }
+    std::memcpy(&v, raw, sizeof(T));
+  } else {
+    std::memcpy(&v, bytes.data() + offset, sizeof(T));
+  }
+  return v;
+}
+
+}  // namespace
+
+void Reader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw common::SerializationError(
+        "truncated payload: need " + std::to_string(n) + " bytes, have " +
+        std::to_string(remaining()));
+  }
+}
+
+std::uint8_t Reader::read_u8() {
+  require(1);
+  return bytes_[offset_++];
+}
+
+std::uint16_t Reader::read_u16() {
+  require(2);
+  auto v = read_le<std::uint16_t>(bytes_, offset_);
+  offset_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::read_u32() {
+  require(4);
+  auto v = read_le<std::uint32_t>(bytes_, offset_);
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::read_u64() {
+  require(8);
+  auto v = read_le<std::uint64_t>(bytes_, offset_);
+  offset_ += 8;
+  return v;
+}
+
+std::int32_t Reader::read_i32() {
+  return static_cast<std::int32_t>(read_u32());
+}
+
+std::int64_t Reader::read_i64() {
+  return static_cast<std::int64_t>(read_u64());
+}
+
+bool Reader::read_bool() { return read_u8() != 0; }
+
+double Reader::read_f64() {
+  const std::uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::read_string() {
+  const std::uint32_t size = read_u32();
+  require(size);
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + offset_),
+                  size);
+  offset_ += size;
+  return out;
+}
+
+void Reader::read_raw(void* out, std::size_t size) {
+  require(size);
+  std::memcpy(out, bytes_.data() + offset_, size);
+  offset_ += size;
+}
+
+}  // namespace mage::serial

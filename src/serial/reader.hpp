@@ -1,0 +1,44 @@
+// Byte-oriented serialization reader, mirror of Writer.
+//
+// All reads are bounds-checked; a truncated or corrupt payload raises
+// common::SerializationError rather than reading past the end, so a mangled
+// network message can never corrupt a namespace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mage::serial {
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int32_t read_i32();
+  std::int64_t read_i64();
+  bool read_bool();
+  double read_f64();
+  std::string read_string();
+  void read_raw(void* out, std::size_t size);
+
+  [[nodiscard]] std::size_t remaining() const {
+    return bytes_.size() - offset_;
+  }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace mage::serial

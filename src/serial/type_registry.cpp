@@ -1,0 +1,41 @@
+#include "serial/type_registry.hpp"
+
+#include "common/error.hpp"
+
+namespace mage::serial {
+
+bool TypeRegistry::register_type(const std::string& name, Factory factory) {
+  auto [it, inserted] = factories_.insert_or_assign(name, std::move(factory));
+  (void)it;
+  return inserted;
+}
+
+bool TypeRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::unique_ptr<Serializable> TypeRegistry::create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw common::SerializationError("unknown class '" + name +
+                                     "' (no factory registered)");
+  }
+  return it->second();
+}
+
+std::unique_ptr<Serializable> TypeRegistry::deserialize_object(
+    const std::string& name, Reader& r) const {
+  auto object = create(name);
+  object->deserialize(r);
+  return object;
+}
+
+std::vector<std::string> TypeRegistry::registered_names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mage::serial

@@ -1,0 +1,54 @@
+// Polymorphic factory registry: class name -> default-constructed instance.
+//
+// This is the C++ analogue of the JVM's loaded-class table.  Deserializing
+// an object requires its class to be present here first; the MAGE runtime
+// layers a per-node class *cache* on top (src/rts/class_manager) and ships
+// class images between nodes, but the executable code itself — the factory
+// and method bodies — lives process-wide, just as the paper's MAGE
+// "implicitly defines mobile classes globally" by cloning class files.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serial/serializable.hpp"
+
+namespace mage::serial {
+
+class TypeRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Serializable>()>;
+
+  // Registers a factory under `name`.  Re-registration replaces the old
+  // factory (convenient for tests); returns false when replacing.
+  bool register_type(const std::string& name, Factory factory);
+
+  // Convenience: registers T under T{}.class_name().
+  template <typename T>
+  bool register_type() {
+    static_assert(std::is_base_of_v<Serializable, T>);
+    T probe;
+    return register_type(probe.class_name(),
+                         [] { return std::make_unique<T>(); });
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  // Creates a default instance; throws SerializationError if unknown.
+  [[nodiscard]] std::unique_ptr<Serializable> create(
+      const std::string& name) const;
+
+  // Full round trip: instantiate `name` and restore its state from `r`.
+  [[nodiscard]] std::unique_ptr<Serializable> deserialize_object(
+      const std::string& name, Reader& r) const;
+
+  [[nodiscard]] std::vector<std::string> registered_names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace mage::serial

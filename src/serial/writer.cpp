@@ -1,0 +1,57 @@
+#include "serial/writer.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace mage::serial {
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::uint8_t>& buffer, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint8_t raw[sizeof(T)];
+  std::memcpy(raw, &v, sizeof(T));
+  if constexpr (std::endian::native == std::endian::big) {
+    for (std::size_t i = sizeof(T); i-- > 0;) buffer.push_back(raw[i]);
+  } else {
+    buffer.insert(buffer.end(), raw, raw + sizeof(T));
+  }
+}
+
+}  // namespace
+
+void Writer::write_u8(std::uint8_t v) { buffer_.push_back(v); }
+void Writer::write_u16(std::uint16_t v) { append_le(buffer_, v); }
+void Writer::write_u32(std::uint32_t v) { append_le(buffer_, v); }
+void Writer::write_u64(std::uint64_t v) { append_le(buffer_, v); }
+void Writer::write_i32(std::int32_t v) {
+  append_le(buffer_, static_cast<std::uint32_t>(v));
+}
+void Writer::write_i64(std::int64_t v) {
+  append_le(buffer_, static_cast<std::uint64_t>(v));
+}
+void Writer::write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+void Writer::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
+}
+
+void Writer::write_string(std::string_view v) {
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+void Writer::write_raw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+}
+
+std::vector<std::uint8_t> Writer::take() {
+  std::vector<std::uint8_t> out = std::move(buffer_);
+  buffer_.clear();
+  return out;
+}
+
+}  // namespace mage::serial

@@ -1,0 +1,48 @@
+// Byte-oriented serialization writer.
+//
+// MAGE must marshal three kinds of payloads: invocation arguments/results
+// (the paper's "traditional data marshalling mechanisms"), migrating object
+// state (weak migration: heap state only, Section 3.5), and class images.
+// The encoding is explicit little-endian with length-prefixed strings —
+// deliberately simple and self-contained, since building the wire format by
+// hand is part of the reproduction (repro note: "manual serialization").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mage::serial {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void write_u8(std::uint8_t v);
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v);
+  void write_i64(std::int64_t v);
+  void write_bool(bool v);
+  void write_f64(double v);
+  // Length-prefixed (u32) byte string.
+  void write_string(std::string_view v);
+  // Raw bytes, caller is responsible for knowing the length on read.
+  void write_raw(const void* data, std::size_t size);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return buffer_;
+  }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+  // Moves the accumulated bytes out, leaving the writer empty.
+  [[nodiscard]] std::vector<std::uint8_t> take();
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace mage::serial

@@ -1,0 +1,20 @@
+#include "sim/event_queue.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace mage::sim {
+
+void EventQueue::schedule(common::SimTime at, Action action) {
+  heap_.push(Event{at, next_seq_++,
+                   std::make_shared<Action>(std::move(action))});
+}
+
+EventQueue::Action EventQueue::pop(common::SimTime& at) {
+  Event event = heap_.top();
+  heap_.pop();
+  at = event.at;
+  return std::move(*event.action);
+}
+
+}  // namespace mage::sim

@@ -1,0 +1,53 @@
+// Discrete-event queue with deterministic tie-breaking.
+//
+// Events scheduled for the same instant fire in scheduling order (FIFO by a
+// monotonically increasing sequence number), so a seed plus a program fully
+// determines a simulation run — a property every test in this repository
+// leans on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace mage::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` to fire at absolute simulated time `at`.
+  void schedule(common::SimTime at, Action action);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event; only valid when !empty().
+  [[nodiscard]] common::SimTime next_time() const { return heap_.top().at; }
+
+  // Removes and returns the earliest pending event's action.
+  [[nodiscard]] Action pop(common::SimTime& at);
+
+ private:
+  struct Event {
+    common::SimTime at;
+    std::uint64_t seq;
+    // shared_ptr rather than inline std::function: priority_queue elements
+    // must be copyable, and Action may capture move-only state.
+    std::shared_ptr<Action> action;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mage::sim

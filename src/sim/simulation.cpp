@@ -1,0 +1,49 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+
+namespace mage::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+void Simulation::schedule_at(common::SimTime at, EventQueue::Action action) {
+  assert(at >= now_ && "cannot schedule into the past");
+  queue_.schedule(at, std::move(action));
+}
+
+void Simulation::schedule_after(common::SimDuration delay,
+                                EventQueue::Action action) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  common::SimTime at = 0;
+  auto action = queue_.pop(at);
+  now_ = at;
+  action();
+  return true;
+}
+
+void Simulation::run_until_idle() {
+  while (step()) {
+  }
+}
+
+bool Simulation::run_until(const std::function<bool()>& done,
+                           common::SimTime deadline) {
+  while (!done()) {
+    if (queue_.empty()) return false;
+    if (queue_.next_time() > deadline) return false;
+    step();
+  }
+  return true;
+}
+
+void Simulation::run_for(common::SimDuration span) {
+  const common::SimTime end = now_ + span;
+  while (!queue_.empty() && queue_.next_time() <= end) step();
+  now_ = end;
+}
+
+}  // namespace mage::sim

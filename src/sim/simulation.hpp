@@ -1,0 +1,67 @@
+// Simulation driver.
+//
+// One Simulation instance is the "universe" for a MAGE federation: it owns
+// simulated time, the event queue, the deterministic RNG, and the stats
+// registry every layer records into.
+//
+// Synchrony model (see DESIGN.md): application code — the "driver" — makes
+// synchronous calls (`bind()`, stub invocations).  Internally those calls
+// send messages and then run the event loop via run_until(predicate) until
+// the reply lands.  Server-side protocol steps never block; they are plain
+// event handlers that may send further messages.  This gives the paper's
+// synchronous programmer-facing semantics on top of an asynchronous
+// message-passing substrate.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mage::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 0x6D616765u);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] common::SimTime now() const { return now_; }
+
+  void schedule_at(common::SimTime at, EventQueue::Action action);
+  void schedule_after(common::SimDuration delay, EventQueue::Action action);
+
+  // Runs one pending event; returns false when the queue is empty.
+  bool step();
+
+  // Runs events until the queue drains.
+  void run_until_idle();
+
+  // Runs events until `done` returns true.  Returns false if the queue
+  // drained (or `deadline` passed) before the predicate was satisfied —
+  // the caller decides whether that is a timeout error.
+  bool run_until(const std::function<bool()>& done,
+                 common::SimTime deadline = kNoDeadline);
+
+  // Runs events for a fixed span of simulated time, then advances the clock
+  // to exactly now()+span even if the queue drained earlier.
+  void run_for(common::SimDuration span);
+
+  [[nodiscard]] common::Rng& rng() { return rng_; }
+  [[nodiscard]] common::StatsRegistry& stats() { return stats_; }
+
+  static constexpr common::SimTime kNoDeadline =
+      std::numeric_limits<common::SimTime>::max();
+
+ private:
+  common::SimTime now_ = 0;
+  EventQueue queue_;
+  common::Rng rng_;
+  common::StatsRegistry stats_;
+};
+
+}  // namespace mage::sim

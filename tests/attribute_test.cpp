@@ -1,0 +1,375 @@
+// Tests for the mobility attribute hierarchy: each model's bind semantics,
+// the Table 1 triples, rebinding, factory flavours, itineraries.
+#include <gtest/gtest.h>
+
+#include "support/test_objects.hpp"
+
+namespace mage::core {
+namespace {
+
+using rts::MageSystem;
+using testing::Counter;
+using testing::make_logic_system;
+
+struct AttrFixture : ::testing::Test {
+  std::unique_ptr<MageSystem> system = make_logic_system(4);
+  common::NodeId n1{1}, n2{2}, n3{3}, n4{4};
+
+  rts::MageClient& client(common::NodeId n) { return system->client(n); }
+
+  void create_counter(common::NodeId at, const std::string& name = "counter",
+                      bool is_public = false) {
+    client(at).create_component(name, "Counter", is_public);
+  }
+
+  common::NodeId where(const std::string& name = "counter") {
+    for (auto node : system->nodes()) {
+      if (system->server(node).registry().has_local(name)) return node;
+    }
+    return common::kNoNode;
+  }
+};
+
+// --- Table 1: the design-space triples ------------------------------------------
+
+TEST(ModelTriple, Table1Values) {
+  EXPECT_EQ(canonical_triple(Model::MobileAgent),
+            (ModelTriple{Locality::Remote, Locality::Remote, true}));
+  EXPECT_EQ(canonical_triple(Model::Rev),
+            (ModelTriple{Locality::Local, Locality::Remote, true}));
+  EXPECT_EQ(canonical_triple(Model::Rpc),
+            (ModelTriple{Locality::Remote, Locality::Remote, false}));
+  EXPECT_EQ(canonical_triple(Model::Cle),
+            (ModelTriple{Locality::Unspecified, Locality::Unspecified,
+                         false}));
+  EXPECT_EQ(canonical_triple(Model::Cod),
+            (ModelTriple{Locality::Remote, Locality::Local, true}));
+  EXPECT_EQ(canonical_triple(Model::Lpc),
+            (ModelTriple{Locality::Local, Locality::Local, false}));
+}
+
+TEST(ModelTriple, TriplesAreUniquePerModel) {
+  const Model models[] = {Model::Lpc, Model::Rpc,  Model::Cod, Model::Rev,
+                          Model::Cle, Model::Grev, Model::MobileAgent};
+  for (auto a : models) {
+    for (auto b : models) {
+      if (a == b) continue;
+      if (a == Model::Cle && b == Model::Grev) continue;  // differ in moves
+      if (a == Model::Grev && b == Model::Cle) continue;
+      EXPECT_NE(canonical_triple(a), canonical_triple(b))
+          << model_name(a) << " vs " << model_name(b);
+    }
+  }
+  // CLE and GREV share <unspecified, unspecified> but differ in Moves.
+  EXPECT_NE(canonical_triple(Model::Cle).moves,
+            canonical_triple(Model::Grev).moves);
+}
+
+TEST(ModelTriple, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(to_string(canonical_triple(Model::Cod)),
+            "<remote, local, yes>");
+  EXPECT_EQ(to_string(canonical_triple(Model::Cle)),
+            "<not specified, not specified, no>");
+}
+
+// --- LPC --------------------------------------------------------------------------
+
+TEST_F(AttrFixture, LpcBindsLocalComponent) {
+  create_counter(n1);
+  Lpc lpc(client(n1), "counter");
+  auto h = lpc.bind();
+  EXPECT_EQ(h.location(), n1);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(AttrFixture, LpcThrowsOnRemoteComponent) {
+  create_counter(n2);
+  Lpc lpc(client(n1), "counter");
+  EXPECT_THROW((void)lpc.bind(), common::CoercionError);
+}
+
+// --- RPC ------------------------------------------------------------------------
+
+TEST_F(AttrFixture, RpcReturnsStubWhenAtTarget) {
+  create_counter(n2);
+  Rpc rpc(client(n1), "counter", n2);
+  auto h = rpc.bind();
+  EXPECT_EQ(h.location(), n2);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+  EXPECT_EQ(where(), n2);  // RPC never moves anything
+}
+
+TEST_F(AttrFixture, RpcThrowsWhenObjectNotAtTarget) {
+  create_counter(n3);
+  Rpc rpc(client(n1), "counter", n2);
+  EXPECT_THROW((void)rpc.bind(), common::CoercionError);
+}
+
+TEST_F(AttrFixture, RpcThrowsWhenObjectLocal) {
+  create_counter(n1);
+  Rpc rpc(client(n1), "counter", n2);
+  EXPECT_THROW((void)rpc.bind(), common::CoercionError);
+}
+
+TEST_F(AttrFixture, RpcToLocalTargetWorks) {
+  // target == caller and the object is there: "remote at target" degenerate
+  // case; the stub is a loopback stub.
+  create_counter(n1);
+  Rpc rpc(client(n1), "counter", n1);
+  auto h = rpc.bind();
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+// --- COD -----------------------------------------------------------------------
+
+TEST_F(AttrFixture, CodPullsRemoteObjectLocal) {
+  create_counter(n2);
+  common::NodeId cloc = n2;
+  client(n2).invoke<std::int64_t>(cloc, "counter", "add", std::int64_t{5});
+  Cod cod(client(n1), "counter");
+  auto h = cod.bind();
+  EXPECT_EQ(h.location(), n1);
+  EXPECT_EQ(where(), n1);
+  EXPECT_EQ(h.invoke<std::int64_t>("get"), 5);  // state travelled
+}
+
+TEST_F(AttrFixture, CodOnLocalObjectCoercesToLpc) {
+  create_counter(n1);
+  Cod cod(client(n1), "counter");
+  auto h = cod.bind();
+  EXPECT_EQ(h.location(), n1);
+  const auto key = std::string("core.actions.COD.") +
+                   bind_action_name(BindAction::CoerceToLpc);
+  EXPECT_EQ(system->stats().counter(key), 1);
+}
+
+TEST_F(AttrFixture, CodFactoryInstantiatesLocally) {
+  system->install_class(n2, "Counter");
+  Cod cod(client(n1), "Counter", "fresh", n2, FactoryMode::Factory);
+  auto h = cod.bind();
+  EXPECT_EQ(h.location(), n1);
+  EXPECT_TRUE(client(n1).has_local("fresh"));
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(AttrFixture, CodFactoryMakesFreshObjectPerBind) {
+  system->install_class(n2, "Counter");
+  Cod cod(client(n1), "Counter", "fresh", n2, FactoryMode::Factory);
+  auto h1 = cod.bind();
+  EXPECT_EQ(h1.invoke<std::int64_t>("increment"), 1);
+  auto h2 = cod.bind();  // traditional factory: a brand-new object
+  EXPECT_EQ(h2.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(AttrFixture, CodSingleUseFactoryReusesObject) {
+  system->install_class(n2, "Counter");
+  Cod cod(client(n1), "Counter", "single", n2,
+          FactoryMode::SingleUseFactory);
+  auto h1 = cod.bind();
+  EXPECT_EQ(h1.invoke<std::int64_t>("increment"), 1);
+  auto h2 = cod.bind();  // binds the same object it instantiated
+  EXPECT_EQ(h2.invoke<std::int64_t>("increment"), 2);
+}
+
+// --- REV -------------------------------------------------------------------------
+
+TEST_F(AttrFixture, RevFactoryInstantiatesAtTarget) {
+  // The paper's example: REV("GeoDataFilterImpl", "geoData", "sensor1").
+  client(n1).local_server().class_cache().install("Counter");
+  Rev rev(client(n1), "Counter", "worker", n2);
+  auto h = rev.bind();
+  EXPECT_EQ(h.location(), n2);
+  EXPECT_TRUE(system->server(n2).registry().has_local("worker"));
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(AttrFixture, RevObjectMovesLocalComponentToTarget) {
+  create_counter(n1);
+  Rev rev(client(n1), "counter", n2);
+  auto h = rev.bind();
+  EXPECT_EQ(where(), n2);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(AttrFixture, RevObjectAtTargetCoercesToRpc) {
+  create_counter(n2);
+  Rev rev(client(n1), "counter", n2);
+  auto h = rev.bind();
+  EXPECT_EQ(where(), n2);  // no move happened
+  const auto key = std::string("core.actions.REV.") +
+                   bind_action_name(BindAction::CoerceToRpc);
+  EXPECT_EQ(system->stats().counter(key), 1);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(AttrFixture, RevObjectMovesRemoteComponentToTarget) {
+  create_counter(n3);
+  Rev rev(client(n1), "counter", n2);
+  auto h = rev.bind();
+  EXPECT_EQ(where(), n2);
+  EXPECT_EQ(h.location(), n2);
+}
+
+TEST_F(AttrFixture, RevRetarget) {
+  create_counter(n1);
+  Rev rev(client(n1), "counter", n2);
+  (void)rev.bind();
+  EXPECT_EQ(where(), n2);
+  rev.retarget(n3);
+  EXPECT_EQ(rev.target(), n3);
+  (void)rev.bind();
+  EXPECT_EQ(where(), n3);
+}
+
+// --- GREV ----------------------------------------------------------------------
+
+TEST_F(AttrFixture, GrevMovesFromThirdPartyNamespace) {
+  // Figure 2: P at B requests C move from D to B.
+  create_counter(n3);  // C lives at D = n3
+  Grev grev(client(n1), "counter", n2);
+  auto h = grev.bind();
+  EXPECT_EQ(where(), n2);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(AttrFixture, GrevMovesLocalToRemote) {
+  create_counter(n1);
+  Grev grev(client(n1), "counter", n2);
+  (void)grev.bind();
+  EXPECT_EQ(where(), n2);
+}
+
+TEST_F(AttrFixture, GrevPullsRemoteToLocal) {
+  create_counter(n2);
+  Grev grev(client(n1), "counter", n1);
+  (void)grev.bind();
+  EXPECT_EQ(where(), n1);
+}
+
+TEST_F(AttrFixture, GrevAtTargetSkipsMove) {
+  create_counter(n2);
+  Grev grev(client(n1), "counter", n2);
+  const auto migrations = system->stats().counter("rts.migrations");
+  (void)grev.bind();
+  EXPECT_EQ(system->stats().counter("rts.migrations"), migrations);
+}
+
+// --- CLE --------------------------------------------------------------------------
+
+TEST_F(AttrFixture, CleFindsComponentWhereverItIs) {
+  create_counter(n2, "counter", /*is_public=*/true);
+  Cle cle(client(n1), "counter");
+  EXPECT_EQ(cle.bind().location(), n2);
+
+  // A "job controller" moves the component; CLE re-finds it.
+  client(n3).move("counter", n4);
+  auto h = cle.bind();
+  EXPECT_EQ(h.location(), n4);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(AttrFixture, CleNeverMoves) {
+  create_counter(n3);
+  Cle cle(client(n1), "counter");
+  (void)cle.bind();
+  (void)cle.bind();
+  EXPECT_EQ(system->stats().counter("rts.migrations"), 0);
+  EXPECT_EQ(where(), n3);
+}
+
+// --- MA ---------------------------------------------------------------------------
+
+TEST_F(AttrFixture, AgentMovesAndRunsAsynchronously) {
+  create_counter(n1);
+  MAgent agent(client(n1), "counter", n2);
+  auto h = agent.bind();
+  EXPECT_EQ(h.location(), n2);
+  h.invoke_oneway("add", std::int64_t{10});
+  EXPECT_EQ(h.fetch_result<std::int64_t>(), 10);  // result stayed remote
+}
+
+TEST_F(AttrFixture, AgentItineraryVisitsStopsInOrder) {
+  create_counter(n1);
+  MAgent agent(client(n1), "counter", {n2, n3, n4});
+  EXPECT_EQ(agent.stops_remaining(), 3u);
+  EXPECT_EQ(agent.bind().location(), n2);
+  EXPECT_EQ(agent.bind().location(), n3);
+  EXPECT_EQ(agent.bind().location(), n4);
+  EXPECT_EQ(where(), n4);
+  // Itinerary exhausted: further binds stay at the last stop.
+  EXPECT_EQ(agent.bind().location(), n4);
+}
+
+TEST_F(AttrFixture, AgentStatePersistsAcrossHops) {
+  create_counter(n1);
+  MAgent agent(client(n1), "counter", {n2, n3});
+  auto h = agent.bind();
+  h.invoke_oneway("add", std::int64_t{4});
+  EXPECT_EQ(h.fetch_result<std::int64_t>(), 4);
+  h = agent.bind();
+  EXPECT_EQ(h.invoke<std::int64_t>("get"), 4);
+}
+
+TEST_F(AttrFixture, AgentAtTargetCoercesToRpc) {
+  create_counter(n2);
+  MAgent agent(client(n1), "counter", n2);
+  const auto migrations = system->stats().counter("rts.migrations");
+  (void)agent.bind();
+  EXPECT_EQ(system->stats().counter("rts.migrations"), migrations);
+}
+
+TEST_F(AttrFixture, AgentEmptyItineraryThrows) {
+  EXPECT_THROW(MAgent(client(n1), "counter", std::vector<common::NodeId>{}),
+               common::MageError);
+}
+
+// --- rebinding & bookkeeping -------------------------------------------------------
+
+TEST_F(AttrFixture, BindByNameRebindsAttribute) {
+  create_counter(n1, "a");
+  create_counter(n2, "b");
+  Cle cle(client(n1), "a");
+  EXPECT_EQ(cle.bind().location(), n1);
+  EXPECT_EQ(cle.bind("b").location(), n2);
+  EXPECT_EQ(cle.name(), "b");
+}
+
+TEST_F(AttrFixture, BindCountsPerModel) {
+  create_counter(n1);
+  Cle cle(client(n1), "counter");
+  (void)cle.bind();
+  (void)cle.bind();
+  EXPECT_EQ(system->stats().counter("core.binds"), 2);
+  EXPECT_EQ(system->stats().counter("core.binds.CLE"), 2);
+}
+
+TEST_F(AttrFixture, SharedObjectIsReFoundEachBind) {
+  create_counter(n2, "counter", /*is_public=*/true);
+  Cod cod(client(n1), "counter");
+  (void)cod.bind();
+  EXPECT_EQ(where(), n1);
+  // Another activity steals it.
+  client(n3).move("counter", n3);
+  // Because the object is shared, the next bind re-finds and re-pulls it.
+  auto h = cod.bind();
+  EXPECT_EQ(where(), n1);
+  EXPECT_EQ(h.location(), n1);
+}
+
+TEST_F(AttrFixture, FindUpdatesCloc) {
+  create_counter(n2);
+  Cle cle(client(n1), "counter");
+  EXPECT_EQ(cle.find(), n2);
+  EXPECT_EQ(cle.cloc(), n2);
+}
+
+TEST_F(AttrFixture, IsSharedReflectsDirectory) {
+  create_counter(n1, "priv", false);
+  create_counter(n1, "pub", true);
+  Cle a(client(n2), "priv"), b(client(n2), "pub");
+  EXPECT_FALSE(a.is_shared());
+  EXPECT_TRUE(b.is_shared());
+}
+
+}  // namespace
+}  // namespace mage::core

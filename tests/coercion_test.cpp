@@ -1,0 +1,220 @@
+// Mobility coercion tests: Table 2 verified twice — once against the
+// declarative policy matrix, once behaviourally by driving real binds
+// through every configuration.
+#include <gtest/gtest.h>
+
+#include "support/test_objects.hpp"
+
+namespace mage::core {
+namespace {
+
+using testing::make_logic_system;
+
+// --- the declarative matrix (Table 2, verbatim) --------------------------------
+
+struct Cell {
+  Model model;
+  Situation situation;
+  BindAction expected;
+};
+
+class Table2 : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(Table2, MatrixMatchesPaper) {
+  const auto& cell = GetParam();
+  EXPECT_EQ(CoercionPolicy::decide(cell.model, cell.situation),
+            cell.expected)
+      << model_name(cell.model) << " / " << situation_name(cell.situation);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, Table2,
+    ::testing::Values(
+        // MA row
+        Cell{Model::MobileAgent, Situation::Local, BindAction::Default},
+        Cell{Model::MobileAgent, Situation::RemoteAtTarget,
+             BindAction::CoerceToRpc},
+        Cell{Model::MobileAgent, Situation::RemoteNotAtTarget,
+             BindAction::Default},
+        // REV row
+        Cell{Model::Rev, Situation::Local, BindAction::Default},
+        Cell{Model::Rev, Situation::RemoteAtTarget, BindAction::CoerceToRpc},
+        Cell{Model::Rev, Situation::RemoteNotAtTarget, BindAction::Default},
+        // COD row
+        Cell{Model::Cod, Situation::Local, BindAction::CoerceToLpc},
+        Cell{Model::Cod, Situation::RemoteAtTarget,
+             BindAction::NotApplicable},
+        Cell{Model::Cod, Situation::RemoteNotAtTarget, BindAction::Default},
+        // RPC row
+        Cell{Model::Rpc, Situation::Local, BindAction::RaiseException},
+        Cell{Model::Rpc, Situation::RemoteAtTarget, BindAction::Default},
+        Cell{Model::Rpc, Situation::RemoteNotAtTarget,
+             BindAction::RaiseException},
+        // CLE row
+        Cell{Model::Cle, Situation::Local, BindAction::Default},
+        Cell{Model::Cle, Situation::RemoteAtTarget, BindAction::Default},
+        Cell{Model::Cle, Situation::RemoteNotAtTarget,
+             BindAction::Default}));
+
+TEST(Coercion, ClassifyMapsConfigurations) {
+  EXPECT_EQ(CoercionPolicy::classify(true, false), Situation::Local);
+  EXPECT_EQ(CoercionPolicy::classify(true, true), Situation::Local);
+  EXPECT_EQ(CoercionPolicy::classify(false, true),
+            Situation::RemoteAtTarget);
+  EXPECT_EQ(CoercionPolicy::classify(false, false),
+            Situation::RemoteNotAtTarget);
+}
+
+TEST(Coercion, Names) {
+  EXPECT_STREQ(bind_action_name(BindAction::CoerceToLpc), "LPC");
+  EXPECT_STREQ(bind_action_name(BindAction::NotApplicable), "n/a");
+  EXPECT_STREQ(situation_name(Situation::Local), "Local");
+}
+
+// --- behavioural verification -----------------------------------------------------
+//
+// For every (model, situation) cell we set up the real configuration, bind
+// a real attribute, and check the observable outcome: did the object move,
+// did an exception fire, was the invocation still correct?
+
+struct BehaviourFixture : ::testing::Test {
+  std::unique_ptr<rts::MageSystem> system = make_logic_system(3);
+  common::NodeId self{1}, target{2}, elsewhere{3};
+
+  // Places the counter per the situation, with `target` as the attribute's
+  // computation target.
+  void place(Situation situation) {
+    common::NodeId at = self;
+    switch (situation) {
+      case Situation::Local:
+        at = self;
+        break;
+      case Situation::RemoteAtTarget:
+        at = target;
+        break;
+      case Situation::RemoteNotAtTarget:
+        at = elsewhere;
+        break;
+    }
+    system->client(at).create_component("counter", "Counter");
+  }
+
+  common::NodeId where() {
+    for (auto node : system->nodes()) {
+      if (system->server(node).registry().has_local("counter")) return node;
+    }
+    return common::kNoNode;
+  }
+};
+
+TEST_F(BehaviourFixture, MaLocalMovesToTarget) {
+  place(Situation::Local);
+  MAgent agent(system->client(self), "counter", target);
+  (void)agent.bind();
+  EXPECT_EQ(where(), target);
+}
+
+TEST_F(BehaviourFixture, MaRemoteAtTargetStays) {
+  place(Situation::RemoteAtTarget);
+  MAgent agent(system->client(self), "counter", target);
+  (void)agent.bind();
+  EXPECT_EQ(where(), target);
+  EXPECT_EQ(system->stats().counter("rts.migrations"), 0);
+}
+
+TEST_F(BehaviourFixture, MaRemoteNotAtTargetMoves) {
+  place(Situation::RemoteNotAtTarget);
+  MAgent agent(system->client(self), "counter", target);
+  (void)agent.bind();
+  EXPECT_EQ(where(), target);
+}
+
+TEST_F(BehaviourFixture, RevLocalMovesToTarget) {
+  place(Situation::Local);
+  Rev rev(system->client(self), "counter", target);
+  (void)rev.bind();
+  EXPECT_EQ(where(), target);
+}
+
+TEST_F(BehaviourFixture, RevRemoteAtTargetBecomesRpc) {
+  place(Situation::RemoteAtTarget);
+  Rev rev(system->client(self), "counter", target);
+  auto h = rev.bind();
+  EXPECT_EQ(system->stats().counter("rts.migrations"), 0);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(BehaviourFixture, RevRemoteNotAtTargetMoves) {
+  place(Situation::RemoteNotAtTarget);
+  Rev rev(system->client(self), "counter", target);
+  (void)rev.bind();
+  EXPECT_EQ(where(), target);
+}
+
+TEST_F(BehaviourFixture, CodLocalBecomesLpc) {
+  place(Situation::Local);
+  Cod cod(system->client(self), "counter");
+  auto h = cod.bind();
+  EXPECT_EQ(system->stats().counter("rts.migrations"), 0);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+  EXPECT_EQ(system->stats().counter("rts.local_invocations"), 1);
+}
+
+TEST_F(BehaviourFixture, CodRemotePullsLocal) {
+  place(Situation::RemoteNotAtTarget);
+  Cod cod(system->client(self), "counter");
+  (void)cod.bind();
+  EXPECT_EQ(where(), self);
+}
+
+TEST_F(BehaviourFixture, RpcLocalThrows) {
+  place(Situation::Local);
+  Rpc rpc(system->client(self), "counter", target);
+  EXPECT_THROW((void)rpc.bind(), common::CoercionError);
+  EXPECT_EQ(where(), self);  // nothing moved
+}
+
+TEST_F(BehaviourFixture, RpcAtTargetSucceeds) {
+  place(Situation::RemoteAtTarget);
+  Rpc rpc(system->client(self), "counter", target);
+  EXPECT_NO_THROW((void)rpc.bind());
+}
+
+TEST_F(BehaviourFixture, RpcNotAtTargetThrows) {
+  place(Situation::RemoteNotAtTarget);
+  Rpc rpc(system->client(self), "counter", target);
+  EXPECT_THROW((void)rpc.bind(), common::CoercionError);
+}
+
+TEST_F(BehaviourFixture, CleWorksInEverySituation) {
+  for (auto situation : {Situation::Local, Situation::RemoteAtTarget,
+                         Situation::RemoteNotAtTarget}) {
+    auto fresh = make_logic_system(3);
+    common::NodeId at = situation == Situation::Local
+                            ? common::NodeId{1}
+                            : (situation == Situation::RemoteAtTarget
+                                   ? common::NodeId{2}
+                                   : common::NodeId{3});
+    fresh->client(at).create_component("counter", "Counter");
+    Cle cle(fresh->client(common::NodeId{1}), "counter");
+    auto h = cle.bind();
+    EXPECT_EQ(h.location(), at) << situation_name(situation);
+    EXPECT_EQ(fresh->stats().counter("rts.migrations"), 0);
+  }
+}
+
+// "when a component's current location is the same as the target ... REV
+// becomes RPC" (Section 3.3) — the equivalence the paper calls out.
+TEST_F(BehaviourFixture, RevAtTargetIsEquivalentToRpc) {
+  place(Situation::RemoteAtTarget);
+  Rev rev(system->client(self), "counter", target);
+  Rpc rpc(system->client(self), "counter", target);
+  auto via_rev = rev.bind();
+  auto via_rpc = rpc.bind();
+  EXPECT_EQ(via_rev.location(), via_rpc.location());
+  EXPECT_EQ(via_rev.invoke<std::int64_t>("increment"), 1);
+  EXPECT_EQ(via_rpc.invoke<std::int64_t>("increment"), 2);  // same object
+}
+
+}  // namespace
+}  // namespace mage::core

@@ -1,0 +1,88 @@
+// CompositeAttribute tests: the §3.6 CombinedMA pattern as a library type.
+#include <gtest/gtest.h>
+
+#include "core/composite.hpp"
+#include "support/test_objects.hpp"
+
+namespace mage::core {
+namespace {
+
+using testing::make_logic_system;
+
+struct CompositeFixture : ::testing::Test {
+  std::unique_ptr<rts::MageSystem> system = make_logic_system(4);
+  common::NodeId n1{1}, n2{2}, n3{3}, n4{4};
+};
+
+TEST_F(CompositeFixture, SelectorPicksChildPerBind) {
+  auto& client = system->client(n1);
+  client.create_component("obj", "Counter");
+
+  Grev to2(client, "obj", n2);
+  Grev to3(client, "obj", n3);
+  Cod home(client, "obj");
+
+  CompositeAttribute combined(
+      client, "obj", [&](std::size_t n) -> MobilityAttribute& {
+        if (n == 0) return to2;
+        if (n == 1) return to3;
+        return home;
+      });
+
+  EXPECT_EQ(combined.bind().location(), n2);
+  EXPECT_EQ(combined.bind().location(), n3);
+  EXPECT_EQ(combined.bind().location(), n1);  // COD pulls it home
+  EXPECT_EQ(combined.bind_count(), 3u);
+}
+
+TEST_F(CompositeFixture, ModelReflectsNextChild) {
+  auto& client = system->client(n1);
+  client.create_component("obj", "Counter");
+  Grev grev(client, "obj", n2);
+  Cod cod(client, "obj");
+  CompositeAttribute combined(
+      client, "obj", [&](std::size_t n) -> MobilityAttribute& {
+        return n == 0 ? static_cast<MobilityAttribute&>(grev)
+                      : static_cast<MobilityAttribute&>(cod);
+      });
+  EXPECT_EQ(combined.model(), Model::Grev);
+  (void)combined.bind();
+  EXPECT_EQ(combined.model(), Model::Cod);
+}
+
+TEST_F(CompositeFixture, StatePersistsAcrossChildSwitches) {
+  auto& client = system->client(n1);
+  client.create_component("obj", "Counter");
+  Grev away(client, "obj", n4);
+  Cod back(client, "obj");
+  CompositeAttribute combined(
+      client, "obj", [&](std::size_t n) -> MobilityAttribute& {
+        return n % 2 == 0 ? static_cast<MobilityAttribute&>(away)
+                          : static_cast<MobilityAttribute&>(back);
+      });
+  std::int64_t value = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto handle = combined.bind();
+    value = handle.invoke<std::int64_t>("increment");
+  }
+  EXPECT_EQ(value, 6);  // one object the whole way through
+}
+
+TEST_F(CompositeFixture, CompositeRebindsChildToItsComponent) {
+  auto& client = system->client(n1);
+  client.create_component("a", "Counter");
+  client.create_component("b", "Counter");
+  // The child attribute was created for "a", but the composite governs "b":
+  // bind(name) must rebind the child.
+  Grev child(client, "a", n2);
+  CompositeAttribute combined(
+      client, "b",
+      [&](std::size_t) -> MobilityAttribute& { return child; });
+  auto handle = combined.bind();
+  EXPECT_EQ(handle.name(), "b");
+  EXPECT_TRUE(system->server(n2).registry().has_local("b"));
+  EXPECT_TRUE(client.has_local("a"));  // "a" untouched
+}
+
+}  // namespace
+}  // namespace mage::core

@@ -1,0 +1,121 @@
+// Tests for condensed remote evaluation (the Section 5 optimization) and
+// its interaction with access control, capacity, and class shipping.
+#include <gtest/gtest.h>
+
+#include "support/test_objects.hpp"
+
+namespace mage::rts {
+namespace {
+
+using testing::make_logic_system;
+
+struct CondensedFixture : ::testing::Test {
+  std::unique_ptr<MageSystem> system = make_logic_system(3);
+  common::NodeId n1{1}, n2{2}, n3{3};
+};
+
+TEST_F(CondensedFixture, ExecInstantiatesInvokesAndReturns) {
+  const auto result = system->client(n1).exec_at<std::int64_t>(
+      n2, "Counter", "worker", "add", std::int64_t{7});
+  EXPECT_EQ(result, 7);
+  EXPECT_TRUE(system->server(n2).registry().has_local("worker"));
+}
+
+TEST_F(CondensedFixture, ObjectRemainsUsableAfterExec) {
+  (void)system->client(n1).exec_at<std::int64_t>(n2, "Counter", "worker",
+                                                 "increment");
+  common::NodeId cloc = n2;
+  EXPECT_EQ(system->client(n1).invoke<std::int64_t>(cloc, "worker",
+                                                    "increment"),
+            2);
+  // The exec recorded the binding: finds work from anywhere.
+  EXPECT_EQ(system->client(n3).find("worker"), n2);
+}
+
+TEST_F(CondensedFixture, ExecShipsClassOnDemand) {
+  EXPECT_FALSE(system->server(n2).class_cache().has("Counter"));
+  (void)system->client(n1).exec_at<std::int64_t>(n2, "Counter", "w",
+                                                 "increment");
+  EXPECT_TRUE(system->server(n2).class_cache().has("Counter"));
+}
+
+TEST_F(CondensedFixture, ExecIsOneRmiCallWarm) {
+  (void)system->client(n1).exec_at<std::int64_t>(n2, "Counter", "w",
+                                                 "increment");
+  const auto calls = system->stats().counter("rmi.calls");
+  (void)system->client(n1).exec_at<std::int64_t>(n2, "Counter", "w",
+                                                 "increment");
+  EXPECT_EQ(system->stats().counter("rmi.calls") - calls, 1);
+}
+
+TEST_F(CondensedFixture, ExecRebindsFreshObjectEachCall) {
+  // Factory semantics: each exec instantiates anew under the name.
+  EXPECT_EQ(system->client(n1).exec_at<std::int64_t>(n2, "Counter", "w",
+                                                     "increment"),
+            1);
+  EXPECT_EQ(system->client(n1).exec_at<std::int64_t>(n2, "Counter", "w",
+                                                     "increment"),
+            1);
+}
+
+TEST_F(CondensedFixture, MethodErrorPropagates) {
+  EXPECT_THROW((void)system->client(n1).exec_at<std::int64_t>(
+                   n2, "Grumpy", "g", "refuse"),
+               common::RemoteInvocationError);
+}
+
+TEST_F(CondensedFixture, UnknownMethodPropagates) {
+  EXPECT_THROW((void)system->client(n1).exec_at<std::int64_t>(
+                   n2, "Counter", "w", "explode"),
+               common::RemoteInvocationError);
+}
+
+TEST_F(CondensedFixture, AccessControlGatesExec) {
+  system->server(n2).access().deny_node(Operation::Instantiate, n1);
+  EXPECT_THROW((void)system->client(n1).exec_at<std::int64_t>(
+                   n2, "Counter", "w", "increment"),
+               common::AccessDeniedError);
+}
+
+TEST_F(CondensedFixture, CapacityGatesExec) {
+  system->server(n2).resources().max_objects = 0;
+  EXPECT_THROW((void)system->client(n1).exec_at<std::int64_t>(
+                   n2, "Counter", "w", "increment"),
+               common::CapacityError);
+}
+
+TEST_F(CondensedFixture, ExecCheaperThanTraditionalRevWarm) {
+  auto classic = testing::make_classic_system(2);
+  classic->install_class(common::NodeId{1}, "Counter");
+  auto run_rev = [&] {
+    core::Rev rev(classic->client(common::NodeId{1}), "Counter", "w",
+                  common::NodeId{2}, core::FactoryMode::Factory);
+    (void)rev.bind().invoke<std::int64_t>("increment");
+  };
+  auto run_exec = [&] {
+    (void)classic->client(common::NodeId{1})
+        .exec_at<std::int64_t>(common::NodeId{2}, "Counter", "w",
+                               "increment");
+  };
+  run_rev();  // warm everything
+  run_exec();
+  const auto t0 = classic->simulation().now();
+  run_rev();
+  const auto rev_warm = classic->simulation().now() - t0;
+  const auto t1 = classic->simulation().now();
+  run_exec();
+  const auto exec_warm = classic->simulation().now() - t1;
+  EXPECT_LT(exec_warm * 2, rev_warm);  // at least 2x cheaper
+}
+
+TEST_F(CondensedFixture, ExecWithMultipleArgs) {
+  common::NodeId cloc = common::kNoNode;
+  (void)cloc;
+  // Notebook::entry(index) after append via regular path, exec'd object:
+  const auto size = system->client(n1).exec_at<std::int64_t>(
+      n2, "Notebook", "nb", "size");
+  EXPECT_EQ(size, 0);
+}
+
+}  // namespace
+}  // namespace mage::rts

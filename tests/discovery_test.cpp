@@ -1,0 +1,95 @@
+// Resource-discovery tests (the intro's "host and resource discovery").
+#include <gtest/gtest.h>
+
+#include "support/test_objects.hpp"
+
+namespace mage::rts {
+namespace {
+
+using testing::make_logic_system;
+
+struct DiscoveryFixture : ::testing::Test {
+  std::unique_ptr<MageSystem> system = make_logic_system(4);
+  common::NodeId n1{1}, n2{2}, n3{3}, n4{4};
+  std::vector<common::NodeId> all{n1, n2, n3, n4};
+};
+
+TEST_F(DiscoveryFixture, FindsAdvertisedResources) {
+  system->server(n2).resource_board().advertise("printer", 30);
+  system->server(n4).resource_board().advertise("printer", 55);
+  auto hosts = system->client(n1).discover("printer", all);
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_EQ(hosts[0].node, n2);
+  EXPECT_DOUBLE_EQ(hosts[0].capacity, 30);
+  EXPECT_EQ(hosts[1].node, n4);
+}
+
+TEST_F(DiscoveryFixture, NoOffersMeansEmpty) {
+  EXPECT_TRUE(system->client(n1).discover("quantum-annealer", all).empty());
+}
+
+TEST_F(DiscoveryFixture, LocalBoardAnsweredWithoutNetwork) {
+  system->server(n1).resource_board().advertise("sensor", 9);
+  const auto calls = system->stats().counter("rmi.calls");
+  auto hosts = system->client(n1).discover("sensor", {n1});
+  EXPECT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(system->stats().counter("rmi.calls"), calls);
+}
+
+TEST_F(DiscoveryFixture, BestPicksHighestCapacity) {
+  system->server(n2).resource_board().advertise("cpu", 10);
+  system->server(n3).resource_board().advertise("cpu", 80);
+  system->server(n4).resource_board().advertise("cpu", 40);
+  EXPECT_EQ(system->client(n1).discover_best("cpu", all), n3);
+}
+
+TEST_F(DiscoveryFixture, BestWithNoOffersIsNoNode) {
+  EXPECT_TRUE(common::is_no_node(
+      system->client(n1).discover_best("gpu", all)));
+}
+
+TEST_F(DiscoveryFixture, CrashedHostsAreSkipped) {
+  system->server(n2).resource_board().advertise("printer", 30);
+  system->server(n3).resource_board().advertise("printer", 99);
+  system->network().set_node_down(n3, true);
+  auto hosts = system->client(n1).discover("printer", all);
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0].node, n2);
+}
+
+TEST_F(DiscoveryFixture, WithdrawnResourcesDisappear) {
+  system->server(n2).resource_board().advertise("printer", 30);
+  system->server(n2).resource_board().withdraw("printer");
+  EXPECT_TRUE(system->client(n1).discover("printer", all).empty());
+}
+
+TEST_F(DiscoveryFixture, DiscoveryFeedsMigration) {
+  // The full loop the paper motivates: discover where the resource is,
+  // then move the computation there.
+  system->server(n3).resource_board().advertise("seismic-sensor", 1.0);
+  auto& client = system->client(n1);
+  client.create_component("filter", "Counter");
+  const auto target = client.discover_best("seismic-sensor", all);
+  ASSERT_EQ(target, n3);
+  core::Rev rev(client, "filter", target);
+  auto handle = rev.bind();
+  EXPECT_EQ(handle.location(), n3);
+  EXPECT_EQ(handle.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST(ResourceBoard, Basics) {
+  ResourceBoard board;
+  EXPECT_FALSE(board.offers("x"));
+  board.advertise("x", 5);
+  EXPECT_TRUE(board.offers("x"));
+  EXPECT_DOUBLE_EQ(board.capacity("x"), 5);
+  EXPECT_DOUBLE_EQ(board.capacity("y"), 0);
+  board.advertise("x", 7);  // re-advertise updates
+  EXPECT_DOUBLE_EQ(board.capacity("x"), 7);
+  EXPECT_EQ(board.all().size(), 1u);
+  board.withdraw("x");
+  EXPECT_FALSE(board.offers("x"));
+}
+
+}  // namespace
+}  // namespace mage::rts

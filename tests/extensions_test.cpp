@@ -1,0 +1,345 @@
+// Tests for the Section 7 extensions: access control, resource allocation,
+// administrative domains, restricted mobility attributes, and static-field
+// coherency (the Section 4.2 limitation, implemented).
+#include <gtest/gtest.h>
+
+#include "support/test_objects.hpp"
+
+namespace mage::rts {
+namespace {
+
+using core::Grev;
+using core::RestrictedAttribute;
+using testing::make_logic_system;
+
+// --- access control --------------------------------------------------------------
+
+struct AccessFixture : ::testing::Test {
+  std::unique_ptr<MageSystem> system = make_logic_system(3);
+  common::NodeId n1{1}, n2{2}, n3{3};
+};
+
+TEST_F(AccessFixture, DefaultPolicyTrustsEveryone) {
+  // "Currently, MAGE trusts its constituent servers."
+  system->client(n2).create_component("obj", "Counter");
+  common::NodeId cloc = n2;
+  EXPECT_EQ(system->client(n1).invoke<std::int64_t>(cloc, "obj", "increment"),
+            1);
+}
+
+TEST_F(AccessFixture, DenyInvokeByNode) {
+  system->client(n2).create_component("obj", "Counter");
+  system->server(n2).access().deny_node(Operation::Invoke, n1);
+  common::NodeId cloc = n2;
+  EXPECT_THROW((void)system->client(n1).invoke<std::int64_t>(cloc, "obj",
+                                                             "increment"),
+               common::AccessDeniedError);
+  // Another caller is unaffected.
+  cloc = n2;
+  EXPECT_EQ(system->client(n3).invoke<std::int64_t>(cloc, "obj", "increment"),
+            1);
+}
+
+TEST_F(AccessFixture, DenyMoveOutProtectsPinnedObjects) {
+  system->client(n2).create_component("obj", "Counter");
+  system->server(n2).access().deny_node(Operation::MoveOut, n1);
+  EXPECT_THROW(system->client(n1).move("obj", n3),
+               common::AccessDeniedError);
+  EXPECT_TRUE(system->server(n2).registry().has_local("obj"));
+  // The object's own namespace can still move it.
+  EXPECT_EQ(system->client(n2).move("obj", n3), n3);
+}
+
+TEST_F(AccessFixture, DenyTransferInClosesTheDoor) {
+  system->client(n1).create_component("obj", "Counter");
+  system->server(n2).access().deny_node(Operation::TransferIn, n1);
+  EXPECT_THROW(system->client(n1).transfer_out("obj", n2),
+               common::AccessDeniedError);
+  // Nothing was lost: the object is still at n1.
+  EXPECT_TRUE(system->client(n1).has_local("obj"));
+}
+
+TEST_F(AccessFixture, DenyByDefaultAllowByNode) {
+  system->client(n2).create_component("obj", "Counter");
+  auto& access = system->server(n2).access();
+  access.set_default(Verdict::Deny);
+  access.allow_node(Operation::Invoke, n3);
+  common::NodeId cloc = n2;
+  EXPECT_THROW((void)system->client(n1).invoke<std::int64_t>(cloc, "obj",
+                                                             "increment"),
+               common::AccessDeniedError);
+  cloc = n2;
+  EXPECT_EQ(system->client(n3).invoke<std::int64_t>(cloc, "obj", "increment"),
+            1);
+}
+
+TEST_F(AccessFixture, DomainRulesApply) {
+  system->assign_domain(n1, "field");
+  system->assign_domain(n2, "hq");
+  system->assign_domain(n3, "hq");
+  system->client(n2).create_component("obj", "Counter");
+  system->server(n2).access().deny_domain(Operation::Invoke, "field");
+  common::NodeId cloc = n2;
+  EXPECT_THROW((void)system->client(n1).invoke<std::int64_t>(cloc, "obj",
+                                                             "increment"),
+               common::AccessDeniedError);
+  cloc = n2;
+  EXPECT_EQ(system->client(n3).invoke<std::int64_t>(cloc, "obj", "increment"),
+            1);  // same-domain caller passes
+}
+
+TEST_F(AccessFixture, NodeRuleOverridesDomainRule) {
+  system->assign_domain(n1, "field");
+  system->client(n2).create_component("obj", "Counter");
+  auto& access = system->server(n2).access();
+  access.deny_domain(Operation::Invoke, "field");
+  access.allow_node(Operation::Invoke, n1);  // n1 is specially trusted
+  common::NodeId cloc = n2;
+  EXPECT_EQ(system->client(n1).invoke<std::int64_t>(cloc, "obj", "increment"),
+            1);
+}
+
+TEST_F(AccessFixture, SelfIsAlwaysTrusted) {
+  system->client(n1).create_component("obj", "Counter");
+  system->server(n1).access().set_default(Verdict::Deny);
+  common::NodeId cloc = n1;
+  EXPECT_EQ(system->client(n1).invoke<std::int64_t>(cloc, "obj", "increment"),
+            1);
+}
+
+TEST_F(AccessFixture, DenialsAreCounted) {
+  system->client(n2).create_component("obj", "Counter");
+  system->server(n2).access().deny_node(Operation::Invoke, n1);
+  common::NodeId cloc = n2;
+  EXPECT_THROW((void)system->client(n1).invoke<std::int64_t>(cloc, "obj",
+                                                             "increment"),
+               common::AccessDeniedError);
+  EXPECT_EQ(system->server(n2).access().denials(), 1u);
+  EXPECT_EQ(system->stats().counter("rts.access_denials"), 1);
+}
+
+TEST(AccessController, OperationNames) {
+  EXPECT_STREQ(operation_name(Operation::MoveOut), "move-out");
+  EXPECT_STREQ(operation_name(Operation::TransferIn), "transfer-in");
+}
+
+// --- resource allocation -----------------------------------------------------------
+
+struct ResourceFixture : ::testing::Test {
+  std::unique_ptr<MageSystem> system = make_logic_system(3);
+  common::NodeId n1{1}, n2{2}, n3{3};
+};
+
+TEST_F(ResourceFixture, ObjectCapacityRejectsTransfers) {
+  system->server(n2).resources().max_objects = 1;
+  system->client(n1).create_component("a", "Counter");
+  system->client(n1).create_component("b", "Counter");
+  EXPECT_EQ(system->client(n1).move("a", n2), n2);
+  EXPECT_THROW(system->client(n1).move("b", n2), common::MageError);
+  // "b" stayed safely at home.
+  EXPECT_TRUE(system->client(n1).has_local("b"));
+  EXPECT_EQ(system->stats().counter("rts.capacity_rejections"), 1);
+}
+
+TEST_F(ResourceFixture, CapacityFreesUpWhenObjectLeaves) {
+  system->server(n2).resources().max_objects = 1;
+  system->client(n1).create_component("a", "Counter");
+  system->client(n1).create_component("b", "Counter");
+  system->client(n1).move("a", n2);
+  system->client(n1).move("a", n3);  // vacate
+  EXPECT_EQ(system->client(n1).move("b", n2), n2);
+}
+
+TEST_F(ResourceFixture, TransferSizeLimit) {
+  system->server(n2).resources().max_transfer_bytes = 4;  // tiny
+  system->client(n1).create_component("notes", "Notebook");
+  common::NodeId cloc = n1;
+  system->client(n1).invoke<serial::Unit>(cloc, "notes", "append",
+                                          std::string(100, 'x'));
+  EXPECT_THROW(system->client(n1).move("notes", n2), common::MageError);
+}
+
+TEST_F(ResourceFixture, InstantiateRespectsCapacity) {
+  system->server(n2).resources().max_objects = 0;
+  EXPECT_THROW(
+      system->client(n1).instantiate_at(n2, "Counter", "factoryObj"),
+      common::CapacityError);
+}
+
+TEST_F(ResourceFixture, RejectedMoverCanPickAnotherTarget) {
+  // The admission-control loop an attribute would run: first choice full,
+  // fall back to the next candidate.
+  system->server(n2).resources().max_objects = 0;
+  system->client(n1).create_component("obj", "Counter");
+  common::NodeId placed = common::kNoNode;
+  for (auto candidate : {n2, n3}) {
+    try {
+      placed = system->client(n1).move("obj", candidate);
+      break;
+    } catch (const common::MageError&) {
+      continue;
+    }
+  }
+  EXPECT_EQ(placed, n3);
+}
+
+// --- administrative domains -----------------------------------------------------------
+
+TEST(Domains, InterdomainLatencyApplies) {
+  auto system = testing::make_classic_system(3);
+  const common::NodeId n1{1}, n2{2}, n3{3};
+  system->assign_domain(n1, "west");
+  system->assign_domain(n2, "west");
+  system->assign_domain(n3, "east");
+  system->set_interdomain_latency(common::msec(80));  // a WAN hop
+
+  auto& c1 = system->client(n1);
+  c1.ping(n2);  // warm connections
+  c1.ping(n3);
+
+  const auto t0 = system->simulation().now();
+  c1.ping(n2);
+  const auto same_domain = system->simulation().now() - t0;
+  const auto t1 = system->simulation().now();
+  c1.ping(n3);
+  const auto cross_domain = system->simulation().now() - t1;
+
+  // Ping round trip crosses the WAN twice.
+  EXPECT_GE(cross_domain - same_domain, common::msec(150));
+}
+
+TEST(Domains, MembershipQuery) {
+  auto system = make_logic_system(4);
+  system->assign_domain(common::NodeId{1}, "a");
+  system->assign_domain(common::NodeId{2}, "a");
+  system->assign_domain(common::NodeId{3}, "b");
+  EXPECT_EQ(system->nodes_in_domain("a").size(), 2u);
+  EXPECT_EQ(system->nodes_in_domain("b").size(), 1u);
+  EXPECT_EQ(system->nodes_in_domain("").size(), 1u);  // unassigned
+}
+
+// --- restricted attributes --------------------------------------------------------------
+
+struct RestrictedFixture : ::testing::Test {
+  std::unique_ptr<MageSystem> system = make_logic_system(4);
+  common::NodeId n1{1}, n2{2}, n3{3}, n4{4};
+};
+
+TEST_F(RestrictedFixture, TargetOutsideSetThrows) {
+  system->client(n1).create_component("obj", "Counter");
+  RestrictedAttribute restricted(
+      std::make_unique<Grev>(system->client(n1), "obj", n4),
+      /*allowed_locations=*/{n1, n2, n3},
+      /*allowed_targets=*/{n2, n3});
+  EXPECT_THROW((void)restricted.bind(), common::CoercionError);
+  EXPECT_TRUE(system->client(n1).has_local("obj"));  // nothing moved
+}
+
+TEST_F(RestrictedFixture, TargetInsideSetBinds) {
+  system->client(n1).create_component("obj", "Counter");
+  RestrictedAttribute restricted(
+      std::make_unique<Grev>(system->client(n1), "obj", n2), {n1, n2, n3},
+      {n2, n3});
+  auto handle = restricted.bind();
+  EXPECT_EQ(handle.location(), n2);
+  EXPECT_EQ(handle.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(RestrictedFixture, ComponentStrayedOutsideLocationsThrows) {
+  system->client(n4).create_component("obj", "Counter", /*is_public=*/true);
+  RestrictedAttribute restricted(
+      std::make_unique<Grev>(system->client(n1), "obj", n2), {n1, n2, n3},
+      {n2});
+  EXPECT_THROW((void)restricted.bind(), common::CoercionError);
+}
+
+TEST_F(RestrictedFixture, EmptySetsMeanUnrestricted) {
+  system->client(n1).create_component("obj", "Counter");
+  RestrictedAttribute restricted(
+      std::make_unique<Grev>(system->client(n1), "obj", n4), {}, {});
+  EXPECT_EQ(restricted.bind().location(), n4);
+}
+
+TEST_F(RestrictedFixture, ExposesInnerModelAndTriple) {
+  system->client(n1).create_component("obj", "Counter");
+  RestrictedAttribute restricted(
+      std::make_unique<Grev>(system->client(n1), "obj", n2), {n1}, {n2});
+  EXPECT_EQ(restricted.model(), core::Model::Grev);
+  EXPECT_EQ(restricted.target(), n2);
+}
+
+// --- static-field coherency -----------------------------------------------------------
+
+struct StaticsFixture : ::testing::Test {
+  std::unique_ptr<MageSystem> system = make_logic_system(3);
+  common::NodeId n1{1}, n2{2}, n3{3};
+
+  StaticsFixture() { system->world().set_statics_home("Counter", n1); }
+};
+
+TEST_F(StaticsFixture, PutThenGetFromAnotherNode) {
+  system->client(n2).static_put<std::int64_t>("Counter", "total", 42);
+  EXPECT_EQ(system->client(n3).static_get<std::int64_t>("Counter", "total"),
+            42);
+}
+
+TEST_F(StaticsFixture, WritesFromManyNodesSerialize) {
+  for (int i = 0; i < 10; ++i) {
+    auto& client = system->client(common::NodeId{
+        static_cast<std::uint32_t>((i % 3) + 1)});
+    const auto current = [&]() -> std::int64_t {
+      try {
+        return client.static_get<std::int64_t>("Counter", "sum");
+      } catch (const common::NotFoundError&) {
+        return 0;
+      }
+    }();
+    client.static_put<std::int64_t>("Counter", "sum", current + 1);
+  }
+  EXPECT_EQ(system->client(n1).static_get<std::int64_t>("Counter", "sum"),
+            10);
+}
+
+TEST_F(StaticsFixture, MissingKeyThrows) {
+  EXPECT_THROW(
+      (void)system->client(n2).static_get<std::int64_t>("Counter", "nope"),
+      common::NotFoundError);
+}
+
+TEST_F(StaticsFixture, NoHomeDeclaredThrows) {
+  EXPECT_THROW(system->client(n1).static_put<std::int64_t>("Notebook", "k", 1),
+               common::MageError);
+}
+
+TEST_F(StaticsFixture, StringValues) {
+  system->client(n2).static_put<std::string>("Counter", "owner", "acme");
+  EXPECT_EQ(system->client(n3).static_get<std::string>("Counter", "owner"),
+            "acme");
+}
+
+TEST_F(StaticsFixture, StaticsStayPutWhenObjectsMigrate) {
+  // The point of the coherency model: instances move, class data does not.
+  system->client(n1).create_component("c", "Counter");
+  system->client(n1).static_put<std::int64_t>("Counter", "generation", 7);
+  system->client(n1).move("c", n2);
+  system->client(n2).move("c", n3);
+  EXPECT_EQ(system->client(n3).static_get<std::int64_t>("Counter",
+                                                        "generation"),
+            7);
+  EXPECT_EQ(system->server(n1).statics().at("Counter").size(), 1u);
+}
+
+TEST_F(StaticsFixture, WrongHomeIsRejected) {
+  proto::StaticPutRequest request;
+  request.class_name = "Counter";
+  request.key = "k";
+  auto reply_bytes = [&]() -> std::vector<std::uint8_t> {
+    // Send the put to n2, which is not the statics home.
+    return system->transport(n3).call_sync(
+        n2, proto::verbs::kStaticPut, request.encode());
+  };
+  EXPECT_THROW((void)reply_bytes(), common::RemoteInvocationError);
+}
+
+}  // namespace
+}  // namespace mage::rts

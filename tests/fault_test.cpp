@@ -1,0 +1,140 @@
+// Fault-injection tests: MAGE protocols must "recover from message loss"
+// (Section 4.3).  We verify end-to-end correctness of finds, moves,
+// invocations and locks under IID loss, and clean failures under partition.
+#include <gtest/gtest.h>
+
+#include "support/test_objects.hpp"
+
+namespace mage::rts {
+namespace {
+
+using core::Cle;
+using core::Grev;
+using testing::make_logic_system;
+
+struct FaultFixture : ::testing::Test {
+  std::unique_ptr<MageSystem> system = make_logic_system(3);
+  common::NodeId n1{1}, n2{2}, n3{3};
+};
+
+TEST_F(FaultFixture, InvocationSurvivesModerateLoss) {
+  system->client(n2).create_component("counter", "Counter");
+  system->network().set_loss_rate(0.25);
+  auto& c1 = system->client(n1);
+  common::NodeId cloc = common::kNoNode;
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_EQ(c1.invoke<std::int64_t>(cloc, "counter", "increment"), i);
+  }
+  EXPECT_GT(system->stats().counter("rmi.retransmissions"), 0);
+  // At-most-once held: the counter saw exactly 20 increments.
+  EXPECT_EQ(c1.invoke<std::int64_t>(cloc, "counter", "get"), 20);
+}
+
+TEST_F(FaultFixture, MigrationSurvivesLoss) {
+  system->client(n1).create_component("counter", "Counter");
+  system->network().set_loss_rate(0.2);
+  auto& c1 = system->client(n1);
+  for (int round = 0; round < 5; ++round) {
+    c1.move("counter", n2);
+    c1.move("counter", n3);
+    c1.move("counter", n1);
+  }
+  // Exactly one live copy after 15 lossy migrations.
+  int copies = 0;
+  for (auto node : system->nodes()) {
+    if (system->server(node).registry().has_local("counter")) ++copies;
+  }
+  EXPECT_EQ(copies, 1);
+  EXPECT_TRUE(c1.has_local("counter"));
+}
+
+TEST_F(FaultFixture, LookupChainSurvivesLoss) {
+  auto& c1 = system->client(n1);
+  c1.create_component("counter", "Counter", /*is_public=*/true);
+  c1.move("counter", n2);
+  system->client(n2).move("counter", n3);
+  system->network().set_loss_rate(0.2);
+  EXPECT_EQ(system->client(n1).find("counter"), n3);
+}
+
+TEST_F(FaultFixture, LockBracketSurvivesLoss) {
+  system->client(n2).create_component("obj", "Counter", true);
+  system->network().set_loss_rate(0.15);
+  auto& c1 = system->client(n1);
+  for (int i = 0; i < 5; ++i) {
+    auto lock = c1.lock("obj", n2);
+    common::NodeId cloc = n2;
+    (void)c1.invoke<std::int64_t>(cloc, "obj", "increment");
+    c1.unlock(lock);
+  }
+  common::NodeId cloc = n2;
+  EXPECT_EQ(c1.invoke<std::int64_t>(cloc, "obj", "get"), 5);
+}
+
+TEST_F(FaultFixture, AttributeBindSurvivesLoss) {
+  system->client(n2).create_component("counter", "Counter", true);
+  system->network().set_loss_rate(0.2);
+  Grev grev(system->client(n1), "counter", n3);
+  auto h = grev.bind();
+  EXPECT_EQ(h.location(), n3);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(FaultFixture, PartitionFailsCleanly) {
+  system->client(n2).create_component("counter", "Counter");
+  system->network().set_partitioned(n1, n2, true);
+  auto& c1 = system->client(n1);
+  common::NodeId cloc = n2;
+  EXPECT_THROW(
+      (void)c1.invoke<std::int64_t>(cloc, "counter", "increment"),
+      common::MageError);
+  // Nothing was executed on the far side.
+  system->network().set_partitioned(n1, n2, false);
+  cloc = n2;
+  EXPECT_EQ(c1.invoke<std::int64_t>(cloc, "counter", "get"), 0);
+}
+
+TEST_F(FaultFixture, HealedPartitionRecovers) {
+  system->client(n2).create_component("counter", "Counter");
+  system->network().set_partitioned(n1, n2, true);
+  auto& c1 = system->client(n1);
+  common::NodeId cloc = n2;
+  EXPECT_THROW((void)c1.invoke<std::int64_t>(cloc, "counter", "increment"),
+               common::MageError);
+  system->network().set_partitioned(n1, n2, false);
+  cloc = n2;
+  EXPECT_EQ(c1.invoke<std::int64_t>(cloc, "counter", "increment"), 1);
+}
+
+// Loss-rate sweep: the system stays correct (if slower) as loss climbs.
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, EndToEndCorrectUnderLoss) {
+  auto system = make_logic_system(2, /*seed=*/1234);
+  const common::NodeId n1{1}, n2{2};
+  system->client(n1).create_component("counter", "Counter");
+  system->network().set_loss_rate(GetParam());
+  auto& c1 = system->client(n1);
+  c1.move("counter", n2);
+  common::NodeId cloc = n2;
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(c1.invoke<std::int64_t>(cloc, "counter", "increment"), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LossSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.3, 0.4));
+
+TEST_F(FaultFixture, CleFindsObjectDespiteLossyChain) {
+  auto& c1 = system->client(n1);
+  c1.create_component("counter", "Counter", true);
+  c1.move("counter", n2);
+  system->client(n2).move("counter", n3);
+  system->network().set_loss_rate(0.25);
+  Cle cle(system->client(n1), "counter");
+  auto h = cle.bind();
+  EXPECT_EQ(h.location(), n3);
+}
+
+}  // namespace
+}  // namespace mage::rts

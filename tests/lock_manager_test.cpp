@@ -1,0 +1,202 @@
+// Unit tests for the stay/move lock manager (Section 4.4).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "rts/lock_manager.hpp"
+
+namespace mage::rts {
+namespace {
+
+constexpr common::NodeId kSelf{1};
+constexpr common::NodeId kOther{2};
+constexpr common::NodeId kThird{3};
+
+struct LockFixture : ::testing::Test {
+  LockManager locks{kSelf};
+
+  // Requests a lock, recording the grant into `slot`.
+  void request(const std::string& name, std::uint64_t activity,
+               common::NodeId target, std::optional<LockGrant>& slot,
+               std::optional<common::NodeId>* bounced = nullptr) {
+    locks.request(
+        name, common::ActivityId{activity}, target,
+        [&slot](LockGrant grant) { slot = grant; },
+        [bounced](common::NodeId host) {
+          if (bounced != nullptr) *bounced = host;
+        });
+  }
+};
+
+TEST_F(LockFixture, FreeLockGrantsImmediately) {
+  std::optional<LockGrant> grant;
+  request("obj", 1, kSelf, grant);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->kind, LockKind::Stay);
+  EXPECT_TRUE(locks.is_locked("obj"));
+}
+
+TEST_F(LockFixture, TargetElsewhereGetsMoveLock) {
+  std::optional<LockGrant> grant;
+  request("obj", 1, kOther, grant);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->kind, LockKind::Move);
+}
+
+TEST_F(LockFixture, SecondRequestQueues) {
+  std::optional<LockGrant> g1, g2;
+  request("obj", 1, kSelf, g1);
+  request("obj", 2, kSelf, g2);
+  EXPECT_TRUE(g1.has_value());
+  EXPECT_FALSE(g2.has_value());
+  EXPECT_EQ(locks.queue_length("obj"), 1u);
+}
+
+TEST_F(LockFixture, ReleaseGrantsNext) {
+  std::optional<LockGrant> g1, g2;
+  request("obj", 1, kSelf, g1);
+  request("obj", 2, kSelf, g2);
+  EXPECT_TRUE(locks.release("obj", g1->id));
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_TRUE(locks.is_locked("obj"));
+  EXPECT_TRUE(locks.release("obj", g2->id));
+  EXPECT_FALSE(locks.is_locked("obj"));
+}
+
+TEST_F(LockFixture, ReleaseWrongIdFails) {
+  std::optional<LockGrant> g1;
+  request("obj", 1, kSelf, g1);
+  EXPECT_FALSE(locks.release("obj", common::LockId{9999}));
+  EXPECT_FALSE(locks.release("nothing", common::LockId{1}));
+  EXPECT_TRUE(locks.is_locked("obj"));
+}
+
+TEST_F(LockFixture, UnfairPolicyPrefersStayLocks) {
+  // Holder + queued: [move(A), move(B), stay(C)].  On release, the paper's
+  // unfair policy grants C first even though A queued earlier.
+  std::optional<LockGrant> holder, move_a, move_b, stay_c;
+  request("obj", 1, kSelf, holder);
+  request("obj", 2, kOther, move_a);
+  request("obj", 3, kThird, move_b);
+  request("obj", 4, kSelf, stay_c);
+
+  EXPECT_TRUE(locks.release("obj", holder->id));
+  EXPECT_TRUE(stay_c.has_value());
+  EXPECT_FALSE(move_a.has_value());
+  EXPECT_FALSE(move_b.has_value());
+
+  // After the stay holder releases, moves drain in FIFO order.
+  EXPECT_TRUE(locks.release("obj", stay_c->id));
+  EXPECT_TRUE(move_a.has_value());
+  EXPECT_FALSE(move_b.has_value());
+}
+
+TEST_F(LockFixture, FairPolicyIsFifo) {
+  locks.set_fair(true);
+  std::optional<LockGrant> holder, move_a, stay_b;
+  request("obj", 1, kSelf, holder);
+  request("obj", 2, kOther, move_a);
+  request("obj", 3, kSelf, stay_b);
+  EXPECT_TRUE(locks.release("obj", holder->id));
+  EXPECT_TRUE(move_a.has_value());   // FIFO: the move queued first wins
+  EXPECT_FALSE(stay_b.has_value());
+}
+
+TEST_F(LockFixture, GrantCountsByKind) {
+  std::optional<LockGrant> g1, g2;
+  request("obj", 1, kSelf, g1);
+  locks.release("obj", g1->id);
+  request("obj", 2, kOther, g2);
+  EXPECT_EQ(locks.stay_grants(), 1u);
+  EXPECT_EQ(locks.move_grants(), 1u);
+}
+
+TEST_F(LockFixture, DepartureBouncesQueuedRequests) {
+  std::optional<LockGrant> holder, queued;
+  std::optional<common::NodeId> bounced;
+  request("obj", 1, kOther, holder);  // mover holds the lock
+  request("obj", 2, kSelf, queued, &bounced);
+  locks.on_object_departed("obj", kOther);
+  EXPECT_FALSE(queued.has_value());
+  ASSERT_TRUE(bounced.has_value());
+  EXPECT_EQ(*bounced, kOther);
+  // The holder keeps its grant and can still release here.
+  EXPECT_TRUE(locks.release("obj", holder->id));
+}
+
+TEST_F(LockFixture, DepartureOfUnknownObjectIsNoop) {
+  EXPECT_NO_THROW(locks.on_object_departed("ghost", kOther));
+}
+
+TEST_F(LockFixture, IndependentObjectsDoNotInterfere) {
+  std::optional<LockGrant> g1, g2;
+  request("a", 1, kSelf, g1);
+  request("b", 2, kSelf, g2);
+  EXPECT_TRUE(g1.has_value());
+  EXPECT_TRUE(g2.has_value());
+}
+
+TEST_F(LockFixture, QueueLengthTracksPending) {
+  std::optional<LockGrant> g1, g2, g3;
+  request("obj", 1, kSelf, g1);
+  request("obj", 2, kSelf, g2);
+  request("obj", 3, kSelf, g3);
+  EXPECT_EQ(locks.queue_length("obj"), 2u);
+  locks.release("obj", g1->id);
+  EXPECT_EQ(locks.queue_length("obj"), 1u);
+  EXPECT_EQ(locks.queue_length("unknown"), 0u);
+}
+
+// Parameterized sweep: with K queued stay locks and K queued move locks
+// under the unfair policy, all stay locks are granted before any move lock.
+class UnfairSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnfairSweep, AllStaysBeforeAllMoves) {
+  const int k = GetParam();
+  LockManager locks(kSelf);
+  std::optional<LockGrant> holder;
+  locks.request(
+      "obj", common::ActivityId{0}, kSelf,
+      [&holder](LockGrant g) { holder = g; }, nullptr);
+
+  std::vector<int> grant_order;
+  int seq = 0;
+  std::vector<std::optional<LockGrant>> grants(2 * k);
+  for (int i = 0; i < 2 * k; ++i) {
+    // Even indices request moves, odd request stays.
+    const auto target = (i % 2 == 0) ? kOther : kSelf;
+    locks.request(
+        "obj", common::ActivityId{static_cast<std::uint64_t>(i + 1)}, target,
+        [&grants, &grant_order, &seq, i](LockGrant g) {
+          grants[i] = g;
+          grant_order.push_back(i);
+          ++seq;
+        },
+        nullptr);
+  }
+
+  // Drain: release whoever currently holds.
+  auto release_current = [&](common::LockId id) {
+    ASSERT_TRUE(locks.release("obj", id));
+  };
+  release_current(holder->id);
+  for (int step = 0; step < 2 * k; ++step) {
+    const int granted = grant_order.back();
+    release_current(grants[granted]->id);
+  }
+
+  // First k grants must all be stays (odd indices).
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ(grant_order[i] % 2, 1) << "grant " << i << " was a move lock";
+  }
+  for (int i = k; i < 2 * k; ++i) {
+    EXPECT_EQ(grant_order[i] % 2, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QueueDepths, UnfairSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace mage::rts

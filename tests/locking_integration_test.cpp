@@ -1,0 +1,190 @@
+// End-to-end locking tests (Section 4.4, Figure 8): the lock/bind/invoke/
+// unlock bracket, stay-vs-move grants over the wire, contention between
+// concurrent activities, and lock-queue bouncing when the object migrates.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "support/test_objects.hpp"
+
+namespace mage::rts {
+namespace {
+
+using core::Cod;
+using core::Grev;
+using testing::make_logic_system;
+
+struct LockIntFixture : ::testing::Test {
+  std::unique_ptr<MageSystem> system = make_logic_system(3);
+  common::NodeId n1{1}, n2{2}, n3{3};
+};
+
+TEST_F(LockIntFixture, StayLockWhenTargetIsCurrentHost) {
+  system->client(n2).create_component("obj", "Counter", true);
+  auto handle = system->client(n1).lock("obj", n2);
+  EXPECT_EQ(handle.kind, LockKind::Stay);
+  EXPECT_EQ(handle.host, n2);
+  system->client(n1).unlock(handle);
+}
+
+TEST_F(LockIntFixture, MoveLockWhenTargetDiffers) {
+  system->client(n2).create_component("obj", "Counter", true);
+  auto handle = system->client(n1).lock("obj", n3);
+  EXPECT_EQ(handle.kind, LockKind::Move);
+  system->client(n1).unlock(handle);
+}
+
+TEST_F(LockIntFixture, UnlockWithoutLockFails) {
+  system->client(n1).create_component("obj", "Counter", true);
+  LockHandle bogus{"obj", n1, 999, LockKind::Stay};
+  EXPECT_THROW(system->client(n1).unlock(bogus), common::LockError);
+}
+
+TEST_F(LockIntFixture, PaperBracketLockBindInvokeUnlock) {
+  // The oil-exploration fragment:
+  //   lock("geoData", cod.getTarget());
+  //   i = (GeoDataFilter) cod.bind();
+  //   x = i.f(a);
+  //   unlock("geoData");
+  system->client(n2).create_component("geoData", "Counter", true);
+  auto& client = system->client(n1);
+  Cod cod(client, "geoData");
+  auto lock = client.lock("geoData", cod.target());
+  EXPECT_EQ(lock.kind, LockKind::Move);  // target n1, object at n2
+  auto i = cod.bind();
+  EXPECT_EQ(i.invoke<std::int64_t>("increment"), 1);
+  client.unlock(lock);
+  EXPECT_TRUE(client.has_local("geoData"));
+}
+
+TEST_F(LockIntFixture, ContendingActivitiesSerialize) {
+  // Two activities lock the same object; the second blocks (in simulated
+  // time) until the first unlocks.
+  system->client(n3).create_component("obj", "Counter", true);
+  auto& c1 = system->client(n1);
+  auto& c2 = system->client(n2);
+
+  std::optional<proto::LockReply> r1, r2;
+  c1.lock_async(n3, "obj", n3, [&r1](proto::LockReply r) { r1 = r; });
+  system->simulation().run_until([&r1] { return r1.has_value(); });
+  ASSERT_EQ(r1->status, proto::Status::Ok);
+
+  c2.lock_async(n3, "obj", n3, [&r2](proto::LockReply r) { r2 = r; });
+  system->simulation().run_for(common::msec(500));
+  EXPECT_FALSE(r2.has_value()) << "second lock granted while first held";
+
+  bool unlocked = false;
+  c1.unlock_async(n3, "obj", r1->lock_id, [&unlocked] { unlocked = true; });
+  system->simulation().run_until([&r2] { return r2.has_value(); });
+  EXPECT_EQ(r2->status, proto::Status::Ok);
+}
+
+TEST_F(LockIntFixture, UnfairStayPreferenceOverTheWire) {
+  // Holder + queued [move from c1, stay from c2]: when the holder
+  // releases, the stay lock wins although the move lock queued first.
+  system->client(n3).create_component("obj", "Counter", true);
+  auto& holder = system->client(n3);
+  auto held = holder.lock("obj", n3);
+
+  std::optional<proto::LockReply> move_reply, stay_reply;
+  system->client(n1).lock_async(n3, "obj", n1, [&](proto::LockReply r) {
+    move_reply = r;
+  });
+  system->simulation().run_for(common::msec(10));
+  system->client(n2).lock_async(n3, "obj", n3, [&](proto::LockReply r) {
+    stay_reply = r;
+  });
+  system->simulation().run_for(common::msec(10));
+
+  holder.unlock(held);
+  system->simulation().run_until(
+      [&stay_reply] { return stay_reply.has_value(); });
+  EXPECT_EQ(stay_reply->kind, LockKind::Stay);
+  EXPECT_FALSE(move_reply.has_value()) << "move lock jumped the stay lock";
+
+  // Drain: release the stay lock, the move lock follows.
+  system->client(n2).unlock_async(n3, "obj", stay_reply->lock_id, [] {});
+  system->simulation().run_until(
+      [&move_reply] { return move_reply.has_value(); });
+  EXPECT_EQ(move_reply->kind, LockKind::Move);
+}
+
+TEST_F(LockIntFixture, QueuedLockBouncesWhenObjectMigrates) {
+  system->client(n2).create_component("obj", "Counter", true);
+  // Activity A takes a move lock intending to move the object to n3.
+  auto& mover = system->client(n1);
+  auto lock = mover.lock("obj", n3);
+  EXPECT_EQ(lock.kind, LockKind::Move);
+
+  // Activity B queues behind it.
+  std::optional<proto::LockReply> queued;
+  system->client(n3).lock_async(n2, "obj", n2, [&](proto::LockReply r) {
+    queued = r;
+  });
+  system->simulation().run_for(common::msec(20));
+  EXPECT_FALSE(queued.has_value());
+
+  // A moves the object, then unlocks at the old host.  B's queued request
+  // is bounced with the new location.
+  Grev grev(mover, "obj", n3);
+  (void)grev.bind();
+  system->simulation().run_until([&queued] { return queued.has_value(); });
+  EXPECT_EQ(queued->status, proto::Status::Moved);
+  EXPECT_EQ(queued->hint, n3);
+  mover.unlock(lock);  // release at the old host still works
+
+  // B retries at the hinted host and succeeds.
+  auto handle = system->client(n3).lock("obj", n3);
+  EXPECT_EQ(handle.kind, LockKind::Stay);
+}
+
+TEST_F(LockIntFixture, LockChasesMovedObject) {
+  system->client(n2).create_component("obj", "Counter", true);
+  system->client(n3).move("obj", n3);
+  // n1 believes the object is at its home (n2); the lock request chases.
+  auto handle = system->client(n1).lock("obj", n3);
+  EXPECT_EQ(handle.kind, LockKind::Stay);
+  EXPECT_EQ(handle.host, n3);
+}
+
+TEST_F(LockIntFixture, StayAndMoveCountsReachStats) {
+  system->client(n2).create_component("obj", "Counter", true);
+  auto h1 = system->client(n1).lock("obj", n2);
+  system->client(n1).unlock(h1);
+  auto h2 = system->client(n1).lock("obj", n1);
+  system->client(n1).unlock(h2);
+  EXPECT_EQ(system->stats().counter("rts.locks_stay"), 1);
+  EXPECT_EQ(system->stats().counter("rts.locks_move"), 1);
+}
+
+// Interleaved moves serialized by the lock bracket: the invariant the
+// paper's Figure 8 protects — no lost updates, exactly one live copy.
+TEST_F(LockIntFixture, LockBracketSerializesCompetingMoves) {
+  system->client(n1).create_component("obj", "Counter", true);
+
+  for (int round = 0; round < 6; ++round) {
+    auto& client = system->client(round % 2 == 0 ? n2 : n3);
+    const auto target = client.self();
+    auto lock = client.lock("obj", target);
+    Grev grev(client, "obj", target);
+    auto h = grev.bind();
+    (void)h.invoke<std::int64_t>("increment");
+    client.unlock(lock);
+  }
+
+  // Exactly one live copy, with all six increments applied.
+  int copies = 0;
+  common::NodeId at = common::kNoNode;
+  for (auto node : system->nodes()) {
+    if (system->server(node).registry().has_local("obj")) {
+      ++copies;
+      at = node;
+    }
+  }
+  EXPECT_EQ(copies, 1);
+  common::NodeId cloc = at;
+  EXPECT_EQ(system->client(n1).invoke<std::int64_t>(cloc, "obj", "get"), 6);
+}
+
+}  // namespace
+}  // namespace mage::rts

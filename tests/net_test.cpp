@@ -1,0 +1,269 @@
+// Unit tests for the simulated network: delivery timing, connection warmup,
+// ordering, loss/partition injection, tracing, load.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace mage::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Simulation sim{1};
+  CostModel model = CostModel::zero();
+
+  std::unique_ptr<Network> make(CostModel m) {
+    auto net = std::make_unique<Network>(sim, m);
+    a = net->add_node("a");
+    b = net->add_node("b");
+    c = net->add_node("c");
+    return net;
+  }
+
+  common::NodeId a, b, c;
+};
+
+Message msg(common::NodeId from, common::NodeId to, std::size_t payload = 4) {
+  return Message{from, to, "test", std::vector<std::uint8_t>(payload, 0)};
+}
+
+TEST_F(NetFixture, DeliversToHandler) {
+  auto net = make(CostModel::zero());
+  std::optional<Message> got;
+  net->set_handler(b, [&got](Message m) { got = std::move(m); });
+  net->send(msg(a, b));
+  sim.run_until_idle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->from, a);
+  EXPECT_EQ(got->verb, "test");
+}
+
+TEST_F(NetFixture, WireSizeIncludesHeader) {
+  EXPECT_EQ(msg(a, b, 10).wire_size(), 10 + kHeaderBytes);
+}
+
+TEST_F(NetFixture, DeliveryTimeMatchesCostModel) {
+  CostModel m = CostModel::zero();
+  m.propagation_us = 100;
+  m.bytes_per_usec = 1.0;  // 1 byte per us
+  m.per_message_cpu_us = 50;
+  auto net = make(m);
+  common::SimTime delivered_at = -1;
+  net->set_handler(b, [&](Message) { delivered_at = sim.now(); });
+  net->send(msg(a, b, 4));  // wire = 4 + 96 = 100 bytes -> 100us
+  sim.run_until_idle();
+  EXPECT_EQ(delivered_at, 100 + 100 + 50);
+}
+
+TEST_F(NetFixture, ConnectionSetupChargedOncePerPair) {
+  CostModel m = CostModel::zero();
+  m.propagation_us = 10;
+  m.connection_setup_us = 1000;
+  m.bytes_per_usec = 1e9;
+  auto net = make(m);
+  std::vector<common::SimTime> deliveries;
+  net->set_handler(b, [&](Message) { deliveries.push_back(sim.now()); });
+  net->send(msg(a, b));
+  sim.run_until_idle();
+  net->send(msg(a, b));
+  sim.run_until_idle();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 1010);           // cold: setup + propagation
+  EXPECT_EQ(deliveries[1] - deliveries[0], 10);  // warm: propagation only
+  EXPECT_EQ(sim.stats().counter("net.connections_opened"), 1);
+}
+
+TEST_F(NetFixture, ConnectionIsWarmInBothDirections) {
+  CostModel m = CostModel::zero();
+  m.propagation_us = 10;
+  m.connection_setup_us = 1000;
+  auto net = make(m);
+  net->set_handler(b, [](Message) {});
+  net->set_handler(a, [](Message) {});
+  net->send(msg(a, b));
+  sim.run_until_idle();
+  const auto t0 = sim.now();
+  net->send(msg(b, a));  // reverse direction reuses the connection
+  sim.run_until_idle();
+  EXPECT_EQ(sim.now() - t0, 10);
+}
+
+TEST_F(NetFixture, ResetConnectionsRestoresColdCost) {
+  CostModel m = CostModel::zero();
+  m.connection_setup_us = 500;
+  m.propagation_us = 1;
+  auto net = make(m);
+  net->set_handler(b, [](Message) {});
+  net->send(msg(a, b));
+  sim.run_until_idle();
+  net->reset_connections();
+  const auto t0 = sim.now();
+  net->send(msg(a, b));
+  sim.run_until_idle();
+  EXPECT_EQ(sim.now() - t0, 501);
+}
+
+TEST_F(NetFixture, LoopbackIsCheapAndLossless) {
+  CostModel m = CostModel::zero();
+  m.local_invoke_us = 3;
+  m.connection_setup_us = 1000;
+  auto net = make(m);
+  net->set_loss_rate(1.0);  // would drop every network message
+  bool got = false;
+  net->set_handler(a, [&](Message) { got = true; });
+  net->send(msg(a, a));
+  sim.run_until_idle();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(sim.now(), 3);
+  EXPECT_EQ(sim.stats().counter("net.connections_opened"), 0);
+}
+
+TEST_F(NetFixture, LossRateDropsMessages) {
+  auto net = make(CostModel::zero());
+  net->set_loss_rate(0.5);
+  int got = 0;
+  net->set_handler(b, [&](Message) { ++got; });
+  for (int i = 0; i < 200; ++i) net->send(msg(a, b));
+  sim.run_until_idle();
+  EXPECT_GT(got, 50);
+  EXPECT_LT(got, 150);
+  EXPECT_EQ(got + sim.stats().counter("net.messages_dropped"), 200);
+}
+
+TEST_F(NetFixture, PartitionBlocksBothDirections) {
+  auto net = make(CostModel::zero());
+  int got = 0;
+  net->set_handler(a, [&](Message) { ++got; });
+  net->set_handler(b, [&](Message) { ++got; });
+  net->set_partitioned(a, b, true);
+  net->send(msg(a, b));
+  net->send(msg(b, a));
+  sim.run_until_idle();
+  EXPECT_EQ(got, 0);
+  net->set_partitioned(a, b, false);
+  net->send(msg(a, b));
+  sim.run_until_idle();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, PartitionDoesNotAffectThirdParty) {
+  auto net = make(CostModel::zero());
+  bool got = false;
+  net->set_handler(c, [&](Message) { got = true; });
+  net->set_partitioned(a, b, true);
+  net->send(msg(a, c));
+  sim.run_until_idle();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(NetFixture, ExtraLatencyIsDirectional) {
+  CostModel m = CostModel::zero();
+  m.propagation_us = 10;
+  auto net = make(m);
+  net->set_extra_latency(a, b, 500);
+  common::SimTime ab = -1, ba = -1;
+  net->set_handler(b, [&](Message) { ab = sim.now(); });
+  net->set_handler(a, [&](Message) { ba = sim.now(); });
+  net->send(msg(a, b));
+  sim.run_until_idle();
+  const auto t0 = sim.now();
+  net->send(msg(b, a));
+  sim.run_until_idle();
+  EXPECT_EQ(ab, 510);
+  EXPECT_EQ(ba - t0, 10);
+}
+
+TEST_F(NetFixture, InOrderDeliveryPerLink) {
+  // A big message followed by a small one: FIFO ordering must hold even
+  // though the small one would naturally arrive first.
+  CostModel m = CostModel::zero();
+  m.propagation_us = 10;
+  m.bytes_per_usec = 0.001;  // brutally slow wire
+  auto net = make(m);
+  std::vector<std::string> order;
+  net->set_handler(b, [&](Message m2) { order.push_back(m2.verb); });
+  Message big{a, b, "big", std::vector<std::uint8_t>(10'000, 0)};
+  Message small{a, b, "small", {}};
+  net->send(big);
+  net->send(small);
+  sim.run_until_idle();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "big");
+  EXPECT_EQ(order[1], "small");
+}
+
+TEST_F(NetFixture, TraceRecordsDeliveriesAndDrops) {
+  auto net = make(CostModel::zero());
+  net->set_tracing(true);
+  net->set_handler(b, [](Message) {});
+  net->send(msg(a, b));
+  net->set_partitioned(a, b, true);
+  net->send(msg(a, b));
+  sim.run_until_idle();
+  ASSERT_EQ(net->trace().size(), 2u);
+  EXPECT_FALSE(net->trace()[0].dropped);
+  EXPECT_TRUE(net->trace()[1].dropped);
+  net->clear_trace();
+  EXPECT_TRUE(net->trace().empty());
+}
+
+TEST_F(NetFixture, LoadIsPerNode) {
+  auto net = make(CostModel::zero());
+  net->set_load(a, 42.0);
+  EXPECT_DOUBLE_EQ(net->load(a), 42.0);
+  EXPECT_DOUBLE_EQ(net->load(b), 0.0);
+}
+
+TEST_F(NetFixture, NodeLabels) {
+  auto net = make(CostModel::zero());
+  EXPECT_EQ(net->label(a), "a");
+  EXPECT_EQ(net->label(c), "c");
+  EXPECT_EQ(net->node_count(), 3u);
+  EXPECT_EQ(net->node_ids().size(), 3u);
+}
+
+TEST_F(NetFixture, StatsCountMessages) {
+  auto net = make(CostModel::zero());
+  net->set_handler(b, [](Message) {});
+  net->send(msg(a, b, 10));
+  sim.run_until_idle();
+  EXPECT_EQ(sim.stats().counter("net.messages_sent"), 1);
+  EXPECT_EQ(sim.stats().counter("net.messages_delivered"), 1);
+  EXPECT_EQ(sim.stats().counter("net.bytes_sent"),
+            static_cast<std::int64_t>(10 + kHeaderBytes));
+}
+
+// --- cost model presets -----------------------------------------------------
+
+TEST(CostModel, WireTimeMath) {
+  CostModel m;
+  m.bytes_per_usec = 1.25;  // 10 Mb/s
+  EXPECT_EQ(m.wire_time(1250), 1000);
+}
+
+TEST(CostModel, MarshalTimeMath) {
+  CostModel m;
+  m.marshal_us_per_byte = 2.0;
+  EXPECT_EQ(m.marshal_time(100), 200);
+}
+
+TEST(CostModel, ClassicPresetIsTenMbit) {
+  const auto m = CostModel::jdk122_classic();
+  EXPECT_DOUBLE_EQ(m.bytes_per_usec, 1.25);
+  EXPECT_GT(m.rmi_client_overhead_us, 1000);
+  EXPECT_GT(m.engine_warmup_us, 10'000);
+}
+
+TEST(CostModel, ModernPresetIsMuchFaster) {
+  const auto classic = CostModel::jdk122_classic();
+  const auto modern = CostModel::modern_lan();
+  EXPECT_LT(modern.rmi_client_overhead_us, classic.rmi_client_overhead_us);
+  EXPECT_GT(modern.bytes_per_usec, classic.bytes_per_usec);
+}
+
+}  // namespace
+}  // namespace mage::net

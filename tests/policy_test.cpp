@@ -1,0 +1,147 @@
+// Target-selection policy tests (the paper's selectNewHost building blocks).
+#include <gtest/gtest.h>
+
+#include "support/test_objects.hpp"
+
+namespace mage::core {
+namespace {
+
+using testing::make_logic_system;
+
+struct PolicyFixture : ::testing::Test {
+  std::unique_ptr<rts::MageSystem> system = make_logic_system(4);
+  common::NodeId n1{1}, n2{2}, n3{3}, n4{4};
+  std::vector<common::NodeId> all{n1, n2, n3, n4};
+
+  rts::MageClient& client() { return system->client(n1); }
+};
+
+TEST_F(PolicyFixture, LeastLoadedPicksMinimum) {
+  system->network().set_load(n1, 10);
+  system->network().set_load(n2, 5);
+  system->network().set_load(n3, 20);
+  system->network().set_load(n4, 7);
+  LeastLoadedPolicy policy;
+  EXPECT_EQ(policy.select(client(), all), n2);
+}
+
+TEST_F(PolicyFixture, LeastLoadedBreaksTiesByNodeId) {
+  system->network().set_load(n2, 3);
+  system->network().set_load(n3, 3);
+  system->network().set_load(n1, 9);
+  system->network().set_load(n4, 9);
+  LeastLoadedPolicy policy;
+  EXPECT_EQ(policy.select(client(), {n3, n2, n4}), n2);
+}
+
+TEST_F(PolicyFixture, LeastLoadedThrowsOnEmpty) {
+  LeastLoadedPolicy policy;
+  EXPECT_THROW((void)policy.select(client(), {}), common::MageError);
+}
+
+TEST_F(PolicyFixture, LeastLoadedQueriesRemoteNodes) {
+  // Each remote load query is a get_load round trip.
+  const auto calls = system->stats().counter("rmi.calls.mage.get_load");
+  LeastLoadedPolicy policy;
+  (void)policy.select(client(), all);
+  EXPECT_EQ(system->stats().counter("rmi.calls.mage.get_load") - calls, 3);
+}
+
+TEST_F(PolicyFixture, RoundRobinCycles) {
+  RoundRobinPolicy policy;
+  EXPECT_EQ(policy.select(client(), all), n1);
+  EXPECT_EQ(policy.select(client(), all), n2);
+  EXPECT_EQ(policy.select(client(), all), n3);
+  EXPECT_EQ(policy.select(client(), all), n4);
+  EXPECT_EQ(policy.select(client(), all), n1);
+}
+
+TEST_F(PolicyFixture, RandomIsDeterministicPerSeedAndInRange) {
+  RandomPolicy policy;
+  std::set<common::NodeId> seen;
+  for (int i = 0; i < 100; ++i) {
+    const auto pick = policy.select(client(), all);
+    EXPECT_GE(pick.value(), 1u);
+    EXPECT_LE(pick.value(), 4u);
+    seen.insert(pick);
+  }
+  EXPECT_GE(seen.size(), 3u);  // covers most of the range
+}
+
+TEST_F(PolicyFixture, ThresholdStaysUnderLoad) {
+  system->network().set_load(n1, 50);
+  LoadThresholdPolicy policy(/*threshold=*/100, /*current=*/n1);
+  EXPECT_EQ(policy.select(client(), all), n1);
+}
+
+TEST_F(PolicyFixture, ThresholdOffloadsWhenHot) {
+  // The paper's §3.1 policy: "if ( cloc.getLoad() > 100 ) target =
+  // selectNewHost()".
+  system->network().set_load(n1, 150);
+  system->network().set_load(n2, 80);
+  system->network().set_load(n3, 1);
+  system->network().set_load(n4, 90);
+  LoadThresholdPolicy policy(/*threshold=*/100, /*current=*/n1);
+  EXPECT_EQ(policy.select(client(), {n2, n3, n4}), n3);
+}
+
+TEST_F(PolicyFixture, ThresholdTracksCurrentHost) {
+  system->network().set_load(n2, 500);
+  system->network().set_load(n1, 0);
+  LoadThresholdPolicy policy(100, n2);
+  EXPECT_EQ(policy.select(client(), {n1, n3}), n1);
+  policy.set_current(n1);
+  EXPECT_EQ(policy.select(client(), {n2, n3}), n1);
+}
+
+// A user-defined load-balancing attribute built from a policy — the §3.1
+// example, end to end.
+class LoadBalancedMa : public MobilityAttribute {
+ public:
+  LoadBalancedMa(rts::MageClient& client, common::ComponentName name,
+                 std::vector<common::NodeId> candidates, double threshold)
+      : MobilityAttribute(client, std::move(name)),
+        candidates_(std::move(candidates)),
+        threshold_(threshold) {}
+
+  [[nodiscard]] Model model() const override { return Model::Grev; }
+
+ protected:
+  RemoteHandle do_bind() override {
+    const auto at = resolve();
+    if (client_.load_of(at) <= threshold_) return handle_at(at);
+    LeastLoadedPolicy fallback;
+    const auto target = fallback.select(client_, candidates_);
+    if (target == at) return handle_at(at);
+    client_.move(name_, target, at);
+    cloc_ = target;
+    return handle_at(target);
+  }
+
+ private:
+  std::vector<common::NodeId> candidates_;
+  double threshold_;
+};
+
+TEST_F(PolicyFixture, UserDefinedLoadBalancerMigratesOffHotHost) {
+  system->client(n2).create_component("service", "Counter", true);
+  system->network().set_load(n2, 150);
+  system->network().set_load(n3, 2);
+  system->network().set_load(n4, 60);
+  LoadBalancedMa attr(client(), "service", {n2, n3, n4}, 100.0);
+  auto h = attr.bind();
+  EXPECT_EQ(h.location(), n3);
+  EXPECT_EQ(h.invoke<std::int64_t>("increment"), 1);
+}
+
+TEST_F(PolicyFixture, UserDefinedLoadBalancerStaysOnCoolHost) {
+  system->client(n2).create_component("service", "Counter", true);
+  system->network().set_load(n2, 10);
+  LoadBalancedMa attr(client(), "service", {n2, n3, n4}, 100.0);
+  auto h = attr.bind();
+  EXPECT_EQ(h.location(), n2);
+  EXPECT_EQ(system->stats().counter("rts.migrations"), 0);
+}
+
+}  // namespace
+}  // namespace mage::core

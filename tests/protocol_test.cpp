@@ -1,0 +1,255 @@
+// Round-trip tests for every wire-protocol struct, including boundary
+// values.  The integration suites exercise these implicitly; these tests
+// pin the encoding explicitly so a wire-format change is a visible diff.
+#include <gtest/gtest.h>
+
+#include "rts/protocol.hpp"
+
+namespace mage::rts::proto {
+namespace {
+
+TEST(Protocol, LookupRequestRoundTrip) {
+  LookupRequest v;
+  v.name = "geoData";
+  v.hops = 17;
+  const auto decoded = LookupRequest::decode(v.encode());
+  EXPECT_EQ(decoded.name, "geoData");
+  EXPECT_EQ(decoded.hops, 17u);
+}
+
+TEST(Protocol, LookupReplyRoundTrip) {
+  LookupReply v;
+  v.status = Status::Ok;
+  v.host = common::NodeId{9};
+  const auto decoded = LookupReply::decode(v.encode());
+  EXPECT_EQ(decoded.status, Status::Ok);
+  EXPECT_EQ(decoded.host, common::NodeId{9});
+}
+
+TEST(Protocol, LookupReplyErrorRoundTrip) {
+  LookupReply v;
+  v.status = Status::Error;
+  v.error = "cycle";
+  const auto decoded = LookupReply::decode(v.encode());
+  EXPECT_EQ(decoded.status, Status::Error);
+  EXPECT_EQ(decoded.error, "cycle");
+}
+
+TEST(Protocol, ClassCheckRoundTrip) {
+  EXPECT_EQ(ClassCheckRequest::decode(
+                ClassCheckRequest{"GeoDataFilterImpl"}.encode())
+                .class_name,
+            "GeoDataFilterImpl");
+  ClassCheckReply reply;
+  reply.cached = true;
+  EXPECT_TRUE(ClassCheckReply::decode(reply.encode()).cached);
+}
+
+TEST(Protocol, ClassImageCarriesItsCodeBytes) {
+  ClassImage v;
+  v.class_name = "Counter";
+  v.code_size = 4096;
+  const auto bytes = v.encode();
+  // name(4+7) + size(4) + filler(4096)
+  EXPECT_GE(bytes.size(), 4096u + 11u);
+  const auto decoded = ClassImage::decode(bytes);
+  EXPECT_EQ(decoded.class_name, "Counter");
+  EXPECT_EQ(decoded.code_size, 4096u);
+}
+
+TEST(Protocol, ClassImageEmpty) {
+  ClassImage v;
+  v.class_name = "Tiny";
+  v.code_size = 0;
+  const auto decoded = ClassImage::decode(v.encode());
+  EXPECT_EQ(decoded.code_size, 0u);
+}
+
+TEST(Protocol, LoadClassRoundTrip) {
+  LoadClassRequest v;
+  v.image.class_name = "X";
+  v.image.code_size = 128;
+  EXPECT_EQ(LoadClassRequest::decode(v.encode()).image.class_name, "X");
+}
+
+TEST(Protocol, InstantiateRoundTrip) {
+  InstantiateRequest v;
+  v.class_name = "Counter";
+  v.object_name = "c1";
+  v.is_public = true;
+  v.class_source = common::NodeId{3};
+  const auto decoded = InstantiateRequest::decode(v.encode());
+  EXPECT_EQ(decoded.class_name, "Counter");
+  EXPECT_EQ(decoded.object_name, "c1");
+  EXPECT_TRUE(decoded.is_public);
+  EXPECT_EQ(decoded.class_source, common::NodeId{3});
+}
+
+TEST(Protocol, SimpleReplyAllStatuses) {
+  for (auto status : {Status::Ok, Status::Moved, Status::NotFound,
+                      Status::Error}) {
+    SimpleReply v;
+    v.status = status;
+    v.hint = common::NodeId{4};
+    v.error = "e";
+    const auto decoded = SimpleReply::decode(v.encode());
+    EXPECT_EQ(decoded.status, status);
+    EXPECT_EQ(decoded.hint, common::NodeId{4});
+  }
+}
+
+TEST(Protocol, MoveRoundTrip) {
+  MoveRequest v;
+  v.name = "obj";
+  v.to = common::NodeId{7};
+  const auto decoded = MoveRequest::decode(v.encode());
+  EXPECT_EQ(decoded.name, "obj");
+  EXPECT_EQ(decoded.to, common::NodeId{7});
+}
+
+TEST(Protocol, TransferCarriesState) {
+  TransferRequest v;
+  v.name = "obj";
+  v.class_name = "Counter";
+  v.is_public = true;
+  v.state = {1, 2, 3, 4, 5};
+  const auto decoded = TransferRequest::decode(v.encode());
+  EXPECT_EQ(decoded.state, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(decoded.is_public);
+}
+
+TEST(Protocol, TransferEmptyState) {
+  TransferRequest v;
+  v.name = "o";
+  v.class_name = "C";
+  EXPECT_TRUE(TransferRequest::decode(v.encode()).state.empty());
+}
+
+TEST(Protocol, InvokeRoundTrip) {
+  InvokeRequest v;
+  v.name = "obj";
+  v.method = "filterData";
+  v.args = {9, 8, 7};
+  const auto decoded = InvokeRequest::decode(v.encode());
+  EXPECT_EQ(decoded.method, "filterData");
+  EXPECT_EQ(decoded.args, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST(Protocol, InvokeReplyWithResult) {
+  InvokeReply v;
+  v.status = Status::Ok;
+  v.result = {42};
+  const auto decoded = InvokeReply::decode(v.encode());
+  EXPECT_EQ(decoded.result, std::vector<std::uint8_t>{42});
+}
+
+TEST(Protocol, InvokeReplyMovedHint) {
+  InvokeReply v;
+  v.status = Status::Moved;
+  v.hint = common::NodeId{11};
+  const auto decoded = InvokeReply::decode(v.encode());
+  EXPECT_EQ(decoded.status, Status::Moved);
+  EXPECT_EQ(decoded.hint, common::NodeId{11});
+}
+
+TEST(Protocol, FetchResultRoundTrip) {
+  EXPECT_EQ(FetchResultRequest::decode(FetchResultRequest{"obj"}.encode())
+                .name,
+            "obj");
+}
+
+TEST(Protocol, LockRoundTrip) {
+  LockRequest v;
+  v.name = "obj";
+  v.target = common::NodeId{2};
+  v.activity = 0xDEADBEEFull;
+  const auto decoded = LockRequest::decode(v.encode());
+  EXPECT_EQ(decoded.target, common::NodeId{2});
+  EXPECT_EQ(decoded.activity, 0xDEADBEEFull);
+}
+
+TEST(Protocol, LockReplyRoundTrip) {
+  LockReply v;
+  v.status = Status::Ok;
+  v.lock_id = 55;
+  v.kind = LockKind::Move;
+  const auto decoded = LockReply::decode(v.encode());
+  EXPECT_EQ(decoded.lock_id, 55u);
+  EXPECT_EQ(decoded.kind, LockKind::Move);
+}
+
+TEST(Protocol, UnlockRoundTrip) {
+  UnlockRequest v;
+  v.name = "obj";
+  v.lock_id = 99;
+  EXPECT_EQ(UnlockRequest::decode(v.encode()).lock_id, 99u);
+}
+
+TEST(Protocol, StaticGetPutRoundTrip) {
+  StaticGetRequest g{"Counter", "total"};
+  const auto dg = StaticGetRequest::decode(g.encode());
+  EXPECT_EQ(dg.class_name, "Counter");
+  EXPECT_EQ(dg.key, "total");
+
+  StaticPutRequest p;
+  p.class_name = "Counter";
+  p.key = "total";
+  p.value = {1, 2};
+  const auto dp = StaticPutRequest::decode(p.encode());
+  EXPECT_EQ(dp.value, (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST(Protocol, ExecRoundTrip) {
+  ExecRequest v;
+  v.class_name = "Integrator";
+  v.object_name = "unit0";
+  v.method = "integrate";
+  v.args = {3, 1, 4};
+  v.class_source = common::NodeId{1};
+  const auto decoded = ExecRequest::decode(v.encode());
+  EXPECT_EQ(decoded.class_name, "Integrator");
+  EXPECT_EQ(decoded.object_name, "unit0");
+  EXPECT_EQ(decoded.method, "integrate");
+  EXPECT_EQ(decoded.args, (std::vector<std::uint8_t>{3, 1, 4}));
+}
+
+TEST(Protocol, DiscoverRoundTrip) {
+  EXPECT_EQ(DiscoverRequest::decode(DiscoverRequest{"printer"}.encode())
+                .kind,
+            "printer");
+  DiscoverReply reply;
+  reply.offers = true;
+  reply.capacity = 33.5;
+  const auto decoded = DiscoverReply::decode(reply.encode());
+  EXPECT_TRUE(decoded.offers);
+  EXPECT_DOUBLE_EQ(decoded.capacity, 33.5);
+}
+
+TEST(Protocol, LoadReplyRoundTrip) {
+  LoadReply v;
+  v.load = 101.25;
+  EXPECT_DOUBLE_EQ(LoadReply::decode(v.encode()).load, 101.25);
+}
+
+TEST(Protocol, StatusNames) {
+  EXPECT_STREQ(status_name(Status::Ok), "Ok");
+  EXPECT_STREQ(status_name(Status::Moved), "Moved");
+  EXPECT_STREQ(status_name(Status::NotFound), "NotFound");
+  EXPECT_STREQ(status_name(Status::Error), "Error");
+}
+
+TEST(Protocol, NodeCodecSentinel) {
+  serial::Writer w;
+  put_node(w, common::kNoNode);
+  serial::Reader r(w.bytes());
+  EXPECT_TRUE(common::is_no_node(get_node(r)));
+}
+
+TEST(Protocol, NamesWithUnicodeAndNulls) {
+  LookupRequest v;
+  v.name = std::string("g\0o\xC3\xA9", 5);
+  EXPECT_EQ(LookupRequest::decode(v.encode()).name, v.name);
+}
+
+}  // namespace
+}  // namespace mage::rts::proto

@@ -1,0 +1,115 @@
+// Shared test fixtures: mobile object classes and federation builders used
+// across the unit, integration and property test suites.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/mage.hpp"
+
+namespace mage::testing {
+
+// The paper's Table 3 test object: one integer attribute plus increment.
+class Counter : public rts::MageObject {
+ public:
+  std::string class_name() const override { return "Counter"; }
+  void serialize(serial::Writer& w) const override { w.write_i64(value_); }
+  void deserialize(serial::Reader& r) override { value_ = r.read_i64(); }
+
+  std::int64_t increment() { return ++value_; }
+  std::int64_t add(std::int64_t delta) { return value_ += delta; }
+  std::int64_t get() const { return value_; }
+  void set(std::int64_t v) { value_ = v; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// A larger object exercising non-trivial marshalling: strings and vectors.
+class Notebook : public rts::MageObject {
+ public:
+  std::string class_name() const override { return "Notebook"; }
+  void serialize(serial::Writer& w) const override {
+    w.write_string(title_);
+    w.write_u32(static_cast<std::uint32_t>(entries_.size()));
+    for (const auto& e : entries_) w.write_string(e);
+  }
+  void deserialize(serial::Reader& r) override {
+    title_ = r.read_string();
+    entries_.resize(r.read_u32());
+    for (auto& e : entries_) e = r.read_string();
+  }
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  std::string title() const { return title_; }
+  void append(std::string entry) { entries_.push_back(std::move(entry)); }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+  std::string entry(std::int64_t index) const {
+    return entries_.at(static_cast<std::size_t>(index));
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> entries_;
+};
+
+// An object whose method throws, for error-propagation tests.
+class Grumpy : public rts::MageObject {
+ public:
+  std::string class_name() const override { return "Grumpy"; }
+  void serialize(serial::Writer&) const override {}
+  void deserialize(serial::Reader&) override {}
+
+  std::int64_t refuse() {
+    throw common::RemoteInvocationError("grumpy object refuses");
+  }
+};
+
+// Registers the standard test classes in a system's world.
+inline void register_test_classes(rts::MageSystem& system) {
+  rts::ClassBuilder<Counter>(system.world(), "Counter")
+      .method("increment", &Counter::increment)
+      .method("add", &Counter::add)
+      .method("get", &Counter::get)
+      .method("set", &Counter::set);
+  rts::ClassBuilder<Notebook>(system.world(), "Notebook", /*code_size=*/4096)
+      .method("set_title", &Notebook::set_title)
+      .method("title", &Notebook::title)
+      .method("append", &Notebook::append)
+      .method("size", &Notebook::size)
+      .method("entry", &Notebook::entry);
+  rts::ClassBuilder<Grumpy>(system.world(), "Grumpy")
+      .method("refuse", &Grumpy::refuse);
+}
+
+// Builds an N-node federation with the zero-cost model (logic tests) and
+// all test classes registered and pre-warmed.
+inline std::unique_ptr<rts::MageSystem> make_logic_system(
+    int nodes, std::uint64_t seed = 42) {
+  auto system =
+      std::make_unique<rts::MageSystem>(net::CostModel::zero(), seed);
+  for (int i = 0; i < nodes; ++i) {
+    system->add_node("n" + std::to_string(i + 1));
+  }
+  register_test_classes(*system);
+  system->warm_all();
+  return system;
+}
+
+// Builds an N-node federation with the paper-calibrated cost model.
+inline std::unique_ptr<rts::MageSystem> make_classic_system(
+    int nodes, std::uint64_t seed = 42) {
+  auto system = std::make_unique<rts::MageSystem>(
+      net::CostModel::jdk122_classic(), seed);
+  for (int i = 0; i < nodes; ++i) {
+    system->add_node("n" + std::to_string(i + 1));
+  }
+  register_test_classes(*system);
+  return system;
+}
+
+}  // namespace mage::testing
