@@ -48,7 +48,8 @@ const DurationSummary* StatsRegistry::summary(const std::string& key) const {
 }
 
 void StatsRegistry::reset() {
-  counters_.clear();
+  // Zero in place rather than erase: counter_handle() pointers stay valid.
+  for (auto& [key, value] : counters_) value = 0;
   summaries_.clear();
 }
 

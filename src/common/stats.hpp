@@ -49,6 +49,13 @@ class StatsRegistry {
   void add(const std::string& key, std::int64_t delta = 1);
   void record(const std::string& key, SimDuration sample);
 
+  // Stable pointer to the counter's slot, for hot paths that bump the same
+  // counter millions of times (map nodes never move; reset() zeroes values
+  // in place rather than erasing nodes, so handles stay valid).
+  [[nodiscard]] std::int64_t* counter_handle(const std::string& key) {
+    return &counters_[key];
+  }
+
   [[nodiscard]] std::int64_t counter(const std::string& key) const;
   [[nodiscard]] const DurationSummary* summary(const std::string& key) const;
 

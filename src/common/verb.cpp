@@ -1,0 +1,64 @@
+#include "common/verb.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace mage::common {
+namespace {
+
+struct VerbEntry {
+  std::string name;
+  std::string calls_stat;  // "rmi.calls.<name>"
+};
+
+struct VerbRegistry {
+  // Heterogeneous lookup so intern(string_view) does not allocate on hit.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>> ids;
+  std::deque<VerbEntry> entries;  // stable references, indexed by id
+};
+
+VerbRegistry& registry() {
+  static VerbRegistry instance;
+  return instance;
+}
+
+const std::string& invalid_name() {
+  static const std::string name = "<invalid-verb>";
+  return name;
+}
+
+}  // namespace
+
+VerbId intern_verb(std::string_view name) {
+  auto& reg = registry();
+  if (auto it = reg.ids.find(name); it != reg.ids.end()) {
+    return VerbId{it->second};
+  }
+  const auto id = static_cast<std::uint32_t>(reg.entries.size());
+  reg.entries.push_back(
+      VerbEntry{std::string(name), "rmi.calls." + std::string(name)});
+  reg.ids.emplace(std::string(name), id);
+  return VerbId{id};
+}
+
+const std::string& verb_name(VerbId id) {
+  const auto& reg = registry();
+  if (!id.valid() || id.value() >= reg.entries.size()) return invalid_name();
+  return reg.entries[id.value()].name;
+}
+
+const std::string& verb_calls_stat(VerbId id) {
+  const auto& reg = registry();
+  if (!id.valid() || id.value() >= reg.entries.size()) return invalid_name();
+  return reg.entries[id.value()].calls_stat;
+}
+
+std::size_t interned_verb_count() { return registry().entries.size(); }
+
+}  // namespace mage::common

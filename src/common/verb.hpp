@@ -1,0 +1,61 @@
+// Interned RMI verb names.
+//
+// Every remote operation is named by a verb string ("mage.invoke").  The hot
+// path used to carry those strings through every envelope, message, and
+// dispatch map; now a verb is interned once into a process-wide registry and
+// flows as a 32-bit VerbId — dispatch is a flat vector index, per-verb stat
+// keys are built once, and the wire carries 4 bytes instead of a
+// length-prefixed string.
+//
+// The registry is process-global because a simulated federation shares one
+// process; it models the verb table a real deployment would agree on at
+// session setup (see docs/PERF.md for the wire-format invariants).  The
+// simulation is single-threaded, so no locking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mage::common {
+
+class VerbId {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  constexpr VerbId() = default;
+  constexpr explicit VerbId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(VerbId, VerbId) = default;
+  friend constexpr auto operator<=>(VerbId, VerbId) = default;
+
+ private:
+  std::uint32_t value_ = kInvalid;
+};
+
+// Interns `name`, returning the same id for the same spelling forever
+// (ids are dense, starting at 0 — usable as flat table indexes).
+[[nodiscard]] VerbId intern_verb(std::string_view name);
+
+// The spelling `id` was interned under; "<invalid-verb>" for kInvalid or an
+// id this process never interned.
+[[nodiscard]] const std::string& verb_name(VerbId id);
+
+// Cached per-verb stat key "rmi.calls.<name>" (built once per verb, so the
+// per-call stats bump does not concatenate strings).
+[[nodiscard]] const std::string& verb_calls_stat(VerbId id);
+
+// Number of verbs interned so far (flat dispatch tables size to this).
+[[nodiscard]] std::size_t interned_verb_count();
+
+}  // namespace mage::common
+
+template <>
+struct std::hash<mage::common::VerbId> {
+  std::size_t operator()(mage::common::VerbId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -17,7 +17,7 @@ namespace mage::core {
 
 struct MissionStop {
   common::NodeId node;
-  std::vector<std::uint8_t> result;  // serialized result of the stop's call
+  serial::Buffer result;  // serialized result of the stop's call
 };
 
 class AgentMission {

@@ -1,0 +1,18 @@
+#include "net/message.hpp"
+
+namespace mage::net {
+
+std::string Message::label() const {
+  const std::string& name = common::verb_name(verb);
+  switch (kind) {
+    case MsgKind::Reply:
+      return name + ".reply";
+    case MsgKind::ReplyDup:
+      return name + ".re";
+    case MsgKind::Request:
+    default:
+      return name;
+  }
+}
+
+}  // namespace mage::net

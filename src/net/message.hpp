@@ -1,17 +1,23 @@
 // Wire message: the unit the simulated network delivers between namespaces.
 //
 // The payload is opaque to the network; upper layers (src/rmi) serialize
-// envelopes into it.  `verb` duplicates the envelope's operation name purely
-// for tracing and stats — benches reconstruct the paper's protocol figures
-// (Figure 1, Figure 7) from the sequence of verbs on the wire.
+// envelopes into it.  Scatter-gather framing: `header` carries the envelope
+// framing bytes and `body` the application payload, both as ref-counted
+// serial::Buffer views — so forwarding a message never copies payload bytes
+// (the wire-equivalent byte stream is header ++ body).
+//
+// `verb` + `kind` duplicate the envelope's operation purely for tracing and
+// stats — benches reconstruct the paper's protocol figures (Figure 1,
+// Figure 7) from the sequence of verbs on the wire.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
+#include "common/verb.hpp"
+#include "serial/buffer.hpp"
 
 namespace mage::net {
 
@@ -19,15 +25,27 @@ namespace mage::net {
 // (Ethernet + IP + TCP headers plus RMI stream framing).
 inline constexpr std::size_t kHeaderBytes = 96;
 
+// What a message is, for trace labels: requests print the verb, replies
+// "<verb>.reply", duplicate-suppression re-sends "<verb>.re".
+enum class MsgKind : std::uint8_t { Request = 0, Reply = 1, ReplyDup = 2 };
+
 struct Message {
   common::NodeId from;
   common::NodeId to;
-  std::string verb;                   // operation name, for tracing only
-  std::vector<std::uint8_t> payload;  // serialized envelope
+  common::VerbId verb;   // operation name, for tracing only
+  MsgKind kind = MsgKind::Request;
+  serial::Buffer header;  // envelope framing
+  serial::Buffer body;    // application payload
 
-  [[nodiscard]] std::size_t wire_size() const {
-    return payload.size() + kHeaderBytes;
+  [[nodiscard]] std::size_t payload_size() const {
+    return header.size() + body.size();
   }
+  [[nodiscard]] std::size_t wire_size() const {
+    return payload_size() + kHeaderBytes;
+  }
+
+  // Trace/debug label: the verb name plus the kind suffix.
+  [[nodiscard]] std::string label() const;
 };
 
 // One entry of the network's message trace (enabled on demand; benches use

@@ -17,7 +17,15 @@ std::pair<common::NodeId, common::NodeId> ordered_pair(common::NodeId a,
 }  // namespace
 
 Network::Network(sim::Simulation& sim, CostModel model)
-    : sim_(sim), model_(model) {}
+    : sim_(sim),
+      model_(model),
+      messages_sent_(sim.stats().counter_handle("net.messages_sent")),
+      bytes_sent_(sim.stats().counter_handle("net.bytes_sent")),
+      messages_dropped_(sim.stats().counter_handle("net.messages_dropped")),
+      messages_delivered_(
+          sim.stats().counter_handle("net.messages_delivered")),
+      connections_opened_(
+          sim.stats().counter_handle("net.connections_opened")) {}
 
 common::NodeId Network::add_node(std::string label) {
   const common::NodeId id{static_cast<std::uint32_t>(nodes_.size() + 1)};
@@ -55,37 +63,36 @@ std::vector<common::NodeId> Network::node_ids() const {
 }
 
 void Network::send(Message msg) {
-  auto& stats = sim_.stats();
-  stats.add("net.messages_sent");
-  stats.add("net.bytes_sent", static_cast<std::int64_t>(msg.wire_size()));
+  ++*messages_sent_;
+  *bytes_sent_ += static_cast<std::int64_t>(msg.wire_size());
 
   const common::SimTime sent_at = sim_.now();
   const bool loopback = msg.from == msg.to;
 
   if (!loopback && (state(msg.from).down || state(msg.to).down)) {
-    stats.add("net.messages_dropped");
+    ++*messages_dropped_;
     if (tracing_) {
-      trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.verb,
+      trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.label(),
                                   msg.wire_size(), true});
     }
     return;
   }
 
   if (!loopback && partitions_.contains(ordered_pair(msg.from, msg.to))) {
-    stats.add("net.messages_dropped");
+    ++*messages_dropped_;
     if (tracing_) {
-      trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.verb,
+      trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.label(),
                                   msg.wire_size(), true});
     }
     return;
   }
 
   if (!loopback && loss_rate_ > 0.0 && sim_.rng().next_bool(loss_rate_)) {
-    stats.add("net.messages_dropped");
-    MAGE_DEBUG() << "dropped " << msg.verb << " " << msg.from << " -> "
+    ++*messages_dropped_;
+    MAGE_DEBUG() << "dropped " << msg.label() << " " << msg.from << " -> "
                  << msg.to;
     if (tracing_) {
-      trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.verb,
+      trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.label(),
                                   msg.wire_size(), true});
     }
     return;
@@ -105,7 +112,7 @@ void Network::send(Message msg) {
     // connected, the TCP connection is reused in both directions.
     if (warm_connections_.insert(ordered_pair(msg.from, msg.to)).second) {
       delay += model_.connection_setup_us;
-      stats.add("net.connections_opened");
+      ++*connections_opened_;
     }
   }
 
@@ -119,7 +126,7 @@ void Network::send(Message msg) {
 
   if (tracing_) {
     trace_.push_back(TraceEntry{sent_at, deliver_at, msg.from, msg.to,
-                                msg.verb, msg.wire_size(), false});
+                                msg.label(), msg.wire_size(), false});
   }
 
   sim_.schedule_at(deliver_at, [this, msg = std::move(msg)]() mutable {
@@ -128,7 +135,7 @@ void Network::send(Message msg) {
       throw common::TransportError("node '" + node.label +
                                    "' has no message handler installed");
     }
-    sim_.stats().add("net.messages_delivered");
+    ++*messages_delivered_;
     node.handler(std::move(msg));
   });
 }

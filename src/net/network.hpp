@@ -122,6 +122,12 @@ class Network {
 
   sim::Simulation& sim_;
   CostModel model_;
+  // Hot-path counters, resolved once (see StatsRegistry::counter_handle).
+  std::int64_t* messages_sent_;
+  std::int64_t* bytes_sent_;
+  std::int64_t* messages_dropped_;
+  std::int64_t* messages_delivered_;
+  std::int64_t* connections_opened_;
   std::vector<NodeState> nodes_;
   std::set<std::pair<common::NodeId, common::NodeId>> warm_connections_;
   std::set<std::pair<common::NodeId, common::NodeId>> partitions_;

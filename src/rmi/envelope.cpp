@@ -1,28 +1,37 @@
 #include "rmi/envelope.hpp"
 
+#include <limits>
+#include <utility>
+
 #include "common/error.hpp"
 #include "serial/reader.hpp"
 #include "serial/writer.hpp"
 
 namespace mage::rmi {
+namespace {
 
-std::vector<std::uint8_t> Envelope::encode() const {
-  serial::Writer w;
-  w.write_u8(static_cast<std::uint8_t>(kind));
-  w.write_u64(request_id.value());
-  w.write_string(verb);
-  if (kind == EnvelopeKind::Reply) {
-    w.write_bool(ok);
-    if (!ok) w.write_string(error);
+// Upper bound on header size for Writer pre-reservation: kind + id + verb +
+// ok + body_size plus a typical error string.
+constexpr std::size_t kHeaderReserve = 64;
+
+void write_header(serial::Writer& w, const Envelope& e) {
+  if (e.body.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw common::SerializationError(
+        "envelope body of " + std::to_string(e.body.size()) +
+        " bytes exceeds the u32 length field");
   }
-  w.write_u32(static_cast<std::uint32_t>(body.size()));
-  if (!body.empty()) w.write_raw(body.data(), body.size());
-  return w.take();
+  w.write_u8(static_cast<std::uint8_t>(e.kind));
+  w.write_u64(e.request_id.value());
+  w.write_u32(e.verb.value());
+  if (e.kind == EnvelopeKind::Reply) {
+    w.write_bool(e.ok);
+    if (!e.ok) w.write_string(e.error);
+  }
+  w.write_u32(static_cast<std::uint32_t>(e.body.size()));
 }
 
-Envelope Envelope::decode(const std::vector<std::uint8_t>& bytes) {
-  serial::Reader r(bytes);
-  Envelope e;
+// Parses the framing fields; returns the declared body size.
+std::uint32_t read_header(serial::Reader& r, Envelope& e) {
   const std::uint8_t kind = r.read_u8();
   if (kind > 1) {
     throw common::SerializationError("bad envelope kind " +
@@ -30,14 +39,54 @@ Envelope Envelope::decode(const std::vector<std::uint8_t>& bytes) {
   }
   e.kind = static_cast<EnvelopeKind>(kind);
   e.request_id = common::RequestId{r.read_u64()};
-  e.verb = r.read_string();
+  e.verb = common::VerbId{r.read_u32()};
   if (e.kind == EnvelopeKind::Reply) {
     e.ok = r.read_bool();
     if (!e.ok) e.error = r.read_string();
   }
-  const std::uint32_t body_size = r.read_u32();
-  e.body.resize(body_size);
-  if (body_size > 0) r.read_raw(e.body.data(), body_size);
+  return r.read_u32();
+}
+
+}  // namespace
+
+serial::Buffer Envelope::encode_header() const {
+  serial::Writer w(kHeaderReserve);
+  write_header(w, *this);
+  return w.take();
+}
+
+serial::Buffer Envelope::encode() const {
+  serial::Writer w(kHeaderReserve + body.size());
+  write_header(w, *this);
+  if (!body.empty()) w.write_raw(body.data(), body.size());
+  return w.take();
+}
+
+Envelope Envelope::decode(const serial::Buffer& header, serial::Buffer body) {
+  serial::Reader r(header.span());
+  Envelope e;
+  const std::uint32_t body_size = read_header(r, e);
+  if (!r.at_end() || body_size != body.size()) {
+    throw common::SerializationError(
+        "envelope framing mismatch: header declares " +
+        std::to_string(body_size) + " body bytes, got " +
+        std::to_string(body.size()));
+  }
+  e.body = std::move(body);
+  return e;
+}
+
+Envelope Envelope::decode(const serial::Buffer& flat) {
+  serial::Reader r(flat);
+  Envelope e;
+  const std::uint32_t body_size = read_header(r, e);
+  if (r.remaining() != body_size) {
+    throw common::SerializationError(
+        "envelope framing mismatch: header declares " +
+        std::to_string(body_size) + " body bytes, " +
+        std::to_string(r.remaining()) + " follow");
+  }
+  if (body_size > 0) e.body = flat.slice(r.offset(), body_size);
   return e;
 }
 

@@ -2,17 +2,26 @@
 //
 // Every MAGE network interaction is a request/reply pair ("mobility
 // attributes boil down to RMI calls", Section 4.2).  A Request names the
-// remote operation (verb) and carries a serialized argument body; a Reply
-// carries either a result body or a remote error string.  Replies double as
-// acknowledgements; retransmitted Requests are deduplicated at the receiver
-// (at-most-once execution).
+// remote operation (an interned VerbId) and carries a serialized argument
+// body; a Reply carries either a result body or a remote error string.
+// Replies double as acknowledgements; retransmitted Requests are
+// deduplicated at the receiver (at-most-once execution).
+//
+// Wire layout (header ++ body, little-endian):
+//   u8 kind | u64 request_id | u32 verb | [reply: u8 ok, !ok: str error]
+//   | u32 body_size | body bytes
+// On the wire a verb is its interned 32-bit id; see docs/PERF.md for the
+// invariants this assumes.  The transport sends header and body as separate
+// ref-counted buffers (scatter-gather), so the body is never re-copied;
+// encode()/decode(flat) provide the concatenated form for tests and tools.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "common/ids.hpp"
+#include "common/verb.hpp"
+#include "serial/buffer.hpp"
 
 namespace mage::rmi {
 
@@ -21,13 +30,24 @@ enum class EnvelopeKind : std::uint8_t { Request = 0, Reply = 1 };
 struct Envelope {
   EnvelopeKind kind = EnvelopeKind::Request;
   common::RequestId request_id;
-  std::string verb;                 // Request: operation name; Reply: echo
+  common::VerbId verb;              // Request: operation; Reply: echo
   bool ok = true;                   // Reply only: false => error
   std::string error;                // Reply only, when !ok
-  std::vector<std::uint8_t> body;   // args (Request) or result (Reply)
+  serial::Buffer body;              // args (Request) or result (Reply)
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static Envelope decode(const std::vector<std::uint8_t>& bytes);
+  // Framing bytes only (everything but the body); the transport pairs this
+  // with `body` in a scatter-gather net::Message.
+  [[nodiscard]] serial::Buffer encode_header() const;
+
+  // Concatenated header ++ body (copies the body — test/tool convenience,
+  // not the hot path).
+  [[nodiscard]] serial::Buffer encode() const;
+
+  // Decodes a scatter-gather pair; validates body size against the header.
+  static Envelope decode(const serial::Buffer& header, serial::Buffer body);
+
+  // Decodes the concatenated form; the body is a zero-copy slice of `flat`.
+  static Envelope decode(const serial::Buffer& flat);
 };
 
 }  // namespace mage::rmi

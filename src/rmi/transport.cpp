@@ -1,6 +1,7 @@
 #include "rmi/transport.hpp"
 
 #include <cassert>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
@@ -8,54 +9,90 @@
 
 namespace mage::rmi {
 
-void Replier::ok(std::vector<std::uint8_t> body) const {
-  assert(transport_ != nullptr && "reply on a default-constructed Replier");
-  transport_->send_reply(to_, id_, verb_, true, {}, std::move(body));
+Transport* Replier::fire() {
+  if (transport_ == nullptr) {
+    throw common::MageError(
+        "reply through a spent, moved-from, or default-constructed Replier "
+        "(verb '" + common::verb_name(verb_) + "'): services reply exactly "
+        "once");
+  }
+  return std::exchange(transport_, nullptr);
 }
 
-void Replier::error(const std::string& message) const {
-  assert(transport_ != nullptr && "reply on a default-constructed Replier");
-  transport_->send_reply(to_, id_, verb_, false, message, {});
+void Replier::ok(serial::Buffer body) {
+  fire()->send_reply(to_, id_, verb_, true, {}, std::move(body));
+}
+
+void Replier::error(const std::string& message) {
+  fire()->send_reply(to_, id_, verb_, false, message, {});
 }
 
 Transport::Transport(net::Network& network, common::NodeId self)
-    : network_(network), sim_(network.simulation()), self_(self) {
+    : network_(network),
+      sim_(network.simulation()),
+      self_(self),
+      calls_(sim_.stats().counter_handle("rmi.calls")),
+      failures_(sim_.stats().counter_handle("rmi.failures")),
+      retransmissions_(sim_.stats().counter_handle("rmi.retransmissions")),
+      duplicates_suppressed_(
+          sim_.stats().counter_handle("rmi.duplicates_suppressed")),
+      stale_replies_(sim_.stats().counter_handle("rmi.stale_replies")) {
   network_.set_handler(self_,
                        [this](net::Message msg) { on_message(std::move(msg)); });
 }
 
-void Transport::register_service(const std::string& verb, Service service) {
-  services_[verb] = std::move(service);
+void Transport::register_service(common::VerbId verb, Service service) {
+  if (!verb.valid()) {
+    throw common::MageError("cannot register a service on an invalid verb");
+  }
+  if (verb.value() >= services_.size()) {
+    services_.resize(verb.value() + 1);
+  }
+  services_[verb.value()] = std::move(service);
 }
 
-void Transport::call(common::NodeId dest, const std::string& verb,
-                     std::vector<std::uint8_t> body, Callback callback,
+std::int64_t* Transport::verb_calls_counter(common::VerbId verb) {
+  if (verb.value() >= per_verb_calls_.size()) {
+    per_verb_calls_.resize(verb.value() + 1, nullptr);
+  }
+  auto*& handle = per_verb_calls_[verb.value()];
+  if (handle == nullptr) {
+    handle = sim_.stats().counter_handle(common::verb_calls_stat(verb));
+  }
+  return handle;
+}
+
+void Transport::call(common::NodeId dest, common::VerbId verb,
+                     serial::Buffer body, Callback callback,
                      CallOptions options) {
+  if (!verb.valid() || verb.value() >= common::interned_verb_count()) {
+    throw common::MageError("call on an uninterned verb id");
+  }
   const common::RequestId id{next_request_++};
+  const std::size_t body_size = body.size();
   PendingCall pc;
   pc.dest = dest;
   pc.verb = verb;
   pc.body = std::move(body);
   pc.callback = std::move(callback);
   pc.options = options;
-  auto [it, inserted] = pending_.emplace(id, std::move(pc));
+  auto [it, inserted] = pending_.emplace(id.value(), std::move(pc));
   assert(inserted);
   (void)it;
 
-  sim_.stats().add("rmi.calls");
-  sim_.stats().add("rmi.calls." + verb);
+  ++*calls_;
+  ++*verb_calls_counter(verb);
 
   // Client-side overhead: stub entry + argument marshalling, charged as
   // simulated CPU time before the request reaches the wire.
   const auto& model = network_.cost_model();
   const common::SimDuration prep =
-      model.rmi_client_overhead_us +
-      model.marshal_time(pending_.at(id).body.size());
+      model.rmi_client_overhead_us + model.marshal_time(body_size);
   sim_.schedule_after(prep, [this, id] { transmit(id); });
 }
 
 void Transport::transmit(common::RequestId id) {
-  auto it = pending_.find(id);
+  auto it = pending_.find(id.value());
   if (it == pending_.end() || it->second.done) return;
   PendingCall& pc = it->second;
 
@@ -63,39 +100,36 @@ void Transport::transmit(common::RequestId id) {
     pc.done = true;
     auto callback = std::move(pc.callback);
     const std::string message =
-        "rmi call '" + pc.verb + "' timed out after " +
+        "rmi call '" + common::verb_name(pc.verb) + "' timed out after " +
         std::to_string(pc.options.max_attempts) + " attempts";
     pending_.erase(it);
-    sim_.stats().add("rmi.failures");
+    ++*failures_;
     callback(CallResult::failure(message));
     return;
   }
 
   ++pc.attempts;
-  if (pc.attempts > 1) sim_.stats().add("rmi.retransmissions");
+  if (pc.attempts > 1) ++*retransmissions_;
 
   Envelope env;
   env.kind = EnvelopeKind::Request;
   env.request_id = id;
   env.verb = pc.verb;
-  env.body = pc.body;
-  network_.send(net::Message{self_, pc.dest, pc.verb, env.encode()});
+  env.body = pc.body;  // refcount, not a copy
+  network_.send(net::Message{self_, pc.dest, pc.verb, net::MsgKind::Request,
+                             env.encode_header(), std::move(env.body)});
   arm_retry_timer(id);
 }
 
 void Transport::arm_retry_timer(common::RequestId id) {
-  const auto timeout = pending_.at(id).options.retry_timeout_us;
-  sim_.schedule_after(timeout, [this, id] {
-    auto it = pending_.find(id);
-    if (it == pending_.end() || it->second.done) return;  // already answered
-    transmit(id);
-  });
+  PendingCall& pc = pending_.at(id.value());
+  pc.retry_timer = sim_.schedule_after(
+      pc.options.retry_timeout_us, [this, id] { transmit(id); });
 }
 
-std::vector<std::uint8_t> Transport::call_sync(common::NodeId dest,
-                                               const std::string& verb,
-                                               std::vector<std::uint8_t> body,
-                                               CallOptions options) {
+serial::Buffer Transport::call_sync(common::NodeId dest, common::VerbId verb,
+                                    serial::Buffer body,
+                                    CallOptions options) {
   std::optional<CallResult> result;
   call(
       dest, verb, std::move(body),
@@ -104,7 +138,7 @@ std::vector<std::uint8_t> Transport::call_sync(common::NodeId dest,
       sim_.run_until([&result] { return result.has_value(); });
   if (!completed) {
     throw common::TransportError("simulation drained while waiting for '" +
-                                 verb + "' reply");
+                                 common::verb_name(verb) + "' reply");
   }
   if (!result->ok) {
     // Distinguish error families by marker prefix: the wire carries only a
@@ -124,41 +158,56 @@ std::vector<std::uint8_t> Transport::call_sync(common::NodeId dest,
 }
 
 void Transport::on_message(net::Message msg) {
-  Envelope env = Envelope::decode(msg.payload);
+  Envelope env = Envelope::decode(msg.header, std::move(msg.body));
   if (env.kind == EnvelopeKind::Request) {
     on_request(msg.from, std::move(env));
   } else {
-    on_reply(env);
+    on_reply(std::move(env));
   }
 }
 
 void Transport::on_request(common::NodeId from, Envelope env) {
-  const auto key = std::make_pair(from, env.request_id);
-  if (auto it = reply_cache_.find(key); it != reply_cache_.end()) {
+  const std::uint64_t key = pack_key(from, env.request_id);
+  if (auto it = reply_cache_.find(key);
+      it != reply_cache_.end() && it->second.request_id == env.request_id) {
     // Duplicate (retransmission).  If we already answered, answer again
     // from the cache; if the service is still working, stay silent.
-    sim_.stats().add("rmi.duplicates_suppressed");
+    ++*duplicates_suppressed_;
     if (it->second.completed) {
-      network_.send(net::Message{self_, from, it->second.reply.verb + ".re",
-                                 it->second.reply.encode()});
+      const Envelope& reply = it->second.reply;
+      network_.send(net::Message{self_, from, reply.verb,
+                                 net::MsgKind::ReplyDup,
+                                 reply.encode_header(), reply.body});
     }
     return;
   }
 
-  auto service_it = services_.find(env.verb);
-  if (service_it == services_.end()) {
+  const std::uint32_t verb_index = env.verb.value();
+  if (verb_index >= services_.size() || !services_[verb_index]) {
     send_reply(from, env.request_id, env.verb, false,
-               "no service registered for verb '" + env.verb + "' on node " +
+               "no service registered for verb '" +
+                   common::verb_name(env.verb) + "' on node " +
                    std::to_string(self_.value()),
                {});
     return;
   }
 
-  reply_cache_.emplace(key, ReplyCacheEntry{});
-  reply_cache_order_.push_back(key);
-  while (reply_cache_order_.size() > kReplyCacheCapacity) {
-    reply_cache_.erase(reply_cache_order_.front());
-    reply_cache_order_.pop_front();
+  // Insert (or overwrite a low-32-bit aliased leftover) and record the key
+  // in the eviction ring, retiring the entry the ring slot previously held.
+  // An aliased overwrite must NOT re-record the key: the ring already holds
+  // it once, and a duplicate would make the older ring copy evict the
+  // newer, still-live entry — breaking at-most-once.
+  auto [cache_it, inserted] = reply_cache_.insert_or_assign(
+      key, ReplyCacheEntry{env.request_id, false, {}});
+  (void)cache_it;
+  if (inserted) {
+    if (reply_cache_ring_.size() < kReplyCacheCapacity) {
+      reply_cache_ring_.push_back(key);
+    } else {
+      reply_cache_.erase(reply_cache_ring_[reply_cache_head_]);
+      reply_cache_ring_[reply_cache_head_] = key;
+      reply_cache_head_ = (reply_cache_head_ + 1) % kReplyCacheCapacity;
+    }
   }
 
   // Server-side overhead: skeleton dispatch + argument unmarshalling.
@@ -167,16 +216,17 @@ void Transport::on_request(common::NodeId from, Envelope env) {
       model.rmi_server_dispatch_us + model.marshal_time(env.body.size());
   Replier replier(this, from, env.request_id, env.verb);
   sim_.schedule_after(
-      prep, [this, service = service_it->second, from,
-             body = std::move(env.body), replier]() mutable {
-        service(from, body, std::move(replier));
+      prep, [this, verb_index, from, body = std::move(env.body),
+             replier = std::move(replier)]() mutable {
+        // Re-resolve the service at fire time: the flat table may have
+        // grown (reallocated) between dispatch and execution.
+        services_[verb_index](from, body, std::move(replier));
       });
 }
 
 void Transport::send_reply(common::NodeId to, common::RequestId id,
-                           const std::string& verb, bool ok,
-                           const std::string& error,
-                           std::vector<std::uint8_t> body) {
+                           common::VerbId verb, bool ok,
+                           const std::string& error, serial::Buffer body) {
   Envelope reply;
   reply.kind = EnvelopeKind::Reply;
   reply.request_id = id;
@@ -185,11 +235,11 @@ void Transport::send_reply(common::NodeId to, common::RequestId id,
   reply.error = error;
   reply.body = std::move(body);
 
-  const auto key = std::make_pair(to, id);
-  if (auto it = reply_cache_.find(key); it != reply_cache_.end()) {
-    assert(!it->second.completed && "service replied twice to one request");
+  const std::uint64_t key = pack_key(to, id);
+  if (auto it = reply_cache_.find(key);
+      it != reply_cache_.end() && it->second.request_id == id) {
     it->second.completed = true;
-    it->second.reply = reply;
+    it->second.reply = reply;  // Buffer refcount, not a payload copy
   }
 
   // Result marshalling charged on the serving side before the wire.
@@ -197,22 +247,24 @@ void Transport::send_reply(common::NodeId to, common::RequestId id,
   sim_.schedule_after(
       model.marshal_time(reply.body.size()),
       [this, to, reply = std::move(reply)]() mutable {
-        network_.send(
-            net::Message{self_, to, reply.verb + ".reply", reply.encode()});
+        network_.send(net::Message{self_, to, reply.verb, net::MsgKind::Reply,
+                                   reply.encode_header(),
+                                   std::move(reply.body)});
       });
 }
 
-void Transport::on_reply(const Envelope& env) {
-  auto it = pending_.find(env.request_id);
+void Transport::on_reply(Envelope env) {
+  auto it = pending_.find(env.request_id.value());
   if (it == pending_.end() || it->second.done) {
-    sim_.stats().add("rmi.stale_replies");
+    ++*stale_replies_;
     return;
   }
   PendingCall& pc = it->second;
   pc.done = true;
+  sim_.cancel(pc.retry_timer);
   auto callback = std::move(pc.callback);
-  CallResult result = env.ok ? CallResult::success(env.body)
-                             : CallResult::failure(env.error);
+  CallResult result = env.ok ? CallResult::success(std::move(env.body))
+                             : CallResult::failure(std::move(env.error));
   pending_.erase(it);
   callback(std::move(result));
 }

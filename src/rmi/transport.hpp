@@ -15,6 +15,13 @@
 //     in-progress requests are ignored (the eventual reply will answer all
 //     copies).
 //
+// Hot-path layout: verbs are interned VerbIds, so dispatch is a flat vector
+// index; payloads are ref-counted serial::Buffers, so a steady-state call
+// deep-copies zero payload bytes (retransmission and the reply cache hold
+// refcounts, not copies); pending calls and the reply cache are hash maps
+// (the reply cache keyed by a packed (node, request) word with a ring-buffer
+// eviction order).
+//
 // Cost accounting per the CostModel: the caller is charged client overhead
 // plus marshalling before the request hits the wire; the callee is charged
 // dispatch plus unmarshalling before the service runs.  Every successful
@@ -22,26 +29,28 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
-#include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "common/function.hpp"
 #include "common/ids.hpp"
+#include "common/verb.hpp"
 #include "net/network.hpp"
 #include "rmi/envelope.hpp"
+#include "serial/buffer.hpp"
 
 namespace mage::rmi {
 
 // Outcome of one RMI call, exactly one of which reaches the callback.
 struct CallResult {
   bool ok = false;
-  std::string error;                // set when !ok
-  std::vector<std::uint8_t> body;   // set when ok
+  std::string error;      // set when !ok
+  serial::Buffer body;    // set when ok
 
-  static CallResult success(std::vector<std::uint8_t> body) {
+  static CallResult success(serial::Buffer body) {
     return CallResult{true, {}, std::move(body)};
   }
   static CallResult failure(std::string error) {
@@ -51,24 +60,48 @@ struct CallResult {
 
 class Transport;
 
-// Handle a service uses to answer one request; movable, one-shot.
+// Handle a service uses to answer one request.  Move-only and strictly
+// one-shot: replying a second time (or through a moved-from handle) throws
+// MageError — a service that double-replies is a protocol bug, not a
+// recoverable condition.
 class Replier {
  public:
   Replier() = default;
   Replier(Transport* transport, common::NodeId to, common::RequestId id,
-          std::string verb)
-      : transport_(transport), to_(to), id_(id), verb_(std::move(verb)) {}
+          common::VerbId verb)
+      : transport_(transport), to_(to), id_(id), verb_(verb) {}
 
-  void ok(std::vector<std::uint8_t> body) const;
-  void error(const std::string& message) const;
+  Replier(Replier&& other) noexcept { steal(other); }
+  Replier& operator=(Replier&& other) noexcept {
+    if (this != &other) steal(other);
+    return *this;
+  }
+  Replier(const Replier&) = delete;
+  Replier& operator=(const Replier&) = delete;
+
+  void ok(serial::Buffer body);
+  void error(const std::string& message);
 
   [[nodiscard]] common::NodeId caller() const { return to_; }
+  // True until the reply has been sent (false for default-constructed and
+  // moved-from handles).
+  [[nodiscard]] bool armed() const { return transport_ != nullptr; }
 
  private:
+  void steal(Replier& other) {
+    transport_ = other.transport_;
+    to_ = other.to_;
+    id_ = other.id_;
+    verb_ = other.verb_;
+    other.transport_ = nullptr;
+  }
+  // Returns the transport exactly once; throws on reuse.
+  Transport* fire();
+
   Transport* transport_ = nullptr;
   common::NodeId to_;
   common::RequestId id_;
-  std::string verb_;
+  common::VerbId verb_;
 };
 
 struct CallOptions {
@@ -78,10 +111,12 @@ struct CallOptions {
 
 class Transport {
  public:
-  using Callback = std::function<void(CallResult)>;
+  // Move-only: callbacks routinely capture Buffers and Repliers.
+  using Callback = common::UniqueFunction<void(CallResult)>;
   // Service receives the caller's node, the argument body, and a Replier.
+  // Multi-shot (std::function): one registration answers many requests.
   using Service = std::function<void(common::NodeId caller,
-                                     const std::vector<std::uint8_t>& body,
+                                     const serial::Buffer& body,
                                      Replier replier)>;
 
   Transport(net::Network& network, common::NodeId self);
@@ -92,58 +127,90 @@ class Transport {
   [[nodiscard]] common::NodeId self() const { return self_; }
   [[nodiscard]] net::Network& network() { return network_; }
 
-  void register_service(const std::string& verb, Service service);
+  void register_service(common::VerbId verb, Service service);
+  void register_service(std::string_view verb, Service service) {
+    register_service(common::intern_verb(verb), std::move(service));
+  }
 
   // Asynchronous call; `callback` fires exactly once.
-  void call(common::NodeId dest, const std::string& verb,
-            std::vector<std::uint8_t> body, Callback callback,
-            CallOptions options = {});
+  void call(common::NodeId dest, common::VerbId verb, serial::Buffer body,
+            Callback callback, CallOptions options = {});
+  void call(common::NodeId dest, std::string_view verb, serial::Buffer body,
+            Callback callback, CallOptions options = {}) {
+    call(dest, common::intern_verb(verb), std::move(body),
+         std::move(callback), options);
+  }
 
   // Synchronous call usable only from driver code (runs the event loop
   // until the reply arrives).  Throws RemoteInvocationError on remote
   // error, TransportError when retries are exhausted.
-  std::vector<std::uint8_t> call_sync(common::NodeId dest,
-                                      const std::string& verb,
-                                      std::vector<std::uint8_t> body,
-                                      CallOptions options = {});
+  serial::Buffer call_sync(common::NodeId dest, common::VerbId verb,
+                           serial::Buffer body, CallOptions options = {});
+  serial::Buffer call_sync(common::NodeId dest, std::string_view verb,
+                           serial::Buffer body, CallOptions options = {}) {
+    return call_sync(dest, common::intern_verb(verb), std::move(body),
+                     options);
+  }
 
  private:
   friend class Replier;
 
   struct PendingCall {
     common::NodeId dest;
-    std::string verb;
-    std::vector<std::uint8_t> body;  // retained for retransmission
+    common::VerbId verb;
+    serial::Buffer body;  // retained (refcount) for retransmission
     Callback callback;
     CallOptions options;
     int attempts = 0;
     bool done = false;
+    sim::EventId retry_timer;  // outstanding timer, cancelled on completion
   };
 
   void on_message(net::Message msg);
   void on_request(common::NodeId from, Envelope env);
-  void on_reply(const Envelope& env);
+  void on_reply(Envelope env);
   void transmit(common::RequestId id);
   void arm_retry_timer(common::RequestId id);
   void send_reply(common::NodeId to, common::RequestId id,
-                  const std::string& verb, bool ok, const std::string& error,
-                  std::vector<std::uint8_t> body);
+                  common::VerbId verb, bool ok, const std::string& error,
+                  serial::Buffer body);
+  std::int64_t* verb_calls_counter(common::VerbId verb);
 
   net::Network& network_;
   sim::Simulation& sim_;
   common::NodeId self_;
-  std::map<std::string, Service> services_;
-  std::map<common::RequestId, PendingCall> pending_;
+  // Flat dispatch table indexed by VerbId (grown on register).
+  std::vector<Service> services_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;  // by request id
   std::uint64_t next_request_ = 1;
 
-  // At-most-once receiver state, keyed by (caller, request id).
+  // Hot-path counters (see StatsRegistry::counter_handle).
+  std::int64_t* calls_;
+  std::int64_t* failures_;
+  std::int64_t* retransmissions_;
+  std::int64_t* duplicates_suppressed_;
+  std::int64_t* stale_replies_;
+  // Per-verb "rmi.calls.<verb>" counters, indexed by VerbId.
+  std::vector<std::int64_t*> per_verb_calls_;
+
+  // At-most-once receiver state, keyed by (caller, request id) packed into
+  // one 64-bit word (caller in the high bits, request id in the low 32).
+  // The full request id is kept in the entry and verified on every hit, so
+  // a low-32-bit wraparound can never alias two live requests.
   struct ReplyCacheEntry {
+    common::RequestId request_id;
     bool completed = false;  // false => execution still in progress
     Envelope reply;          // valid when completed
   };
-  std::map<std::pair<common::NodeId, common::RequestId>, ReplyCacheEntry>
-      reply_cache_;
-  std::deque<std::pair<common::NodeId, common::RequestId>> reply_cache_order_;
+  static std::uint64_t pack_key(common::NodeId node, common::RequestId id) {
+    return (static_cast<std::uint64_t>(node.value()) << 32) |
+           (id.value() & 0xFFFFFFFFull);
+  }
+  std::unordered_map<std::uint64_t, ReplyCacheEntry> reply_cache_;
+  // Fixed-capacity ring of cache keys in insertion order; the slot being
+  // overwritten is the entry evicted.
+  std::vector<std::uint64_t> reply_cache_ring_;
+  std::size_t reply_cache_head_ = 0;
   static constexpr std::size_t kReplyCacheCapacity = 8192;
 };
 

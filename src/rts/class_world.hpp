@@ -31,8 +31,8 @@
 namespace mage::rts {
 
 // Marshalled method: serialized args in, serialized result out.
-using MethodFn = std::function<std::vector<std::uint8_t>(
-    MageObject&, const std::vector<std::uint8_t>&)>;
+using MethodFn =
+    std::function<serial::Buffer(MageObject&, const serial::Buffer&)>;
 
 struct MethodEntry {
   MethodFn fn;
@@ -110,8 +110,7 @@ namespace detail {
 // function, const or not.
 template <typename T, typename R, typename Fn, typename... Args>
 MethodFn wrap_method_impl(Fn fn, std::tuple<Args...>*) {
-  return [fn](MageObject& object,
-              const std::vector<std::uint8_t>& args_bytes) {
+  return [fn](MageObject& object, const serial::Buffer& args_bytes) {
     auto* typed = dynamic_cast<T*>(&object);
     if (typed == nullptr) {
       throw common::RemoteInvocationError(

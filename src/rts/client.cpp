@@ -258,9 +258,10 @@ void MageClient::transfer_out(const common::ComponentName& name,
 
 // --- invocation --------------------------------------------------------------------
 
-std::vector<std::uint8_t> MageClient::invoke_raw(
-    common::NodeId& cloc, const common::ComponentName& name,
-    const std::string& method, std::vector<std::uint8_t> args) {
+serial::Buffer MageClient::invoke_raw(common::NodeId& cloc,
+                                      const common::ComponentName& name,
+                                      const std::string& method,
+                                      serial::Buffer args) {
   if (common::is_no_node(cloc)) cloc = find(name);
   proto::InvokeRequest request;
   request.name = name;
@@ -301,7 +302,7 @@ std::vector<std::uint8_t> MageClient::invoke_raw(
 void MageClient::invoke_oneway_raw(common::NodeId& cloc,
                                    const common::ComponentName& name,
                                    const std::string& method,
-                                   std::vector<std::uint8_t> args) {
+                                   serial::Buffer args) {
   if (common::is_no_node(cloc)) cloc = find(name);
   proto::InvokeRequest request;
   request.name = name;
@@ -329,7 +330,7 @@ void MageClient::invoke_oneway_raw(common::NodeId& cloc,
                                       method + "' did not converge");
 }
 
-std::vector<std::uint8_t> MageClient::fetch_result_raw(
+serial::Buffer MageClient::fetch_result_raw(
     common::NodeId& cloc, const common::ComponentName& name) {
   if (common::is_no_node(cloc)) cloc = find(name);
   proto::FetchResultRequest request{name};
@@ -345,10 +346,11 @@ std::vector<std::uint8_t> MageClient::fetch_result_raw(
 
 // --- condensed remote evaluation ------------------------------------------------------------
 
-std::vector<std::uint8_t> MageClient::exec_at_raw(
-    common::NodeId target, const std::string& class_name,
-    const common::ComponentName& name, const std::string& method,
-    std::vector<std::uint8_t> args) {
+serial::Buffer MageClient::exec_at_raw(common::NodeId target,
+                                       const std::string& class_name,
+                                       const common::ComponentName& name,
+                                       const std::string& method,
+                                       serial::Buffer args) {
   local_server_.class_cache().install(class_name);  // shipping our own code
   proto::ExecRequest request;
   request.class_name = class_name;
@@ -414,8 +416,8 @@ common::NodeId MageClient::discover_best(
 
 // --- class statics ----------------------------------------------------------------------
 
-std::vector<std::uint8_t> MageClient::static_get_raw(
-    const std::string& class_name, const std::string& key) {
+serial::Buffer MageClient::static_get_raw(const std::string& class_name,
+                                          const std::string& key) {
   const auto home = world_.descriptor(class_name).statics_home;
   if (common::is_no_node(home)) {
     throw common::MageError("class '" + class_name +
@@ -432,7 +434,7 @@ std::vector<std::uint8_t> MageClient::static_get_raw(
 
 void MageClient::static_put_raw(const std::string& class_name,
                                 const std::string& key,
-                                std::vector<std::uint8_t> value) {
+                                serial::Buffer value) {
   const auto home = world_.descriptor(class_name).statics_home;
   if (common::is_no_node(home)) {
     throw common::MageError("class '" + class_name +

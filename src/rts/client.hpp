@@ -140,16 +140,14 @@ class MageClient {
     return serial::get<R>(r);
   }
 
-  std::vector<std::uint8_t> invoke_raw(common::NodeId& cloc,
-                                       const common::ComponentName& name,
-                                       const std::string& method,
-                                       std::vector<std::uint8_t> args);
+  serial::Buffer invoke_raw(common::NodeId& cloc,
+                            const common::ComponentName& name,
+                            const std::string& method, serial::Buffer args);
   void invoke_oneway_raw(common::NodeId& cloc,
                          const common::ComponentName& name,
-                         const std::string& method,
-                         std::vector<std::uint8_t> args);
-  std::vector<std::uint8_t> fetch_result_raw(
-      common::NodeId& cloc, const common::ComponentName& name);
+                         const std::string& method, serial::Buffer args);
+  serial::Buffer fetch_result_raw(common::NodeId& cloc,
+                                  const common::ComponentName& name);
 
   // --- condensed remote evaluation --------------------------------------------------
 
@@ -168,11 +166,10 @@ class MageClient {
     return serial::get<R>(r);
   }
 
-  std::vector<std::uint8_t> exec_at_raw(common::NodeId target,
-                                        const std::string& class_name,
-                                        const common::ComponentName& name,
-                                        const std::string& method,
-                                        std::vector<std::uint8_t> args);
+  serial::Buffer exec_at_raw(common::NodeId target,
+                             const std::string& class_name,
+                             const common::ComponentName& name,
+                             const std::string& method, serial::Buffer args);
 
   // --- resource discovery --------------------------------------------------------
 
@@ -207,10 +204,10 @@ class MageClient {
     static_put_raw(class_name, key, w.take());
   }
 
-  std::vector<std::uint8_t> static_get_raw(const std::string& class_name,
-                                           const std::string& key);
+  serial::Buffer static_get_raw(const std::string& class_name,
+                                const std::string& key);
   void static_put_raw(const std::string& class_name, const std::string& key,
-                      std::vector<std::uint8_t> value);
+                      serial::Buffer value);
 
   // --- locking ----------------------------------------------------------------
 

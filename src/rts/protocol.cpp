@@ -24,7 +24,7 @@ common::NodeId get_node(serial::Reader& r) {
 
 namespace {
 
-serial::Reader make_reader(const std::vector<std::uint8_t>& bytes) {
+serial::Reader make_reader(const serial::Buffer& bytes) {
   return serial::Reader(bytes);
 }
 
@@ -32,14 +32,14 @@ serial::Reader make_reader(const std::vector<std::uint8_t>& bytes) {
 
 // --- LookupRequest -----------------------------------------------------------
 
-std::vector<std::uint8_t> LookupRequest::encode() const {
+serial::Buffer LookupRequest::encode() const {
   serial::Writer w;
   w.write_string(name);
   w.write_u32(hops);
   return w.take();
 }
 
-LookupRequest LookupRequest::decode(const std::vector<std::uint8_t>& bytes) {
+LookupRequest LookupRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   LookupRequest v;
   v.name = r.read_string();
@@ -49,7 +49,7 @@ LookupRequest LookupRequest::decode(const std::vector<std::uint8_t>& bytes) {
 
 // --- LookupReply ---------------------------------------------------------------
 
-std::vector<std::uint8_t> LookupReply::encode() const {
+serial::Buffer LookupReply::encode() const {
   serial::Writer w;
   w.write_u8(static_cast<std::uint8_t>(status));
   put_node(w, host);
@@ -57,7 +57,7 @@ std::vector<std::uint8_t> LookupReply::encode() const {
   return w.take();
 }
 
-LookupReply LookupReply::decode(const std::vector<std::uint8_t>& bytes) {
+LookupReply LookupReply::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   LookupReply v;
   v.status = static_cast<Status>(r.read_u8());
@@ -68,45 +68,42 @@ LookupReply LookupReply::decode(const std::vector<std::uint8_t>& bytes) {
 
 // --- ClassCheckRequest / Reply --------------------------------------------------
 
-std::vector<std::uint8_t> ClassCheckRequest::encode() const {
+serial::Buffer ClassCheckRequest::encode() const {
   serial::Writer w;
   w.write_string(class_name);
   return w.take();
 }
 
-ClassCheckRequest ClassCheckRequest::decode(
-    const std::vector<std::uint8_t>& bytes) {
+ClassCheckRequest ClassCheckRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   return ClassCheckRequest{r.read_string()};
 }
 
-std::vector<std::uint8_t> ClassCheckReply::encode() const {
+serial::Buffer ClassCheckReply::encode() const {
   serial::Writer w;
   w.write_bool(cached);
   return w.take();
 }
 
-ClassCheckReply ClassCheckReply::decode(
-    const std::vector<std::uint8_t>& bytes) {
+ClassCheckReply ClassCheckReply::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   return ClassCheckReply{r.read_bool()};
 }
 
 // --- FetchClassRequest / ClassImage / LoadClassRequest ---------------------------
 
-std::vector<std::uint8_t> FetchClassRequest::encode() const {
+serial::Buffer FetchClassRequest::encode() const {
   serial::Writer w;
   w.write_string(class_name);
   return w.take();
 }
 
-FetchClassRequest FetchClassRequest::decode(
-    const std::vector<std::uint8_t>& bytes) {
+FetchClassRequest FetchClassRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   return FetchClassRequest{r.read_string()};
 }
 
-std::vector<std::uint8_t> ClassImage::encode() const {
+serial::Buffer ClassImage::encode() const {
   serial::Writer w;
   w.write_string(class_name);
   w.write_u32(code_size);
@@ -117,7 +114,7 @@ std::vector<std::uint8_t> ClassImage::encode() const {
   return w.take();
 }
 
-ClassImage ClassImage::decode(const std::vector<std::uint8_t>& bytes) {
+ClassImage ClassImage::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   ClassImage v;
   v.class_name = r.read_string();
@@ -127,18 +124,17 @@ ClassImage ClassImage::decode(const std::vector<std::uint8_t>& bytes) {
   return v;
 }
 
-std::vector<std::uint8_t> LoadClassRequest::encode() const {
+serial::Buffer LoadClassRequest::encode() const {
   return image.encode();
 }
 
-LoadClassRequest LoadClassRequest::decode(
-    const std::vector<std::uint8_t>& bytes) {
+LoadClassRequest LoadClassRequest::decode(const serial::Buffer& bytes) {
   return LoadClassRequest{ClassImage::decode(bytes)};
 }
 
 // --- InstantiateRequest ---------------------------------------------------------
 
-std::vector<std::uint8_t> InstantiateRequest::encode() const {
+serial::Buffer InstantiateRequest::encode() const {
   serial::Writer w;
   w.write_string(class_name);
   w.write_string(object_name);
@@ -147,8 +143,7 @@ std::vector<std::uint8_t> InstantiateRequest::encode() const {
   return w.take();
 }
 
-InstantiateRequest InstantiateRequest::decode(
-    const std::vector<std::uint8_t>& bytes) {
+InstantiateRequest InstantiateRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   InstantiateRequest v;
   v.class_name = r.read_string();
@@ -160,7 +155,7 @@ InstantiateRequest InstantiateRequest::decode(
 
 // --- SimpleReply ------------------------------------------------------------------
 
-std::vector<std::uint8_t> SimpleReply::encode() const {
+serial::Buffer SimpleReply::encode() const {
   serial::Writer w;
   w.write_u8(static_cast<std::uint8_t>(status));
   put_node(w, hint);
@@ -168,7 +163,7 @@ std::vector<std::uint8_t> SimpleReply::encode() const {
   return w.take();
 }
 
-SimpleReply SimpleReply::decode(const std::vector<std::uint8_t>& bytes) {
+SimpleReply SimpleReply::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   SimpleReply v;
   v.status = static_cast<Status>(r.read_u8());
@@ -179,14 +174,14 @@ SimpleReply SimpleReply::decode(const std::vector<std::uint8_t>& bytes) {
 
 // --- MoveRequest -------------------------------------------------------------------
 
-std::vector<std::uint8_t> MoveRequest::encode() const {
+serial::Buffer MoveRequest::encode() const {
   serial::Writer w;
   w.write_string(name);
   put_node(w, to);
   return w.take();
 }
 
-MoveRequest MoveRequest::decode(const std::vector<std::uint8_t>& bytes) {
+MoveRequest MoveRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   MoveRequest v;
   v.name = r.read_string();
@@ -196,90 +191,79 @@ MoveRequest MoveRequest::decode(const std::vector<std::uint8_t>& bytes) {
 
 // --- TransferRequest ----------------------------------------------------------------
 
-std::vector<std::uint8_t> TransferRequest::encode() const {
+serial::Buffer TransferRequest::encode() const {
   serial::Writer w;
   w.write_string(name);
   w.write_string(class_name);
   w.write_bool(is_public);
-  w.write_u32(static_cast<std::uint32_t>(state.size()));
-  if (!state.empty()) w.write_raw(state.data(), state.size());
+  w.write_bytes(state.span());
   return w.take();
 }
 
-TransferRequest TransferRequest::decode(
-    const std::vector<std::uint8_t>& bytes) {
+TransferRequest TransferRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   TransferRequest v;
   v.name = r.read_string();
   v.class_name = r.read_string();
   v.is_public = r.read_bool();
-  const std::uint32_t n = r.read_u32();
-  v.state.resize(n);
-  if (n > 0) r.read_raw(v.state.data(), n);
+  v.state = r.read_bytes();
   return v;
 }
 
 // --- InvokeRequest / InvokeReply ------------------------------------------------------
 
-std::vector<std::uint8_t> InvokeRequest::encode() const {
+serial::Buffer InvokeRequest::encode() const {
   serial::Writer w;
   w.write_string(name);
   w.write_string(method);
-  w.write_u32(static_cast<std::uint32_t>(args.size()));
-  if (!args.empty()) w.write_raw(args.data(), args.size());
+  w.write_bytes(args.span());
   return w.take();
 }
 
-InvokeRequest InvokeRequest::decode(const std::vector<std::uint8_t>& bytes) {
+InvokeRequest InvokeRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   InvokeRequest v;
   v.name = r.read_string();
   v.method = r.read_string();
-  const std::uint32_t n = r.read_u32();
-  v.args.resize(n);
-  if (n > 0) r.read_raw(v.args.data(), n);
+  v.args = r.read_bytes();
   return v;
 }
 
-std::vector<std::uint8_t> InvokeReply::encode() const {
+serial::Buffer InvokeReply::encode() const {
   serial::Writer w;
   w.write_u8(static_cast<std::uint8_t>(status));
   put_node(w, hint);
   w.write_string(error);
-  w.write_u32(static_cast<std::uint32_t>(result.size()));
-  if (!result.empty()) w.write_raw(result.data(), result.size());
+  w.write_bytes(result.span());
   return w.take();
 }
 
-InvokeReply InvokeReply::decode(const std::vector<std::uint8_t>& bytes) {
+InvokeReply InvokeReply::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   InvokeReply v;
   v.status = static_cast<Status>(r.read_u8());
   v.hint = get_node(r);
   v.error = r.read_string();
-  const std::uint32_t n = r.read_u32();
-  v.result.resize(n);
-  if (n > 0) r.read_raw(v.result.data(), n);
+  v.result = r.read_bytes();
   return v;
 }
 
 // --- FetchResultRequest ------------------------------------------------------------
 
-std::vector<std::uint8_t> FetchResultRequest::encode() const {
+serial::Buffer FetchResultRequest::encode() const {
   serial::Writer w;
   w.write_string(name);
   return w.take();
 }
 
-FetchResultRequest FetchResultRequest::decode(
-    const std::vector<std::uint8_t>& bytes) {
+FetchResultRequest FetchResultRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   return FetchResultRequest{r.read_string()};
 }
 
 // --- LockRequest / LockReply / UnlockRequest -------------------------------------------
 
-std::vector<std::uint8_t> LockRequest::encode() const {
+serial::Buffer LockRequest::encode() const {
   serial::Writer w;
   w.write_string(name);
   put_node(w, target);
@@ -287,7 +271,7 @@ std::vector<std::uint8_t> LockRequest::encode() const {
   return w.take();
 }
 
-LockRequest LockRequest::decode(const std::vector<std::uint8_t>& bytes) {
+LockRequest LockRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   LockRequest v;
   v.name = r.read_string();
@@ -296,7 +280,7 @@ LockRequest LockRequest::decode(const std::vector<std::uint8_t>& bytes) {
   return v;
 }
 
-std::vector<std::uint8_t> LockReply::encode() const {
+serial::Buffer LockReply::encode() const {
   serial::Writer w;
   w.write_u8(static_cast<std::uint8_t>(status));
   put_node(w, hint);
@@ -306,7 +290,7 @@ std::vector<std::uint8_t> LockReply::encode() const {
   return w.take();
 }
 
-LockReply LockReply::decode(const std::vector<std::uint8_t>& bytes) {
+LockReply LockReply::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   LockReply v;
   v.status = static_cast<Status>(r.read_u8());
@@ -317,14 +301,14 @@ LockReply LockReply::decode(const std::vector<std::uint8_t>& bytes) {
   return v;
 }
 
-std::vector<std::uint8_t> UnlockRequest::encode() const {
+serial::Buffer UnlockRequest::encode() const {
   serial::Writer w;
   w.write_string(name);
   w.write_u64(lock_id);
   return w.take();
 }
 
-UnlockRequest UnlockRequest::decode(const std::vector<std::uint8_t>& bytes) {
+UnlockRequest UnlockRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   UnlockRequest v;
   v.name = r.read_string();
@@ -334,15 +318,14 @@ UnlockRequest UnlockRequest::decode(const std::vector<std::uint8_t>& bytes) {
 
 // --- StaticGetRequest / StaticPutRequest -----------------------------------------------
 
-std::vector<std::uint8_t> StaticGetRequest::encode() const {
+serial::Buffer StaticGetRequest::encode() const {
   serial::Writer w;
   w.write_string(class_name);
   w.write_string(key);
   return w.take();
 }
 
-StaticGetRequest StaticGetRequest::decode(
-    const std::vector<std::uint8_t>& bytes) {
+StaticGetRequest StaticGetRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   StaticGetRequest v;
   v.class_name = r.read_string();
@@ -350,75 +333,67 @@ StaticGetRequest StaticGetRequest::decode(
   return v;
 }
 
-std::vector<std::uint8_t> StaticPutRequest::encode() const {
+serial::Buffer StaticPutRequest::encode() const {
   serial::Writer w;
   w.write_string(class_name);
   w.write_string(key);
-  w.write_u32(static_cast<std::uint32_t>(value.size()));
-  if (!value.empty()) w.write_raw(value.data(), value.size());
+  w.write_bytes(value.span());
   return w.take();
 }
 
-StaticPutRequest StaticPutRequest::decode(
-    const std::vector<std::uint8_t>& bytes) {
+StaticPutRequest StaticPutRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   StaticPutRequest v;
   v.class_name = r.read_string();
   v.key = r.read_string();
-  const std::uint32_t n = r.read_u32();
-  v.value.resize(n);
-  if (n > 0) r.read_raw(v.value.data(), n);
+  v.value = r.read_bytes();
   return v;
 }
 
 // --- ExecRequest ----------------------------------------------------------------------
 
-std::vector<std::uint8_t> ExecRequest::encode() const {
+serial::Buffer ExecRequest::encode() const {
   serial::Writer w;
   w.write_string(class_name);
   w.write_string(object_name);
   w.write_string(method);
-  w.write_u32(static_cast<std::uint32_t>(args.size()));
-  if (!args.empty()) w.write_raw(args.data(), args.size());
+  w.write_bytes(args.span());
   put_node(w, class_source);
   return w.take();
 }
 
-ExecRequest ExecRequest::decode(const std::vector<std::uint8_t>& bytes) {
+ExecRequest ExecRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   ExecRequest v;
   v.class_name = r.read_string();
   v.object_name = r.read_string();
   v.method = r.read_string();
-  const std::uint32_t n = r.read_u32();
-  v.args.resize(n);
-  if (n > 0) r.read_raw(v.args.data(), n);
+  v.args = r.read_bytes();
   v.class_source = get_node(r);
   return v;
 }
 
 // --- DiscoverRequest / DiscoverReply ---------------------------------------------------
 
-std::vector<std::uint8_t> DiscoverRequest::encode() const {
+serial::Buffer DiscoverRequest::encode() const {
   serial::Writer w;
   w.write_string(kind);
   return w.take();
 }
 
-DiscoverRequest DiscoverRequest::decode(
-    const std::vector<std::uint8_t>& bytes) {
+DiscoverRequest DiscoverRequest::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   return DiscoverRequest{r.read_string()};
 }
 
-std::vector<std::uint8_t> DiscoverReply::encode() const {
+serial::Buffer DiscoverReply::encode() const {
   serial::Writer w;
   w.write_bool(offers);
   w.write_f64(capacity);
   return w.take();
 }
 
-DiscoverReply DiscoverReply::decode(const std::vector<std::uint8_t>& bytes) {
+DiscoverReply DiscoverReply::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   DiscoverReply v;
   v.offers = r.read_bool();
@@ -428,13 +403,13 @@ DiscoverReply DiscoverReply::decode(const std::vector<std::uint8_t>& bytes) {
 
 // --- LoadReply ------------------------------------------------------------------------
 
-std::vector<std::uint8_t> LoadReply::encode() const {
+serial::Buffer LoadReply::encode() const {
   serial::Writer w;
   w.write_f64(load);
   return w.take();
 }
 
-LoadReply LoadReply::decode(const std::vector<std::uint8_t>& bytes) {
+LoadReply LoadReply::decode(const serial::Buffer& bytes) {
   auto r = make_reader(bytes);
   return LoadReply{r.read_f64()};
 }

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/verb.hpp"
 #include "rts/lock_manager.hpp"
+#include "serial/buffer.hpp"
 #include "serial/reader.hpp"
 #include "serial/writer.hpp"
 
@@ -22,33 +24,33 @@ namespace mage::rts::proto {
 // Operation names.  The ".reply"-suffixed verbs on the wire are added by
 // the transport; these are the request verbs.
 namespace verbs {
-inline constexpr const char* kLookup = "mage.lookup";
-inline constexpr const char* kClassCheck = "mage.class_check";
-inline constexpr const char* kFetchClass = "mage.fetch_class";
-inline constexpr const char* kLoadClass = "mage.load_class";
-inline constexpr const char* kInstantiate = "mage.instantiate";
-inline constexpr const char* kMove = "mage.move";
-inline constexpr const char* kTransfer = "mage.transfer";
-inline constexpr const char* kInvoke = "mage.invoke";
-inline constexpr const char* kInvokeOneway = "mage.invoke_oneway";
-inline constexpr const char* kFetchResult = "mage.fetch_result";
-inline constexpr const char* kLock = "mage.lock";
-inline constexpr const char* kUnlock = "mage.unlock";
-inline constexpr const char* kGetLoad = "mage.get_load";
-inline constexpr const char* kPing = "mage.ping";
+inline const common::VerbId kLookup = common::intern_verb("mage.lookup");
+inline const common::VerbId kClassCheck = common::intern_verb("mage.class_check");
+inline const common::VerbId kFetchClass = common::intern_verb("mage.fetch_class");
+inline const common::VerbId kLoadClass = common::intern_verb("mage.load_class");
+inline const common::VerbId kInstantiate = common::intern_verb("mage.instantiate");
+inline const common::VerbId kMove = common::intern_verb("mage.move");
+inline const common::VerbId kTransfer = common::intern_verb("mage.transfer");
+inline const common::VerbId kInvoke = common::intern_verb("mage.invoke");
+inline const common::VerbId kInvokeOneway = common::intern_verb("mage.invoke_oneway");
+inline const common::VerbId kFetchResult = common::intern_verb("mage.fetch_result");
+inline const common::VerbId kLock = common::intern_verb("mage.lock");
+inline const common::VerbId kUnlock = common::intern_verb("mage.unlock");
+inline const common::VerbId kGetLoad = common::intern_verb("mage.get_load");
+inline const common::VerbId kPing = common::intern_verb("mage.ping");
 // Traditional REV's per-bind lookup of the remote execution server's stub
 // (Naming.lookup against the target's RMI registry).
-inline constexpr const char* kResolveServer = "mage.resolve_server";
+inline const common::VerbId kResolveServer = common::intern_verb("mage.resolve_server");
 // Static-field coherency (the Section 4.2 limitation, implemented): class
 // data lives at the class's statics home and is read/written there.
-inline constexpr const char* kStaticGet = "mage.static_get";
-inline constexpr const char* kStaticPut = "mage.static_put";
+inline const common::VerbId kStaticGet = common::intern_verb("mage.static_get");
+inline const common::VerbId kStaticPut = common::intern_verb("mage.static_put");
 // Resource discovery ("support host and resource discovery", Section 1).
-inline constexpr const char* kDiscover = "mage.discover";
+inline const common::VerbId kDiscover = common::intern_verb("mage.discover");
 // Condensed remote evaluation — the Section 5 optimization: "condensing
 // the number of RMI calls ... by better utilizing the in and out variables
 // of a single Java RMI call".  One exchange carries instantiate + invoke.
-inline constexpr const char* kExec = "mage.exec";
+inline const common::VerbId kExec = common::intern_verb("mage.exec");
 }  // namespace verbs
 
 // Shared status for operations addressed to "the node currently hosting X":
@@ -72,8 +74,8 @@ struct LookupRequest {
   common::ComponentName name;
   std::uint32_t hops = 0;  // cycle guard for the forwarding-chain walk
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static LookupRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static LookupRequest decode(const serial::Buffer& bytes);
 };
 
 struct LookupReply {
@@ -81,8 +83,8 @@ struct LookupReply {
   common::NodeId host = common::kNoNode;  // valid when Ok
   std::string error;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static LookupReply decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static LookupReply decode(const serial::Buffer& bytes);
 };
 
 // --- class shipping ------------------------------------------------------
@@ -90,22 +92,22 @@ struct LookupReply {
 struct ClassCheckRequest {
   std::string class_name;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static ClassCheckRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static ClassCheckRequest decode(const serial::Buffer& bytes);
 };
 
 struct ClassCheckReply {
   bool cached = false;  // does the queried node hold the class image?
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static ClassCheckReply decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static ClassCheckReply decode(const serial::Buffer& bytes);
 };
 
 struct FetchClassRequest {
   std::string class_name;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static FetchClassRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static FetchClassRequest decode(const serial::Buffer& bytes);
 };
 
 // The class image: name + simulated code bytes (filler sized to the
@@ -114,16 +116,16 @@ struct ClassImage {
   std::string class_name;
   std::uint32_t code_size = 0;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static ClassImage decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static ClassImage decode(const serial::Buffer& bytes);
 };
 
 // Push-style class load (REV/MA push the class toward the target).
 struct LoadClassRequest {
   ClassImage image;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static LoadClassRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static LoadClassRequest decode(const serial::Buffer& bytes);
 };
 
 // --- instantiation (class-bound REV/COD act as object factories) -----------
@@ -135,8 +137,8 @@ struct InstantiateRequest {
   // Node able to serve the class image if the target lacks it.
   common::NodeId class_source = common::kNoNode;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static InstantiateRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static InstantiateRequest decode(const serial::Buffer& bytes);
 };
 
 struct SimpleReply {
@@ -144,8 +146,8 @@ struct SimpleReply {
   common::NodeId hint = common::kNoNode;  // valid when Moved
   std::string error;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static SimpleReply decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static SimpleReply decode(const serial::Buffer& bytes);
 };
 
 // --- migration (Figure 7) ---------------------------------------------------
@@ -154,18 +156,18 @@ struct MoveRequest {
   common::ComponentName name;
   common::NodeId to = common::kNoNode;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static MoveRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static MoveRequest decode(const serial::Buffer& bytes);
 };
 
 struct TransferRequest {
   common::ComponentName name;
   std::string class_name;
   bool is_public = false;
-  std::vector<std::uint8_t> state;  // weakly migrated heap state
+  serial::Buffer state;  // weakly migrated heap state
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static TransferRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static TransferRequest decode(const serial::Buffer& bytes);
 };
 
 // --- invocation ---------------------------------------------------------
@@ -173,27 +175,27 @@ struct TransferRequest {
 struct InvokeRequest {
   common::ComponentName name;
   std::string method;
-  std::vector<std::uint8_t> args;
+  serial::Buffer args;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static InvokeRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static InvokeRequest decode(const serial::Buffer& bytes);
 };
 
 struct InvokeReply {
   Status status = Status::Ok;
   common::NodeId hint = common::kNoNode;  // valid when Moved
   std::string error;                      // valid when Error
-  std::vector<std::uint8_t> result;       // valid when Ok
+  serial::Buffer result;                  // valid when Ok
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static InvokeReply decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static InvokeReply decode(const serial::Buffer& bytes);
 };
 
 struct FetchResultRequest {
   common::ComponentName name;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static FetchResultRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static FetchResultRequest decode(const serial::Buffer& bytes);
 };
 
 // --- locking -------------------------------------------------------------
@@ -203,8 +205,8 @@ struct LockRequest {
   common::NodeId target = common::kNoNode;  // the attribute's target
   std::uint64_t activity = 0;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static LockRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static LockRequest decode(const serial::Buffer& bytes);
 };
 
 struct LockReply {
@@ -214,16 +216,16 @@ struct LockReply {
   LockKind kind = LockKind::Stay;         // valid when Ok
   std::string error;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static LockReply decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static LockReply decode(const serial::Buffer& bytes);
 };
 
 struct UnlockRequest {
   common::ComponentName name;
   std::uint64_t lock_id = 0;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static UnlockRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static UnlockRequest decode(const serial::Buffer& bytes);
 };
 
 // --- class statics ------------------------------------------------------------
@@ -232,17 +234,17 @@ struct StaticGetRequest {
   std::string class_name;
   std::string key;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static StaticGetRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static StaticGetRequest decode(const serial::Buffer& bytes);
 };
 
 struct StaticPutRequest {
   std::string class_name;
   std::string key;
-  std::vector<std::uint8_t> value;
+  serial::Buffer value;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static StaticPutRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static StaticPutRequest decode(const serial::Buffer& bytes);
 };
 
 // --- condensed remote evaluation --------------------------------------------------
@@ -251,11 +253,11 @@ struct ExecRequest {
   std::string class_name;
   common::ComponentName object_name;  // bound at the target after the call
   std::string method;
-  std::vector<std::uint8_t> args;
+  serial::Buffer args;
   common::NodeId class_source = common::kNoNode;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static ExecRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static ExecRequest decode(const serial::Buffer& bytes);
 };
 
 // --- resource discovery ---------------------------------------------------------
@@ -263,16 +265,16 @@ struct ExecRequest {
 struct DiscoverRequest {
   std::string kind;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static DiscoverRequest decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static DiscoverRequest decode(const serial::Buffer& bytes);
 };
 
 struct DiscoverReply {
   bool offers = false;
   double capacity = 0.0;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static DiscoverReply decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static DiscoverReply decode(const serial::Buffer& bytes);
 };
 
 // --- misc ------------------------------------------------------------------
@@ -280,8 +282,8 @@ struct DiscoverReply {
 struct LoadReply {
   double load = 0.0;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static LoadReply decode(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] serial::Buffer encode() const;
+  static LoadReply decode(const serial::Buffer& bytes);
 };
 
 }  // namespace mage::rts::proto

@@ -53,11 +53,11 @@ std::optional<common::NodeId> Registry::forward(
 }
 
 void Registry::park_result(const common::ComponentName& name,
-                           std::vector<std::uint8_t> result) {
+                           serial::Buffer result) {
   results_[name] = std::move(result);
 }
 
-std::optional<std::vector<std::uint8_t>> Registry::take_result(
+std::optional<serial::Buffer> Registry::take_result(
     const common::ComponentName& name) {
   auto it = results_.find(name);
   if (it == results_.end()) return std::nullopt;

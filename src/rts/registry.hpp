@@ -22,6 +22,7 @@
 
 #include "common/ids.hpp"
 #include "rts/component.hpp"
+#include "serial/buffer.hpp"
 
 namespace mage::rts {
 
@@ -62,9 +63,8 @@ class Registry {
 
   // Under the mobile-agent model the invocation result "stays at the remote
   // host"; it is parked here until fetched.
-  void park_result(const common::ComponentName& name,
-                   std::vector<std::uint8_t> result);
-  [[nodiscard]] std::optional<std::vector<std::uint8_t>> take_result(
+  void park_result(const common::ComponentName& name, serial::Buffer result);
+  [[nodiscard]] std::optional<serial::Buffer> take_result(
       const common::ComponentName& name);
 
   [[nodiscard]] common::NodeId self() const { return self_; }
@@ -73,7 +73,7 @@ class Registry {
   common::NodeId self_;
   std::map<common::ComponentName, std::unique_ptr<MageObject>> objects_;
   std::map<common::ComponentName, common::NodeId> forwards_;
-  std::map<common::ComponentName, std::vector<std::uint8_t>> results_;
+  std::map<common::ComponentName, serial::Buffer> results_;
 };
 
 }  // namespace mage::rts

@@ -83,7 +83,7 @@ void MageServer::register_services() {
   register_warmable(proto_verbs::kExec, bind_to(&MageServer::handle_exec));
 }
 
-void MageServer::register_warmable(const std::string& verb,
+void MageServer::register_warmable(common::VerbId verb,
                                    rmi::Transport::Service fn) {
   transport_.register_service(
       verb, [this, fn = std::move(fn)](common::NodeId caller, const Body& body,
@@ -103,7 +103,7 @@ void MageServer::register_warmable(const std::string& verb,
 }
 
 bool MageServer::check_access(Operation op, common::NodeId caller,
-                              const rmi::Replier& replier) {
+                              rmi::Replier& replier) {
   if (caller == self()) return true;  // a namespace always trusts itself
   const std::string& caller_domain =
       transport_.network().domain(caller);
@@ -175,7 +175,8 @@ void MageServer::handle_lookup(common::NodeId caller, const Body& body,
   sim().stats().add("rts.lookup_hops");
   transport_.call(
       next, proto_verbs::kLookup, forwarded.encode(),
-      [this, name = request.name, replier](rmi::CallResult result) {
+      [this, name = request.name,
+       replier = std::move(replier)](rmi::CallResult result) mutable {
         if (!result.ok) {
           proto::LookupReply reply;
           reply.status = proto::Status::Error;
@@ -235,16 +236,16 @@ void MageServer::handle_load_class(common::NodeId caller, const Body& body,
     return;
   }
   sim().stats().add("rts.class_loads");
-  sim().schedule_after(model().class_load_us, [this, request, replier] {
+  sim().schedule_after(model().class_load_us,
+                       [this, request, replier = std::move(replier)]() mutable {
     class_cache_.on_image_received(request.image.class_name);
     proto::SimpleReply reply;
     replier.ok(reply.encode());
   });
 }
 
-void MageServer::ensure_class_then(
-    const std::string& class_name, common::NodeId source,
-    std::function<void(bool ok, std::string error)> then) {
+void MageServer::ensure_class_then(const std::string& class_name,
+                                   common::NodeId source, EnsureClassFn then) {
   if (class_cache_.has(class_name)) {
     then(true, {});
     return;
@@ -256,13 +257,16 @@ void MageServer::ensure_class_then(
   proto::FetchClassRequest request{class_name};
   transport_.call(
       source, proto_verbs::kFetchClass, request.encode(),
-      [this, class_name, then = std::move(then)](rmi::CallResult result) {
+      [this, class_name,
+       then = std::move(then)](rmi::CallResult result) mutable {
         if (!result.ok) {
           then(false, result.error);
           return;
         }
         sim().stats().add("rts.class_loads");
-        sim().schedule_after(model().class_load_us, [this, class_name, then] {
+        sim().schedule_after(model().class_load_us,
+                             [this, class_name,
+                              then = std::move(then)]() mutable {
           class_cache_.on_image_received(class_name);
           then(true, {});
         });
@@ -287,7 +291,8 @@ void MageServer::handle_instantiate(common::NodeId caller, const Body& body,
                                     : request.class_source;
   ensure_class_then(
       request.class_name, source,
-      [this, request, replier](bool ok, std::string error) {
+      [this, request,
+       replier = std::move(replier)](bool ok, std::string error) mutable {
         if (!ok) {
           proto::SimpleReply reply;
           reply.status = proto::Status::Error;
@@ -295,8 +300,9 @@ void MageServer::handle_instantiate(common::NodeId caller, const Body& body,
           replier.ok(reply.encode());
           return;
         }
-        sim().schedule_after(model().instantiate_us, [this, request,
-                                                      replier] {
+        sim().schedule_after(
+            model().instantiate_us,
+            [this, request, replier = std::move(replier)]() mutable {
           registry_.bind(request.object_name,
                          world_.instantiate(request.class_name));
           sim().stats().add("rts.instantiations");
@@ -324,7 +330,8 @@ void MageServer::handle_exec(common::NodeId caller, const Body& body,
                                     : request.class_source;
   ensure_class_then(
       request.class_name, source,
-      [this, request, replier](bool ok, std::string error) {
+      [this, request,
+       replier = std::move(replier)](bool ok, std::string error) mutable {
         if (!ok) {
           proto::InvokeReply reply;
           reply.status = proto::Status::Error;
@@ -332,8 +339,9 @@ void MageServer::handle_exec(common::NodeId caller, const Body& body,
           replier.ok(reply.encode());
           return;
         }
-        sim().schedule_after(model().instantiate_us, [this, request,
-                                                      replier] {
+        sim().schedule_after(
+            model().instantiate_us,
+            [this, request, replier = std::move(replier)]() mutable {
           registry_.bind(request.object_name,
                          world_.instantiate(request.class_name));
           sim().stats().add("rts.instantiations");
@@ -347,7 +355,9 @@ void MageServer::handle_exec(common::NodeId caller, const Body& body,
           } catch (const common::MageError&) {
           }
           sim().stats().add("rts.condensed_execs");
-          sim().schedule_after(cost, [this, invoke, replier] {
+          sim().schedule_after(
+              cost, [this, invoke = std::move(invoke),
+                     replier = std::move(replier)]() mutable {
             replier.ok(run_method(invoke).encode());
           });
         });
@@ -399,7 +409,7 @@ void MageServer::handle_move(common::NodeId caller, const Body& body,
   transport_.call(
       request.to, proto_verbs::kTransfer, transfer.encode(),
       [this, name = request.name, to = request.to,
-       replier](rmi::CallResult result) {
+       replier = std::move(replier)](rmi::CallResult result) mutable {
         in_transit_.erase(name);
         proto::SimpleReply reply;
         if (!result.ok) {
@@ -441,7 +451,8 @@ void MageServer::handle_transfer(common::NodeId caller, const Body& body,
   }
   ensure_class_then(
       request.class_name, caller,
-      [this, request, replier](bool ok, std::string error) {
+      [this, request,
+       replier = std::move(replier)](bool ok, std::string error) mutable {
         if (!ok) {
           proto::SimpleReply reply;
           reply.status = proto::Status::Error;
@@ -449,8 +460,9 @@ void MageServer::handle_transfer(common::NodeId caller, const Body& body,
           replier.ok(reply.encode());
           return;
         }
-        sim().schedule_after(model().instantiate_us, [this, request,
-                                                      replier] {
+        sim().schedule_after(
+            model().instantiate_us,
+            [this, request, replier = std::move(replier)]() mutable {
           serial::Reader state(request.state);
           registry_.bind(request.name,
                          world_.deserialize(request.class_name, state));
@@ -500,7 +512,8 @@ void MageServer::handle_invoke(common::NodeId caller, const Body& body,
   } catch (const common::MageError&) {
     // run_method will produce the error reply below.
   }
-  sim().schedule_after(cost, [this, request, replier] {
+  sim().schedule_after(cost, [this, request = std::move(request),
+                              replier = std::move(replier)]() mutable {
     replier.ok(run_method(request).encode());
   });
 }
@@ -533,11 +546,11 @@ void MageServer::handle_invoke_oneway(common::NodeId caller, const Body& body,
     cost = world_.method(object.class_name(), request.method).cost_us;
   } catch (const common::MageError&) {
   }
-  sim().schedule_after(cost, [this, request] {
+  sim().schedule_after(cost, [this, request = std::move(request)]() mutable {
     auto reply = run_method(request);
     registry_.park_result(request.name, reply.status == proto::Status::Ok
                                             ? std::move(reply.result)
-                                            : std::vector<std::uint8_t>{});
+                                            : serial::Buffer{});
   });
 }
 
@@ -572,24 +585,27 @@ void MageServer::handle_lock(common::NodeId caller, const Body& body,
     return;
   }
 
+  // Exactly one of the two callbacks fires; the one-shot Replier is shared
+  // between them (LockManager callbacks must be copyable std::functions).
+  auto shared_replier = std::make_shared<rmi::Replier>(std::move(replier));
   locks_.request(
       request.name, common::ActivityId{request.activity},
       request.target,
-      [this, replier](LockGrant grant) {
+      [this, shared_replier](LockGrant grant) {
         sim().stats().add(grant.kind == LockKind::Stay ? "rts.locks_stay"
                                                        : "rts.locks_move");
         proto::LockReply reply;
         reply.status = proto::Status::Ok;
         reply.lock_id = grant.id.value();
         reply.kind = grant.kind;
-        replier.ok(reply.encode());
+        shared_replier->ok(reply.encode());
       },
-      [replier](common::NodeId new_host) {
+      [shared_replier](common::NodeId new_host) {
         proto::LockReply reply;
         reply.status = proto::Status::Moved;
         reply.hint = new_host;
         reply.error = "object departed while the lock request was queued";
-        replier.ok(reply.encode());
+        shared_replier->ok(reply.encode());
       });
 }
 

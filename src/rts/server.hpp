@@ -74,18 +74,20 @@ class MageServer {
   // Class statics hosted here (for classes whose statics home is this
   // node); exposed for tests and the federation snapshot.
   [[nodiscard]] const std::map<std::string,
-                               std::map<std::string, std::vector<std::uint8_t>>>&
+                               std::map<std::string, serial::Buffer>>&
   statics() const {
     return statics_;
   }
 
  private:
-  using Body = std::vector<std::uint8_t>;
+  using Body = serial::Buffer;
+  // Continuation for ensure_class_then; move-only so it can carry a Replier.
+  using EnsureClassFn = common::UniqueFunction<void(bool ok, std::string error)>;
 
   void register_services();
   // Wraps a handler so the first migration-family operation on this node
   // pays the one-time engine warm-up cost.
-  void register_warmable(const std::string& verb, rmi::Transport::Service fn);
+  void register_warmable(common::VerbId verb, rmi::Transport::Service fn);
 
   void handle_lookup(common::NodeId caller, const Body& body,
                      rmi::Replier replier);
@@ -125,12 +127,12 @@ class MageServer {
   // Consults the access controller; on denial replies with the tagged
   // "access denied" error and returns false.
   bool check_access(Operation op, common::NodeId caller,
-                    const rmi::Replier& replier);
+                    rmi::Replier& replier);
 
   // Ensures `class_name` is in the local cache, fetching the image from
   // `source` if needed, then runs `then`.  Used by transfer/instantiate.
   void ensure_class_then(const std::string& class_name, common::NodeId source,
-                         std::function<void(bool ok, std::string error)> then);
+                         EnsureClassFn then);
 
   // Executes a method on a locally bound object; returns an InvokeReply.
   proto::InvokeReply run_method(const proto::InvokeRequest& request);
@@ -158,8 +160,7 @@ class MageServer {
   ResourceModel resources_;
   ResourceBoard resource_board_;
   // class -> key -> serialized value, for classes homed here.
-  std::map<std::string, std::map<std::string, std::vector<std::uint8_t>>>
-      statics_;
+  std::map<std::string, std::map<std::string, serial::Buffer>> statics_;
 };
 
 }  // namespace mage::rts

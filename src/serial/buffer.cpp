@@ -1,0 +1,39 @@
+#include "serial/buffer.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mage::serial {
+namespace {
+
+std::uint64_t g_deep_copy_count = 0;
+std::uint64_t g_deep_copy_bytes = 0;
+
+}  // namespace
+
+Buffer Buffer::copy(std::span<const std::uint8_t> bytes) {
+  ++g_deep_copy_count;
+  g_deep_copy_bytes += bytes.size();
+  return Buffer(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+}
+
+Buffer Buffer::slice(std::size_t offset, std::size_t length) const {
+  if (offset > size_ || length > size_ - offset) {
+    throw common::SerializationError(
+        "buffer slice [" + std::to_string(offset) + ", " +
+        std::to_string(offset + length) + ") out of bounds (size " +
+        std::to_string(size_) + ")");
+  }
+  return Buffer(owner_, data_ + offset, length);
+}
+
+std::uint64_t Buffer::deep_copy_count() { return g_deep_copy_count; }
+std::uint64_t Buffer::deep_copy_bytes() { return g_deep_copy_bytes; }
+
+void Buffer::reset_copy_counters() {
+  g_deep_copy_count = 0;
+  g_deep_copy_bytes = 0;
+}
+
+}  // namespace mage::serial

@@ -1,0 +1,89 @@
+// Immutable ref-counted byte buffer — the unit payloads travel in.
+//
+// A Buffer is produced once (Writer::take() moves the accumulated bytes in
+// with no copy) and then flows by reference count through net::Message,
+// rmi::Envelope, the transport's retransmission and reply-cache state, and
+// CallResult.  Copying a Buffer bumps a refcount; slicing shares the parent's
+// storage.  The bytes themselves are never touched again — which is what
+// makes a steady-state simulated RMI call free of payload deep-copies.
+//
+// Deep copies (Buffer::copy) are the only way bytes are ever duplicated, and
+// they are counted: bench builds assert the hot path performs none
+// (deep_copy_count/deep_copy_bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace mage::serial {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Takes ownership of `bytes` without copying them.
+  // Implicit: lets call sites keep passing byte-vector rvalues where a
+  // Buffer is expected.
+  Buffer(std::vector<std::uint8_t>&& bytes)  // NOLINT(google-explicit-constructor)
+      : owner_(std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(bytes))),
+        data_(owner_->data()),
+        size_(owner_->size()) {}
+
+  Buffer(std::initializer_list<std::uint8_t> bytes)
+      : Buffer(std::vector<std::uint8_t>(bytes)) {}
+
+  [[nodiscard]] static Buffer adopt(std::vector<std::uint8_t> bytes) {
+    return Buffer(std::move(bytes));
+  }
+
+  // Deep copy — the counted slow path.
+  [[nodiscard]] static Buffer copy(std::span<const std::uint8_t> bytes);
+
+  // A view of [offset, offset+length) sharing this buffer's storage.
+  // Throws SerializationError when the range is out of bounds.
+  [[nodiscard]] Buffer slice(std::size_t offset, std::size_t length) const;
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::span<const std::uint8_t> span() const {
+    return {data_, size_};
+  }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const std::uint8_t* begin() const { return data_; }
+  [[nodiscard]] const std::uint8_t* end() const { return data_ + size_; }
+
+  // Byte-wise equality (tests compare payloads).
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const Buffer& a,
+                         const std::vector<std::uint8_t>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const std::vector<std::uint8_t>& a, const Buffer& b) {
+    return b == a;
+  }
+
+  // --- deep-copy accounting (the bench's zero-copy assertion hook) ---------
+
+  [[nodiscard]] static std::uint64_t deep_copy_count();
+  [[nodiscard]] static std::uint64_t deep_copy_bytes();
+  static void reset_copy_counters();
+
+ private:
+  Buffer(std::shared_ptr<const std::vector<std::uint8_t>> owner,
+         const std::uint8_t* data, std::size_t size)
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  std::shared_ptr<const std::vector<std::uint8_t>> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mage::serial

@@ -85,6 +85,37 @@ std::string Reader::read_string() {
   return out;
 }
 
+std::string_view Reader::read_view() {
+  const std::uint32_t size = read_u32();
+  require(size);
+  std::string_view out(reinterpret_cast<const char*>(bytes_.data() + offset_),
+                       size);
+  offset_ += size;
+  return out;
+}
+
+Buffer Reader::read_bytes() {
+  const std::uint32_t size = read_u32();
+  require(size);
+  Buffer out;
+  if (size > 0) {
+    if (!owner_.empty()) {
+      out = owner_.slice(offset_, size);
+    } else {
+      out = Buffer::copy(bytes_.subspan(offset_, size));
+    }
+  }
+  offset_ += size;
+  return out;
+}
+
+std::span<const std::uint8_t> Reader::read_span(std::size_t size) {
+  require(size);
+  auto out = bytes_.subspan(offset_, size);
+  offset_ += size;
+  return out;
+}
+
 void Reader::read_raw(void* out, std::size_t size) {
   require(size);
   std::memcpy(out, bytes_.data() + offset_, size);

@@ -3,19 +3,35 @@
 // All reads are bounds-checked; a truncated or corrupt payload raises
 // common::SerializationError rather than reading past the end, so a mangled
 // network message can never corrupt a namespace.
+//
+// Constructed over a serial::Buffer, the reader also offers zero-copy
+// accessors: read_view() returns a string_view into the buffer, and
+// read_bytes() returns a sub-Buffer sharing the parent's storage — nested
+// payloads (invocation args, migrated state) decode without duplicating a
+// byte.  View lifetimes are tied to the underlying buffer, which the
+// Buffer-constructed reader keeps alive.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "serial/buffer.hpp"
 
 namespace mage::serial {
 
 class Reader {
  public:
   explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  // Keeps a reference on `buffer`, so views returned by read_view() /
+  // read_bytes() stay valid for the buffer's lifetime.
+  explicit Reader(const Buffer& buffer)
+      : bytes_(buffer.span()), owner_(buffer) {}
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes.data(), bytes.size()) {}
 
   std::uint8_t read_u8();
   std::uint16_t read_u16();
@@ -26,6 +42,14 @@ class Reader {
   bool read_bool();
   double read_f64();
   std::string read_string();
+  // Zero-copy mirror of read_string: a view into the underlying bytes.
+  std::string_view read_view();
+  // Length-prefixed byte block (mirror of Writer::write_bytes).  Zero-copy
+  // (a shared slice) when this reader was constructed over a Buffer; a
+  // counted deep copy otherwise.
+  Buffer read_bytes();
+  // The next `size` raw bytes as a view, advancing the cursor.
+  std::span<const std::uint8_t> read_span(std::size_t size);
   void read_raw(void* out, std::size_t size);
 
   [[nodiscard]] std::size_t remaining() const {
@@ -38,6 +62,7 @@ class Reader {
   void require(std::size_t n) const;
 
   std::span<const std::uint8_t> bytes_;
+  Buffer owner_;  // empty unless constructed from a Buffer
   std::size_t offset_ = 0;
 };
 

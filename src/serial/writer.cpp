@@ -2,6 +2,9 @@
 
 #include <bit>
 #include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
 
 namespace mage::serial {
 namespace {
@@ -15,6 +18,14 @@ void append_le(std::vector<std::uint8_t>& buffer, T v) {
     for (std::size_t i = sizeof(T); i-- > 0;) buffer.push_back(raw[i]);
   } else {
     buffer.insert(buffer.end(), raw, raw + sizeof(T));
+  }
+}
+
+void check_block_size(std::size_t size) {
+  if (size > std::numeric_limits<std::uint32_t>::max()) {
+    throw common::SerializationError(
+        "block of " + std::to_string(size) +
+        " bytes exceeds the u32 length prefix");
   }
 }
 
@@ -39,6 +50,13 @@ void Writer::write_f64(double v) {
 }
 
 void Writer::write_string(std::string_view v) {
+  check_block_size(v.size());
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+void Writer::write_bytes(std::span<const std::uint8_t> v) {
+  check_block_size(v.size());
   write_u32(static_cast<std::uint32_t>(v.size()));
   buffer_.insert(buffer_.end(), v.begin(), v.end());
 }
@@ -48,8 +66,8 @@ void Writer::write_raw(const void* data, std::size_t size) {
   buffer_.insert(buffer_.end(), p, p + size);
 }
 
-std::vector<std::uint8_t> Writer::take() {
-  std::vector<std::uint8_t> out = std::move(buffer_);
+Buffer Writer::take() {
+  Buffer out(std::move(buffer_));
   buffer_.clear();
   return out;
 }

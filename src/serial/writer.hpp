@@ -6,19 +6,31 @@
 // The encoding is explicit little-endian with length-prefixed strings —
 // deliberately simple and self-contained, since building the wire format by
 // hand is part of the reproduction (repro note: "manual serialization").
+//
+// The accumulated bytes leave the writer exactly once, as an immutable
+// ref-counted serial::Buffer (take()), so a marshalled payload is written
+// once and never copied again on its way through the transport.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "serial/buffer.hpp"
 
 namespace mage::serial {
 
 class Writer {
  public:
   Writer() = default;
+  // Pre-reserves capacity so a known-size payload builds with one
+  // allocation.
+  explicit Writer(std::size_t reserve_bytes) { buffer_.reserve(reserve_bytes); }
+
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
 
   void write_u8(std::uint8_t v);
   void write_u16(std::uint16_t v);
@@ -28,8 +40,12 @@ class Writer {
   void write_i64(std::int64_t v);
   void write_bool(bool v);
   void write_f64(double v);
-  // Length-prefixed (u32) byte string.
+  // Length-prefixed (u32) byte string.  Throws SerializationError when
+  // v.size() exceeds UINT32_MAX (a silent wrong length prefix would corrupt
+  // the stream).
   void write_string(std::string_view v);
+  // Length-prefixed (u32) byte block, mirror of Reader::read_bytes.
+  void write_bytes(std::span<const std::uint8_t> v);
   // Raw bytes, caller is responsible for knowing the length on read.
   void write_raw(const void* data, std::size_t size);
 
@@ -38,8 +54,9 @@ class Writer {
   }
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
-  // Moves the accumulated bytes out, leaving the writer empty.
-  [[nodiscard]] std::vector<std::uint8_t> take();
+  // Moves the accumulated bytes out as an immutable Buffer (no byte copy),
+  // leaving the writer empty.
+  [[nodiscard]] Buffer take();
 
  private:
   std::vector<std::uint8_t> buffer_;

@@ -4,50 +4,104 @@
 // monotonically increasing sequence number), so a seed plus a program fully
 // determines a simulation run — a property every test in this repository
 // leans on.
+//
+// Steady-state scheduling is allocation-free: actions are move-only
+// callables with inline storage (common::UniqueFunction) parked in a pooled
+// slab of event nodes (free-list reuse), and the heap itself orders small
+// POD entries {time, seq, slot} in a plain vector.  The old implementation
+// paid one shared_ptr<std::function> heap allocation per event.
+//
+// Events can be cancelled (schedule() returns an EventId): the action is
+// destroyed and its slab node recycled immediately; the heap entry is
+// lazily skipped on pop, and the heap compacts itself when stale entries
+// outnumber live ones.  This keeps retry timers — armed per RMI attempt,
+// cancelled on completion — from growing the queue without bound.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "common/function.hpp"
 #include "common/time.hpp"
 
 namespace mage::sim {
 
+// Identifies one scheduled event for cancellation.
+struct EventId {
+  std::uint32_t slot = 0xFFFFFFFFu;
+  std::uint64_t seq = 0;
+};
+
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = common::UniqueFunction<void()>;
 
   // Schedules `action` to fire at absolute simulated time `at`.
-  void schedule(common::SimTime at, Action action);
+  EventId schedule(common::SimTime at, Action action);
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  // Cancels a scheduled event; a no-op if it already fired (or was already
+  // cancelled).  Returns true when the event was live.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   // Time of the earliest pending event; only valid when !empty().
-  [[nodiscard]] common::SimTime next_time() const { return heap_.top().at; }
+  // Non-const: drops heap entries left behind by cancelled events.
+  [[nodiscard]] common::SimTime next_time() {
+    skip_stale();
+    return heap_[0].at;
+  }
 
   // Removes and returns the earliest pending event's action.
   [[nodiscard]] Action pop(common::SimTime& at);
 
+  // Number of pooled event nodes currently allocated (grows to the peak
+  // number of simultaneously pending events, then stays flat).
+  [[nodiscard]] std::size_t pool_size() const { return slab_.size(); }
+
  private:
-  struct Event {
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct HeapEntry {
     common::SimTime at;
     std::uint64_t seq;
-    // shared_ptr rather than inline std::function: priority_queue elements
-    // must be copyable, and Action may capture move-only state.
-    std::shared_ptr<Action> action;
+    std::uint32_t slot;  // index into slab_
 
-    bool operator>(const Event& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+    [[nodiscard]] bool before(const HeapEntry& other) const {
+      if (at != other.at) return at < other.at;
+      return seq < other.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  struct Node {
+    // Metadata first: the liveness check on pop touches only this line.
+    std::uint64_t seq = 0;      // seq of the event occupying this slot
+    std::uint32_t next_free = kNil;
+    bool live = false;
+    Action action;
+  };
+
+  // True when the heap entry still refers to a live event (its slab node
+  // has not been cancelled or recycled).
+  [[nodiscard]] bool entry_live(const HeapEntry& e) const {
+    const Node& node = slab_[e.slot];
+    return node.live && node.seq == e.seq;
+  }
+
+  void release_slot(std::uint32_t slot);
+  // Drops stale entries off the heap top.
+  void skip_stale();
+  // Rebuilds the heap without stale entries.
+  void compact();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<HeapEntry> heap_;  // binary min-heap by (at, seq)
+  std::vector<Node> slab_;       // pooled action storage
+  std::uint32_t free_head_ = kNil;
   std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;  // live (non-cancelled) events in heap_
 };
 
 }  // namespace mage::sim

@@ -6,14 +6,15 @@ namespace mage::sim {
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
-void Simulation::schedule_at(common::SimTime at, EventQueue::Action action) {
+EventId Simulation::schedule_at(common::SimTime at,
+                                EventQueue::Action action) {
   assert(at >= now_ && "cannot schedule into the past");
-  queue_.schedule(at, std::move(action));
+  return queue_.schedule(at, std::move(action));
 }
 
-void Simulation::schedule_after(common::SimDuration delay,
-                                EventQueue::Action action) {
-  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+EventId Simulation::schedule_after(common::SimDuration delay,
+                                   EventQueue::Action action) {
+  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action));
 }
 
 bool Simulation::step() {

@@ -32,8 +32,11 @@ class Simulation {
 
   [[nodiscard]] common::SimTime now() const { return now_; }
 
-  void schedule_at(common::SimTime at, EventQueue::Action action);
-  void schedule_after(common::SimDuration delay, EventQueue::Action action);
+  EventId schedule_at(common::SimTime at, EventQueue::Action action);
+  EventId schedule_after(common::SimDuration delay, EventQueue::Action action);
+
+  // Cancels a scheduled event; no-op if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
 
   // Runs one pending event; returns false when the queue is empty.
   bool step();

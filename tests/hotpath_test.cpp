@@ -1,0 +1,365 @@
+// Tests for the hot-path spine introduced with serial::Buffer: ref-counted
+// zero-copy payloads, zero-copy Reader views, verb interning, the pooled
+// cancellable EventQueue (determinism under interleaving), and the
+// move-only one-shot Replier contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/verb.hpp"
+#include "net/network.hpp"
+#include "rmi/transport.hpp"
+#include "serial/buffer.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace mage {
+namespace {
+
+// --- serial::Buffer ---------------------------------------------------------
+
+TEST(Buffer, AdoptDoesNotCopy) {
+  serial::Buffer::reset_copy_counters();
+  std::vector<std::uint8_t> bytes(1024, 0x7F);
+  const auto* data = bytes.data();
+  serial::Buffer buf(std::move(bytes));
+  EXPECT_EQ(buf.data(), data);  // same storage, just adopted
+  EXPECT_EQ(buf.size(), 1024u);
+  EXPECT_EQ(serial::Buffer::deep_copy_count(), 0u);
+}
+
+TEST(Buffer, CopiesAreCounted) {
+  serial::Buffer::reset_copy_counters();
+  const std::vector<std::uint8_t> bytes(100, 1);
+  auto copy = serial::Buffer::copy(bytes);
+  EXPECT_EQ(copy.size(), 100u);
+  EXPECT_EQ(serial::Buffer::deep_copy_count(), 1u);
+  EXPECT_EQ(serial::Buffer::deep_copy_bytes(), 100u);
+}
+
+TEST(Buffer, SliceSharesStorage) {
+  serial::Buffer::reset_copy_counters();
+  std::vector<std::uint8_t> bytes(256);
+  std::iota(bytes.begin(), bytes.end(), 0);
+  serial::Buffer buf(std::move(bytes));
+  auto mid = buf.slice(16, 64);
+  EXPECT_EQ(mid.size(), 64u);
+  EXPECT_EQ(mid.data(), buf.data() + 16);  // a view, not a copy
+  EXPECT_EQ(mid[0], 16);
+  // Sub-slicing composes.
+  auto inner = mid.slice(8, 8);
+  EXPECT_EQ(inner.data(), buf.data() + 24);
+  EXPECT_EQ(serial::Buffer::deep_copy_count(), 0u);
+}
+
+TEST(Buffer, SliceOutlivesParentHandle) {
+  serial::Buffer tail;
+  {
+    std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5};
+    serial::Buffer buf(std::move(bytes));
+    tail = buf.slice(3, 2);
+  }  // parent handle gone; refcount keeps the storage alive
+  EXPECT_EQ(tail, (std::vector<std::uint8_t>{4, 5}));
+}
+
+TEST(Buffer, SliceOutOfBoundsThrows) {
+  serial::Buffer buf(std::vector<std::uint8_t>(8));
+  EXPECT_THROW((void)buf.slice(4, 8), common::SerializationError);
+  EXPECT_THROW((void)buf.slice(9, 0), common::SerializationError);
+  EXPECT_NO_THROW((void)buf.slice(8, 0));
+}
+
+TEST(Buffer, EqualityIsByteWise) {
+  serial::Buffer a{1, 2, 3};
+  serial::Buffer b{1, 2, 3};
+  serial::Buffer c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+// --- zero-copy Reader views -------------------------------------------------
+
+TEST(ReaderViews, RoundTripPropertyWithZeroCopies) {
+  // Property test: random nested payloads survive a write/read round trip,
+  // and reading through a Buffer-backed Reader never deep-copies.
+  common::Rng rng(1234);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> blob(rng.next_below(2048));
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next_below(256));
+    const std::string text = "round-" + std::to_string(round);
+
+    serial::Writer w(16 + blob.size() + text.size());
+    w.write_string(text);
+    w.write_bytes(blob);
+    w.write_u32(0xDEADBEEF);
+    serial::Buffer encoded = w.take();
+
+    serial::Buffer::reset_copy_counters();
+    serial::Reader r(encoded);
+    const std::string_view view = r.read_view();
+    EXPECT_EQ(view, text);
+    // The view aliases the encoded buffer, no allocation or copy.
+    EXPECT_GE(reinterpret_cast<const std::uint8_t*>(view.data()),
+              encoded.data());
+    serial::Buffer nested = r.read_bytes();
+    EXPECT_EQ(nested, blob);
+    if (!nested.empty()) {
+      EXPECT_GE(nested.data(), encoded.data());  // shared slice
+      EXPECT_LT(nested.data(), encoded.data() + encoded.size());
+    }
+    EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+    EXPECT_TRUE(r.at_end());
+    EXPECT_EQ(serial::Buffer::deep_copy_count(), 0u);
+  }
+}
+
+TEST(ReaderViews, SpanBackedReaderCopiesNestedBytes) {
+  serial::Writer w;
+  w.write_bytes(std::vector<std::uint8_t>{1, 2, 3});
+  const auto encoded = w.take();
+
+  serial::Buffer::reset_copy_counters();
+  serial::Reader r(encoded.span());  // no owner: must deep-copy to be safe
+  auto nested = r.read_bytes();
+  EXPECT_EQ(nested, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(serial::Buffer::deep_copy_count(), 1u);
+}
+
+TEST(Writer, OversizedStringThrows) {
+  // The length prefix is u32; a silent truncation used to write a wrong
+  // length and corrupt the stream.  The size check fires before any bytes
+  // are touched, so a fabricated oversized view is safe to pass.
+  serial::Writer w;
+  const char c = 'x';
+  const std::string_view huge(&c, (1ull << 32) + 1);
+  EXPECT_THROW(w.write_string(huge), common::SerializationError);
+  EXPECT_EQ(w.size(), 0u);  // nothing was written
+}
+
+TEST(Writer, ReservePreallocates) {
+  serial::Writer w(4096);
+  const std::vector<std::uint8_t> chunk(4096, 9);
+  w.write_raw(chunk.data(), chunk.size());
+  EXPECT_EQ(w.size(), 4096u);
+  EXPECT_EQ(w.take().size(), 4096u);
+}
+
+// --- verb interning ---------------------------------------------------------
+
+TEST(VerbInterning, SameSpellingSameId) {
+  const auto a = common::intern_verb("hotpath.test.verb");
+  const auto b = common::intern_verb("hotpath.test.verb");
+  const auto c = common::intern_verb("hotpath.test.other");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(common::verb_name(a), "hotpath.test.verb");
+  EXPECT_EQ(common::verb_calls_stat(a), "rmi.calls.hotpath.test.verb");
+}
+
+TEST(VerbInterning, InvalidIdHasPlaceholderName) {
+  EXPECT_EQ(common::verb_name(common::VerbId{}), "<invalid-verb>");
+}
+
+// --- pooled EventQueue ------------------------------------------------------
+
+TEST(PooledEventQueue, SameInstantFifoUnderInterleavedScheduleAndPop) {
+  // Determinism regression: events at one instant fire in scheduling order
+  // even when schedules and pops interleave (pops recycle slab slots, which
+  // must not perturb the (time, seq) order).
+  sim::EventQueue q;
+  std::vector<int> fired;
+  auto make = [&fired](int tag) { return [&fired, tag] { fired.push_back(tag); }; };
+
+  q.schedule(5, make(0));
+  q.schedule(5, make(1));
+  common::SimTime at = 0;
+  q.pop(at)();  // fires 0, frees its slot
+  q.schedule(5, make(2));  // reuses the freed slot
+  q.schedule(5, make(3));
+  q.pop(at)();
+  q.schedule(5, make(4));
+  while (!q.empty()) q.pop(at)();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(at, 5);
+}
+
+TEST(PooledEventQueue, EarlierTimeBeatsEarlierSeq) {
+  sim::EventQueue q;
+  std::vector<int> fired;
+  q.schedule(10, [&] { fired.push_back(10); });
+  q.schedule(3, [&] { fired.push_back(3); });
+  q.schedule(7, [&] { fired.push_back(7); });
+  common::SimTime at = 0;
+  while (!q.empty()) q.pop(at)();
+  EXPECT_EQ(fired, (std::vector<int>{3, 7, 10}));
+}
+
+TEST(PooledEventQueue, SlabIsReusedNotGrown) {
+  sim::EventQueue q;
+  common::SimTime at = 0;
+  // Steady state: one event in flight at a time -> one pooled node, ever.
+  for (int i = 0; i < 10'000; ++i) {
+    q.schedule(i, [] {});
+    (void)q.pop(at);
+  }
+  EXPECT_EQ(q.pool_size(), 1u);
+}
+
+TEST(PooledEventQueue, CancelPreventsFiring) {
+  sim::EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(1, [&fired] { fired = true; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  EXPECT_FALSE(fired);
+}
+
+TEST(PooledEventQueue, CancelledSlotReuseDoesNotConfuseCancel) {
+  sim::EventQueue q;
+  const auto id = q.schedule(1, [] {});
+  ASSERT_TRUE(q.cancel(id));
+  // The slot is recycled for a new event; the stale id must not cancel it.
+  bool fired = false;
+  q.schedule(2, [&fired] { fired = true; });
+  EXPECT_FALSE(q.cancel(id));
+  common::SimTime at = 0;
+  q.pop(at)();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(at, 2);
+}
+
+TEST(PooledEventQueue, MassCancellationCompactsAndPreservesOrder) {
+  sim::EventQueue q;
+  std::vector<int> fired;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(100, [&fired, i] { fired.push_back(i); }));
+  }
+  // Cancel every odd event; survivors must still fire in FIFO order.
+  for (int i = 1; i < 1000; i += 2) EXPECT_TRUE(q.cancel(ids[i]));
+  EXPECT_EQ(q.size(), 500u);
+  common::SimTime at = 0;
+  while (!q.empty()) q.pop(at)();
+  ASSERT_EQ(fired.size(), 500u);
+  for (std::size_t i = 0; i + 1 < fired.size(); ++i) {
+    EXPECT_LT(fired[i], fired[i + 1]);
+  }
+}
+
+TEST(PooledEventQueue, MoveOnlyActionsAreSupported) {
+  // The point of UniqueFunction: actions may capture move-only state.
+  sim::EventQueue q;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  q.schedule(1, [p = std::move(payload), &seen] { seen = *p; });
+  common::SimTime at = 0;
+  q.pop(at)();
+  EXPECT_EQ(seen, 42);
+}
+
+// --- transport zero-copy + Replier contract ---------------------------------
+
+struct HotpathRmiFixture : ::testing::Test {
+  sim::Simulation sim{99};
+  net::Network net{sim, net::CostModel::zero()};
+  common::NodeId a = net.add_node("a");
+  common::NodeId b = net.add_node("b");
+  rmi::Transport ta{net, a};
+  rmi::Transport tb{net, b};
+};
+
+TEST_F(HotpathRmiFixture, SteadyStateCallIsZeroPayloadCopies) {
+  const auto echo = common::intern_verb("hp.echo");
+  tb.register_service(echo, [](common::NodeId, const serial::Buffer& body,
+                               rmi::Replier replier) { replier.ok(body); });
+  const serial::Buffer payload(std::vector<std::uint8_t>(2048, 0x3C));
+  (void)ta.call_sync(b, echo, payload);  // warm connection
+
+  serial::Buffer::reset_copy_counters();
+  for (int i = 0; i < 100; ++i) {
+    auto result = ta.call_sync(b, echo, payload);
+    ASSERT_EQ(result.size(), payload.size());
+  }
+  // The whole spine — envelope, network, retransmission state, reply cache,
+  // CallResult — moved refcounts, never bytes.
+  EXPECT_EQ(serial::Buffer::deep_copy_count(), 0u);
+}
+
+TEST_F(HotpathRmiFixture, EchoedPayloadAliasesTheRequestBuffer) {
+  // Loopback-free proof that the body travels by reference: the service's
+  // view of the body is the same storage the caller serialized.
+  const auto probe = common::intern_verb("hp.probe");
+  const std::uint8_t* service_saw = nullptr;
+  tb.register_service(probe, [&service_saw](common::NodeId,
+                                            const serial::Buffer& body,
+                                            rmi::Replier replier) {
+    service_saw = body.data();
+    replier.ok({});
+  });
+  const serial::Buffer payload(std::vector<std::uint8_t>(64, 1));
+  (void)ta.call_sync(b, probe, payload);
+  EXPECT_EQ(service_saw, payload.data());
+}
+
+TEST_F(HotpathRmiFixture, ReplierIsOneShot) {
+  const auto verb = common::intern_verb("hp.double");
+  std::optional<rmi::Replier> parked;
+  tb.register_service(verb, [&parked](common::NodeId, const serial::Buffer&,
+                                      rmi::Replier replier) {
+    parked = std::move(replier);
+  });
+  std::optional<rmi::CallResult> result;
+  ta.call(b, verb, {}, [&result](rmi::CallResult r) { result = std::move(r); });
+  sim.run_until([&parked] { return parked.has_value(); });
+  ASSERT_TRUE(parked->armed());
+  parked->ok({});
+  EXPECT_FALSE(parked->armed());
+  EXPECT_THROW(parked->ok({}), common::MageError);  // double reply
+  EXPECT_THROW(parked->error("again"), common::MageError);
+  sim.run_until([&result] { return result.has_value(); });
+  EXPECT_TRUE(result->ok);
+}
+
+TEST_F(HotpathRmiFixture, MovedFromReplierThrows) {
+  rmi::Replier from;
+  EXPECT_THROW(from.ok({}), common::MageError);  // default-constructed
+  const auto verb = common::intern_verb("hp.moved");
+  tb.register_service(verb, [](common::NodeId, const serial::Buffer&,
+                               rmi::Replier replier) {
+    rmi::Replier stolen = std::move(replier);
+    EXPECT_FALSE(replier.armed());                  // NOLINT(bugprone-use-after-move)
+    EXPECT_THROW(replier.ok({}), common::MageError);  // NOLINT
+    stolen.ok({});
+  });
+  EXPECT_NO_THROW((void)ta.call_sync(b, verb, {}));
+}
+
+TEST_F(HotpathRmiFixture, RetryTimersDoNotAccumulate) {
+  // Completed calls cancel their retry timers, so a storm leaves the event
+  // queue empty instead of thousands of dead timers deep.
+  const auto verb = common::intern_verb("hp.clean");
+  tb.register_service(verb, [](common::NodeId, const serial::Buffer&,
+                               rmi::Replier replier) { replier.ok({}); });
+  for (int i = 0; i < 500; ++i) (void)ta.call_sync(b, verb, {});
+  EXPECT_EQ(sim.stats().counter("rmi.calls"), 500);
+  // Everything completed, so every retry timer was cancelled: draining the
+  // queue must not advance the clock anywhere near the first retry timeout
+  // (un-cancelled timers would drag now() to >= 150'000).
+  sim.run_until_idle();
+  EXPECT_LT(sim.now(), 150'000);
+  EXPECT_EQ(sim.stats().counter("rmi.retransmissions"), 0);
+}
+
+}  // namespace
+}  // namespace mage

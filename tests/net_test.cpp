@@ -28,7 +28,9 @@ struct NetFixture : ::testing::Test {
 };
 
 Message msg(common::NodeId from, common::NodeId to, std::size_t payload = 4) {
-  return Message{from, to, "test", std::vector<std::uint8_t>(payload, 0)};
+  return Message{from,          to, common::intern_verb("test"),
+                 MsgKind::Request, {},
+                 serial::Buffer(std::vector<std::uint8_t>(payload, 0))};
 }
 
 TEST_F(NetFixture, DeliversToHandler) {
@@ -39,7 +41,8 @@ TEST_F(NetFixture, DeliversToHandler) {
   sim.run_until_idle();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->from, a);
-  EXPECT_EQ(got->verb, "test");
+  EXPECT_EQ(got->verb, common::intern_verb("test"));
+  EXPECT_EQ(got->label(), "test");
 }
 
 TEST_F(NetFixture, WireSizeIncludesHeader) {
@@ -185,9 +188,11 @@ TEST_F(NetFixture, InOrderDeliveryPerLink) {
   m.bytes_per_usec = 0.001;  // brutally slow wire
   auto net = make(m);
   std::vector<std::string> order;
-  net->set_handler(b, [&](Message m2) { order.push_back(m2.verb); });
-  Message big{a, b, "big", std::vector<std::uint8_t>(10'000, 0)};
-  Message small{a, b, "small", {}};
+  net->set_handler(b, [&](Message m2) { order.push_back(m2.label()); });
+  Message big{a,           b, common::intern_verb("big"),
+              MsgKind::Request, {},
+              serial::Buffer(std::vector<std::uint8_t>(10'000, 0))};
+  Message small{a, b, common::intern_verb("small"), MsgKind::Request, {}, {}};
   net->send(big);
   net->send(small);
   sim.run_until_idle();

@@ -143,7 +143,9 @@ TEST(TraceChart, MarksDrops) {
   system->network().set_tracing(true);
   system->network().set_partitioned(common::NodeId{1}, common::NodeId{2},
                                     true);
-  net::Message msg{common::NodeId{1}, common::NodeId{2}, "doomed", {}};
+  net::Message msg{common::NodeId{1},      common::NodeId{2},
+                   common::intern_verb("doomed"), net::MsgKind::Request,
+                   {},                      {}};
   system->network().send(msg);
   const auto chart = net::render_sequence_chart(
       system->network(), system->network().trace(),
@@ -190,7 +192,7 @@ TEST(Adversarial, EnvelopeFuzzNeverCrashes) {
     std::vector<std::uint8_t> junk(rng.next_below(64));
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
     try {
-      auto env = rmi::Envelope::decode(junk);
+      auto env = rmi::Envelope::decode(serial::Buffer(std::move(junk)));
       (void)env;
     } catch (const common::SerializationError&) {
       // Expected for most inputs; anything else would fail the test.
@@ -204,9 +206,10 @@ TEST(Adversarial, ProtocolBodyFuzzNeverCrashes) {
   for (int round = 0; round < 1000; ++round) {
     std::vector<std::uint8_t> junk(rng.next_below(48));
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
-    auto probe = [&junk](auto decode) {
+    const serial::Buffer junk_buf(std::move(junk));
+    auto probe = [&junk_buf](auto decode) {
       try {
-        (void)decode(junk);
+        (void)decode(junk_buf);
       } catch (const common::SerializationError&) {
       }
     };

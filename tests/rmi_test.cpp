@@ -14,8 +14,8 @@
 namespace mage::rmi {
 namespace {
 
-std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> list) {
-  return {list};
+serial::Buffer bytes(std::initializer_list<std::uint8_t> list) {
+  return serial::Buffer(std::vector<std::uint8_t>{list});
 }
 
 // --- envelope ----------------------------------------------------------------
@@ -24,12 +24,12 @@ TEST(Envelope, RequestRoundTrip) {
   Envelope e;
   e.kind = EnvelopeKind::Request;
   e.request_id = common::RequestId{42};
-  e.verb = "mage.invoke";
+  e.verb = common::intern_verb("mage.invoke");
   e.body = bytes({1, 2, 3});
   const auto decoded = Envelope::decode(e.encode());
   EXPECT_EQ(decoded.kind, EnvelopeKind::Request);
   EXPECT_EQ(decoded.request_id, common::RequestId{42});
-  EXPECT_EQ(decoded.verb, "mage.invoke");
+  EXPECT_EQ(decoded.verb, common::intern_verb("mage.invoke"));
   EXPECT_EQ(decoded.body, bytes({1, 2, 3}));
 }
 
@@ -37,7 +37,7 @@ TEST(Envelope, ReplyOkRoundTrip) {
   Envelope e;
   e.kind = EnvelopeKind::Reply;
   e.request_id = common::RequestId{7};
-  e.verb = "v";
+  e.verb = common::intern_verb("v");
   e.ok = true;
   e.body = bytes({9});
   const auto decoded = Envelope::decode(e.encode());
@@ -49,7 +49,7 @@ TEST(Envelope, ReplyErrorRoundTrip) {
   Envelope e;
   e.kind = EnvelopeKind::Reply;
   e.request_id = common::RequestId{7};
-  e.verb = "v";
+  e.verb = common::intern_verb("v");
   e.ok = false;
   e.error = "kaboom";
   const auto decoded = Envelope::decode(e.encode());
@@ -58,8 +58,39 @@ TEST(Envelope, ReplyErrorRoundTrip) {
 }
 
 TEST(Envelope, BadKindThrows) {
-  std::vector<std::uint8_t> junk{9, 0, 0, 0, 0, 0, 0, 0, 0};
+  serial::Buffer junk(std::vector<std::uint8_t>{9, 0, 0, 0, 0, 0, 0, 0, 0});
   EXPECT_THROW((void)Envelope::decode(junk), common::SerializationError);
+}
+
+TEST(Envelope, TruncatedBodyThrows) {
+  Envelope e;
+  e.kind = EnvelopeKind::Request;
+  e.request_id = common::RequestId{1};
+  e.verb = common::intern_verb("v");
+  e.body = bytes({1, 2, 3, 4});
+  const auto flat = e.encode();
+  // Chop two payload bytes off: the header's declared body size no longer
+  // matches what follows.
+  const auto truncated = flat.slice(0, flat.size() - 2);
+  EXPECT_THROW((void)Envelope::decode(truncated), common::SerializationError);
+}
+
+TEST(Envelope, ScatterGatherMatchesFlatEncoding) {
+  Envelope e;
+  e.kind = EnvelopeKind::Reply;
+  e.request_id = common::RequestId{99};
+  e.verb = common::intern_verb("mage.invoke");
+  e.ok = true;
+  e.body = bytes({11, 22, 33});
+  const auto header = e.encode_header();
+  const auto flat = e.encode();
+  // flat == header ++ body
+  ASSERT_EQ(flat.size(), header.size() + e.body.size());
+  EXPECT_EQ(flat.slice(0, header.size()), header);
+  EXPECT_EQ(flat.slice(header.size(), e.body.size()), e.body);
+  const auto decoded = Envelope::decode(header, e.body);
+  EXPECT_EQ(decoded.request_id, common::RequestId{99});
+  EXPECT_EQ(decoded.body, e.body);
 }
 
 // --- transport ------------------------------------------------------------------
