@@ -126,7 +126,7 @@ int main() {
   const double rmi_rt_ms = [] {
     auto system = make_system();
     system->transport(kServer).register_service(
-        "noop", [](common::NodeId, const serial::Buffer&,
+        "noop", [](common::NodeId, const serial::BufferChain&,
                    rmi::Replier replier) { replier.ok({}); });
     (void)system->transport(kClient).call_sync(kServer, "noop", {});
     const auto t0 = system->simulation().now();

@@ -43,7 +43,7 @@ void BM_SimulatedRmiCall(benchmark::State& state) {
   auto system = make_system(net::CostModel::zero());
   system->transport(common::NodeId{2})
       .register_service("noop",
-                        [](common::NodeId, const serial::Buffer&,
+                        [](common::NodeId, const serial::BufferChain&,
                            rmi::Replier replier) { replier.ok({}); });
   for (auto _ : state) {
     benchmark::DoNotOptimize(system->transport(common::NodeId{1})

@@ -1,0 +1,222 @@
+// N-node all-to-all RMI storm: the scale-out stressor for the messaging
+// spine (ROADMAP: "scale benches past 2 nodes").
+//
+// Topology: N fully meshed nodes, every ordered pair (src, dst) a live
+// link.  Each link issues kCallsPerLink echo calls with a windowed pipeline
+// (kWindow outstanding per link, the completion callback launches the next
+// call), so all N*(N-1) links stay saturated while pending tables and the
+// event queue stay bounded.
+//
+// What the storm exercises that the 2-node hotpath bench cannot:
+//
+//   * reply-cache ring eviction — transports run with a deliberately small
+//     cache (kCacheCapacity), so each node's at-most-once ring wraps many
+//     times under (N-1)*kCallsPerLink inbound requests; the run fails if
+//     no evictions occurred, and at-most-once must still hold (every call
+//     completes exactly once);
+//   * per-link ordering floors — each payload carries a per-link sequence
+//     number and every service asserts FIFO delivery per (src, dst) link
+//     (the simulated network's TCP in-order contract under interleaving
+//     from N-1 concurrent senders);
+//   * completion-wakeup scaling — one driver predicate ("all done") over a
+//     storm of hundreds of thousands of events; predicate checks are
+//     recorded so docs/PERF.md can track checks-per-event.
+//
+// Run with no arguments for the full 4/8/16-node ladder, or with a single
+// integer argument (e.g. `bench_storm 4`) for a CI smoke run.  Results are
+// written to BENCH_storm.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/network.hpp"
+#include "rmi/transport.hpp"
+#include "serial/writer.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kCallsPerLink = 500;
+constexpr int kWindow = 8;
+// Small on purpose: (N-1)*kCallsPerLink inbound requests per node must
+// overflow the ring so eviction runs continuously.
+constexpr std::size_t kCacheCapacity = 512;
+
+struct StormRun {
+  int nodes = 0;
+  std::int64_t calls = 0;
+  double wall_sec = 0;
+  double calls_per_sec = 0;
+  std::int64_t evictions = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t duplicates_suppressed = 0;
+  std::int64_t predicate_checks = 0;
+  std::int64_t order_violations = 0;
+};
+
+StormRun run_storm(int n) {
+  using namespace mage;
+  sim::Simulation sim(2026);
+  net::Network net(sim, net::CostModel::zero());
+
+  std::vector<common::NodeId> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(net.add_node("n" + std::to_string(i)));
+  std::vector<std::unique_ptr<rmi::Transport>> transports;
+  for (int i = 0; i < n; ++i) {
+    transports.push_back(
+        std::make_unique<rmi::Transport>(net, ids[i], kCacheCapacity));
+  }
+
+  // Per-receiver FIFO watch: last sequence seen from each sender.  The
+  // network promises in-order delivery per directed link; the storm is the
+  // first bench with enough interleaving (N-1 concurrent senders per node)
+  // to catch a violation.
+  StormRun result;
+  result.nodes = n;
+  std::vector<std::vector<std::int64_t>> last_seq(
+      static_cast<std::size_t>(n) + 1,
+      std::vector<std::int64_t>(static_cast<std::size_t>(n) + 1, -1));
+
+  const common::VerbId echo = common::intern_verb("storm.echo");
+  for (int i = 0; i < n; ++i) {
+    const auto self = ids[i];
+    transports[i]->register_service(
+        echo, [&last_seq, &result, self](common::NodeId caller,
+                                         const serial::BufferChain& body,
+                                         rmi::Replier replier) {
+          serial::ChainReader r(body);
+          const auto seq = static_cast<std::int64_t>(r.read_u64());
+          auto& last = last_seq[self.value()][caller.value()];
+          if (seq <= last) ++result.order_violations;
+          last = seq;
+          replier.ok(body);
+        });
+  }
+
+  const std::int64_t total =
+      static_cast<std::int64_t>(n) * (n - 1) * kCallsPerLink;
+  std::int64_t completed = 0;
+
+  // One windowed pipeline per directed link; the callback chains the next
+  // call so each link keeps kWindow requests in flight until drained.
+  struct Link {
+    rmi::Transport* transport;
+    common::NodeId dst;
+    std::int64_t next_seq = 0;
+  };
+  std::vector<Link> links;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) links.push_back(Link{transports[i].get(), ids[j]});
+    }
+  }
+
+  const common::VerbId verb = echo;
+  std::function<void(Link&)> launch = [&](Link& link) {
+    if (link.next_seq >= kCallsPerLink) return;
+    serial::Writer w(8);
+    w.write_u64(static_cast<std::uint64_t>(link.next_seq++));
+    link.transport->call(link.dst, verb, w.take(),
+                         [&launch, &completed, &link](rmi::CallResult r) {
+                           if (!r.ok) {
+                             std::cerr << "storm call failed: " << r.error
+                                       << "\n";
+                             std::exit(1);
+                           }
+                           ++completed;
+                           launch(link);
+                         });
+  };
+
+  const auto start = Clock::now();
+  for (auto& link : links) {
+    for (int w = 0; w < kWindow; ++w) launch(link);
+  }
+  const auto checks_before = sim.stats().counter("sim.predicate_checks");
+  const bool done =
+      sim.run_until([&] { return completed == total; });
+  result.wall_sec = std::chrono::duration<double>(Clock::now() - start).count();
+  if (!done) {
+    std::cerr << "storm drained with " << completed << "/" << total
+              << " calls completed\n";
+    std::exit(1);
+  }
+
+  result.calls = total;
+  result.calls_per_sec = static_cast<double>(total) / result.wall_sec;
+  result.evictions = sim.stats().counter("rmi.reply_cache_evictions");
+  result.retransmissions = sim.stats().counter("rmi.retransmissions");
+  result.duplicates_suppressed =
+      sim.stats().counter("rmi.duplicates_suppressed");
+  result.predicate_checks =
+      sim.stats().counter("sim.predicate_checks") - checks_before;
+
+  if (result.order_violations != 0) {
+    std::cerr << "FAIL: " << result.order_violations
+              << " per-link ordering violations\n";
+    std::exit(1);
+  }
+  if (result.evictions == 0) {
+    std::cerr << "FAIL: reply-cache ring never evicted — storm too small "
+                 "for cache capacity\n";
+    std::exit(1);
+  }
+  return result;
+}
+
+void print_run(const StormRun& r) {
+  std::cout << r.nodes << " nodes: "
+            << static_cast<std::int64_t>(r.calls_per_sec) << " calls/sec ("
+            << r.calls << " calls, " << r.wall_sec << " s), "
+            << r.evictions << " evictions, " << r.retransmissions
+            << " retransmissions, " << r.predicate_checks
+            << " predicate checks, " << r.order_violations
+            << " order violations\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> sizes{4, 8, 16};
+  if (argc > 1) sizes = {std::atoi(argv[1])};
+
+  std::vector<StormRun> runs;
+  for (int n : sizes) {
+    runs.push_back(run_storm(n));
+    print_run(runs.back());
+  }
+
+  std::ofstream json("BENCH_storm.json");
+  json << "{\n"
+       << "  \"bench\": \"storm\",\n"
+       << "  \"calls_per_link\": " << kCallsPerLink << ",\n"
+       << "  \"window\": " << kWindow << ",\n"
+       << "  \"reply_cache_capacity\": " << kCacheCapacity << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const StormRun& r = runs[i];
+    json << "    {\n"
+         << "      \"nodes\": " << r.nodes << ",\n"
+         << "      \"calls\": " << r.calls << ",\n"
+         << "      \"wall_sec\": " << r.wall_sec << ",\n"
+         << "      \"calls_per_sec\": " << r.calls_per_sec << ",\n"
+         << "      \"reply_cache_evictions\": " << r.evictions << ",\n"
+         << "      \"retransmissions\": " << r.retransmissions << ",\n"
+         << "      \"duplicates_suppressed\": " << r.duplicates_suppressed
+         << ",\n"
+         << "      \"predicate_checks\": " << r.predicate_checks << ",\n"
+         << "      \"order_violations\": " << r.order_violations << "\n"
+         << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_storm.json\n";
+  return 0;
+}

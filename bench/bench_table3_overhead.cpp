@@ -73,7 +73,7 @@ Measurement java_rmi() {
         auto counter = std::make_shared<std::int64_t>(0);
         system.transport(kServer).register_service(
             "app.increment",
-            [counter](common::NodeId, const serial::Buffer&,
+            [counter](common::NodeId, const serial::BufferChain&,
                       rmi::Replier replier) {
               serial::Writer w;
               w.write_i64(++*counter);

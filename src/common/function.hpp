@@ -23,8 +23,10 @@ class UniqueFunction;
 template <typename R, typename... Args>
 class UniqueFunction<R(Args...)> {
  public:
-  // Captures up to this many bytes live inline (no heap allocation).
-  static constexpr std::size_t kInlineSize = 152;
+  // Captures up to this many bytes live inline (no heap allocation).  Sized
+  // so the transport's largest steady-state capture — a scatter-gather
+  // BufferChain body riding with a Replier or an Envelope — stays inline.
+  static constexpr std::size_t kInlineSize = 232;
 
   UniqueFunction() = default;
   UniqueFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)

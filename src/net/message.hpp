@@ -2,9 +2,10 @@
 //
 // The payload is opaque to the network; upper layers (src/rmi) serialize
 // envelopes into it.  Scatter-gather framing: `header` carries the envelope
-// framing bytes and `body` the application payload, both as ref-counted
-// serial::Buffer views — so forwarding a message never copies payload bytes
-// (the wire-equivalent byte stream is header ++ body).
+// framing bytes as one ref-counted serial::Buffer and `body` the
+// application payload as a serial::BufferChain fragment list — so
+// forwarding a message never copies payload bytes (the wire-equivalent
+// byte stream is header ++ the concatenated fragments).
 //
 // `verb` + `kind` duplicate the envelope's operation purely for tracing and
 // stats — benches reconstruct the paper's protocol figures (Figure 1,
@@ -18,6 +19,7 @@
 #include "common/time.hpp"
 #include "common/verb.hpp"
 #include "serial/buffer.hpp"
+#include "serial/chain.hpp"
 
 namespace mage::net {
 
@@ -34,8 +36,8 @@ struct Message {
   common::NodeId to;
   common::VerbId verb;   // operation name, for tracing only
   MsgKind kind = MsgKind::Request;
-  serial::Buffer header;  // envelope framing
-  serial::Buffer body;    // application payload
+  serial::Buffer header;      // envelope framing
+  serial::BufferChain body;   // application payload fragments
 
   [[nodiscard]] std::size_t payload_size() const {
     return header.size() + body.size();

@@ -129,15 +129,21 @@ void Network::send(Message msg) {
                                 msg.label(), msg.wire_size(), false});
   }
 
-  sim_.schedule_at(deliver_at, [this, msg = std::move(msg)]() mutable {
-    auto& node = state(msg.to);
-    if (!node.handler) {
-      throw common::TransportError("node '" + node.label +
-                                   "' has no message handler installed");
-    }
-    ++*messages_delivered_;
-    node.handler(std::move(msg));
-  });
+  // Wake::No: delivery hands the message to the transport, which wakes the
+  // simulation itself exactly where user code runs (service dispatch,
+  // completion callbacks).
+  sim_.schedule_at(
+      deliver_at,
+      [this, msg = std::move(msg)]() mutable {
+        auto& node = state(msg.to);
+        if (!node.handler) {
+          throw common::TransportError("node '" + node.label +
+                                       "' has no message handler installed");
+        }
+        ++*messages_delivered_;
+        node.handler(std::move(msg));
+      },
+      sim::Wake::No);
 }
 
 void Network::set_partitioned(common::NodeId a, common::NodeId b,

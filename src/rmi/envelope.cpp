@@ -11,14 +11,14 @@ namespace mage::rmi {
 namespace {
 
 // Upper bound on header size for Writer pre-reservation: kind + id + verb +
-// ok + body_size plus a typical error string.
+// ok + fragment list plus a typical error string.
 constexpr std::size_t kHeaderReserve = 64;
 
 void write_header(serial::Writer& w, const Envelope& e) {
   if (e.body.size() > std::numeric_limits<std::uint32_t>::max()) {
     throw common::SerializationError(
         "envelope body of " + std::to_string(e.body.size()) +
-        " bytes exceeds the u32 length field");
+        " bytes exceeds the u32 total-size limit");
   }
   w.write_u8(static_cast<std::uint8_t>(e.kind));
   w.write_u64(e.request_id.value());
@@ -27,11 +27,21 @@ void write_header(serial::Writer& w, const Envelope& e) {
     w.write_bool(e.ok);
     if (!e.ok) w.write_string(e.error);
   }
-  w.write_u32(static_cast<std::uint32_t>(e.body.size()));
+  w.write_u8(static_cast<std::uint8_t>(e.body.fragments()));
+  for (std::size_t i = 0; i < e.body.fragments(); ++i) {
+    w.write_u32(static_cast<std::uint32_t>(e.body.fragment(i).size()));
+  }
 }
 
-// Parses the framing fields; returns the declared body size.
-std::uint32_t read_header(serial::Reader& r, Envelope& e) {
+// Parsed fragment declarations from a header.
+struct FragmentList {
+  std::uint8_t count = 0;
+  std::uint32_t sizes[serial::BufferChain::kMaxFragments] = {};
+  std::uint64_t total = 0;
+};
+
+// Parses the framing fields; returns the declared fragment list.
+FragmentList read_header(serial::Reader& r, Envelope& e) {
   const std::uint8_t kind = r.read_u8();
   if (kind > 1) {
     throw common::SerializationError("bad envelope kind " +
@@ -44,7 +54,24 @@ std::uint32_t read_header(serial::Reader& r, Envelope& e) {
     e.ok = r.read_bool();
     if (!e.ok) e.error = r.read_string();
   }
-  return r.read_u32();
+  FragmentList frags;
+  frags.count = r.read_u8();
+  if (frags.count > serial::BufferChain::kMaxFragments) {
+    throw common::SerializationError(
+        "envelope declares " + std::to_string(frags.count) +
+        " body fragments; this implementation accepts at most " +
+        std::to_string(serial::BufferChain::kMaxFragments));
+  }
+  for (std::uint8_t i = 0; i < frags.count; ++i) {
+    frags.sizes[i] = r.read_u32();
+    frags.total += frags.sizes[i];
+  }
+  if (frags.total > std::numeric_limits<std::uint32_t>::max()) {
+    throw common::SerializationError(
+        "envelope fragments total " + std::to_string(frags.total) +
+        " bytes, exceeding the u32 total-size limit");
+  }
+  return frags;
 }
 
 }  // namespace
@@ -58,19 +85,28 @@ serial::Buffer Envelope::encode_header() const {
 serial::Buffer Envelope::encode() const {
   serial::Writer w(kHeaderReserve + body.size());
   write_header(w, *this);
-  if (!body.empty()) w.write_raw(body.data(), body.size());
+  for (std::size_t i = 0; i < body.fragments(); ++i) {
+    const serial::Buffer& frag = body.fragment(i);
+    w.write_raw(frag.data(), frag.size());
+  }
   return w.take();
 }
 
-Envelope Envelope::decode(const serial::Buffer& header, serial::Buffer body) {
+Envelope Envelope::decode(const serial::Buffer& header,
+                          serial::BufferChain body) {
   serial::Reader r(header.span());
   Envelope e;
-  const std::uint32_t body_size = read_header(r, e);
-  if (!r.at_end() || body_size != body.size()) {
+  const FragmentList frags = read_header(r, e);
+  bool match = r.at_end() && frags.count == body.fragments();
+  for (std::uint8_t i = 0; match && i < frags.count; ++i) {
+    match = frags.sizes[i] == body.fragment(i).size();
+  }
+  if (!match) {
     throw common::SerializationError(
         "envelope framing mismatch: header declares " +
-        std::to_string(body_size) + " body bytes, got " +
-        std::to_string(body.size()));
+        std::to_string(frags.count) + " fragments, body has " +
+        std::to_string(body.fragments()) + " totalling " +
+        std::to_string(body.size()) + " bytes");
   }
   e.body = std::move(body);
   return e;
@@ -79,14 +115,18 @@ Envelope Envelope::decode(const serial::Buffer& header, serial::Buffer body) {
 Envelope Envelope::decode(const serial::Buffer& flat) {
   serial::Reader r(flat);
   Envelope e;
-  const std::uint32_t body_size = read_header(r, e);
-  if (r.remaining() != body_size) {
+  const FragmentList frags = read_header(r, e);
+  if (r.remaining() != frags.total) {
     throw common::SerializationError(
         "envelope framing mismatch: header declares " +
-        std::to_string(body_size) + " body bytes, " +
+        std::to_string(frags.total) + " body bytes, " +
         std::to_string(r.remaining()) + " follow");
   }
-  if (body_size > 0) e.body = flat.slice(r.offset(), body_size);
+  std::size_t offset = r.offset();
+  for (std::uint8_t i = 0; i < frags.count; ++i) {
+    e.body.append(flat.slice(offset, frags.sizes[i]));
+    offset += frags.sizes[i];
+  }
   return e;
 }
 

@@ -7,12 +7,19 @@
 // Replies double as acknowledgements; retransmitted Requests are
 // deduplicated at the receiver (at-most-once execution).
 //
-// Wire layout (header ++ body, little-endian):
+// The body is a scatter-gather fragment list (serial::BufferChain): the
+// rts proto layer splices pre-serialized payloads (invocation args, object
+// state, results) into the body by refcount, and the header declares the
+// fragment sizes so the receiver can reconstruct the list without copying.
+//
+// Wire layout (header ++ body fragments, little-endian):
 //   u8 kind | u64 request_id | u32 verb | [reply: u8 ok, !ok: str error]
-//   | u32 body_size | body bytes
-// On the wire a verb is its interned 32-bit id; see docs/PERF.md for the
-// invariants this assumes.  The transport sends header and body as separate
-// ref-counted buffers (scatter-gather), so the body is never re-copied;
+//   | u8 fragment_count | u32 fragment_size × fragment_count
+//   | fragment bytes, concatenated
+// On the wire a verb is its interned 32-bit id.  The byte-level contract —
+// including the fragment-list framing and the u32 size limits — is
+// docs/WIRE_FORMAT.md; the transport sends header and fragments as separate
+// ref-counted buffers (scatter-gather), so body bytes are never re-copied.
 // encode()/decode(flat) provide the concatenated form for tests and tools.
 #pragma once
 
@@ -22,6 +29,7 @@
 #include "common/ids.hpp"
 #include "common/verb.hpp"
 #include "serial/buffer.hpp"
+#include "serial/chain.hpp"
 
 namespace mage::rmi {
 
@@ -33,20 +41,23 @@ struct Envelope {
   common::VerbId verb;              // Request: operation; Reply: echo
   bool ok = true;                   // Reply only: false => error
   std::string error;                // Reply only, when !ok
-  serial::Buffer body;              // args (Request) or result (Reply)
+  serial::BufferChain body;         // args (Request) or result (Reply)
 
-  // Framing bytes only (everything but the body); the transport pairs this
-  // with `body` in a scatter-gather net::Message.
+  // Framing bytes only (everything but the fragment bytes); the transport
+  // pairs this with `body` in a scatter-gather net::Message.
   [[nodiscard]] serial::Buffer encode_header() const;
 
-  // Concatenated header ++ body (copies the body — test/tool convenience,
-  // not the hot path).
+  // Concatenated header ++ fragments (gathers the body — test/tool
+  // convenience, not the hot path).
   [[nodiscard]] serial::Buffer encode() const;
 
-  // Decodes a scatter-gather pair; validates body size against the header.
-  static Envelope decode(const serial::Buffer& header, serial::Buffer body);
+  // Decodes a scatter-gather pair; validates the body's fragment count and
+  // sizes against the header's declarations.
+  static Envelope decode(const serial::Buffer& header,
+                         serial::BufferChain body);
 
-  // Decodes the concatenated form; the body is a zero-copy slice of `flat`.
+  // Decodes the concatenated form; body fragments are zero-copy slices of
+  // `flat`.
   static Envelope decode(const serial::Buffer& flat);
 };
 

@@ -19,7 +19,7 @@ Transport* Replier::fire() {
   return std::exchange(transport_, nullptr);
 }
 
-void Replier::ok(serial::Buffer body) {
+void Replier::ok(serial::BufferChain body) {
   fire()->send_reply(to_, id_, verb_, true, {}, std::move(body));
 }
 
@@ -27,7 +27,8 @@ void Replier::error(const std::string& message) {
   fire()->send_reply(to_, id_, verb_, false, message, {});
 }
 
-Transport::Transport(net::Network& network, common::NodeId self)
+Transport::Transport(net::Network& network, common::NodeId self,
+                     std::size_t reply_cache_capacity)
     : network_(network),
       sim_(network.simulation()),
       self_(self),
@@ -36,7 +37,21 @@ Transport::Transport(net::Network& network, common::NodeId self)
       retransmissions_(sim_.stats().counter_handle("rmi.retransmissions")),
       duplicates_suppressed_(
           sim_.stats().counter_handle("rmi.duplicates_suppressed")),
-      stale_replies_(sim_.stats().counter_handle("rmi.stale_replies")) {
+      stale_replies_(sim_.stats().counter_handle("rmi.stale_replies")),
+      reply_cache_evictions_(
+          sim_.stats().counter_handle("rmi.reply_cache_evictions")),
+      reply_cache_capacity_(reply_cache_capacity) {
+  if (reply_cache_capacity_ == 0) {
+    throw common::MageError(
+        "reply cache capacity must be at least 1 (at-most-once needs a "
+        "live entry per in-flight request)");
+  }
+  // Pre-size the slim probe index so steady-state inserts never rehash.
+  // The fat entries ring grows on demand (append-only up to capacity, then
+  // in-place overwrite), so an idle transport does not pre-commit
+  // capacity * sizeof(ReplyCacheEntry) bytes — once the ring has wrapped,
+  // the receive path is allocation-free.
+  reply_cache_index_.reserve(reply_cache_capacity_);
   network_.set_handler(self_,
                        [this](net::Message msg) { on_message(std::move(msg)); });
 }
@@ -63,22 +78,21 @@ std::int64_t* Transport::verb_calls_counter(common::VerbId verb) {
 }
 
 void Transport::call(common::NodeId dest, common::VerbId verb,
-                     serial::Buffer body, Callback callback,
+                     serial::BufferChain body, Callback callback,
                      CallOptions options) {
   if (!verb.valid() || verb.value() >= common::interned_verb_count()) {
     throw common::MageError("call on an uninterned verb id");
   }
   const common::RequestId id{next_request_++};
   const std::size_t body_size = body.size();
-  PendingCall pc;
-  pc.dest = dest;
-  pc.verb = verb;
-  pc.body = std::move(body);
-  pc.callback = std::move(callback);
-  pc.options = options;
-  auto [it, inserted] = pending_.emplace(id.value(), std::move(pc));
+  auto [pc, inserted] = pending_.try_emplace(id.value());
   assert(inserted);
-  (void)it;
+  (void)inserted;
+  pc->dest = dest;
+  pc->verb = verb;
+  pc->body = std::move(body);
+  pc->callback = std::move(callback);
+  pc->options = options;
 
   ++*calls_;
   ++*verb_calls_counter(verb);
@@ -88,48 +102,51 @@ void Transport::call(common::NodeId dest, common::VerbId verb,
   const auto& model = network_.cost_model();
   const common::SimDuration prep =
       model.rmi_client_overhead_us + model.marshal_time(body_size);
-  sim_.schedule_after(prep, [this, id] { transmit(id); });
+  sim_.schedule_after(prep, [this, id] { transmit(id); }, sim::Wake::No);
 }
 
 void Transport::transmit(common::RequestId id) {
-  auto it = pending_.find(id.value());
-  if (it == pending_.end() || it->second.done) return;
-  PendingCall& pc = it->second;
+  PendingCall* pc = pending_.find(id.value());
+  if (pc == nullptr || pc->done) return;
 
-  if (pc.attempts >= pc.options.max_attempts) {
-    pc.done = true;
-    auto callback = std::move(pc.callback);
+  if (pc->attempts >= pc->options.max_attempts) {
+    pc->done = true;
+    auto callback = std::move(pc->callback);
     const std::string message =
-        "rmi call '" + common::verb_name(pc.verb) + "' timed out after " +
-        std::to_string(pc.options.max_attempts) + " attempts";
-    pending_.erase(it);
+        "rmi call '" + common::verb_name(pc->verb) + "' timed out after " +
+        std::to_string(pc->options.max_attempts) + " attempts";
+    pending_.erase(id.value());
     ++*failures_;
+    sim_.wake();  // completion: an enclosing run_until should re-check
     callback(CallResult::failure(message));
     return;
   }
 
-  ++pc.attempts;
-  if (pc.attempts > 1) ++*retransmissions_;
+  ++pc->attempts;
+  if (pc->attempts > 1) ++*retransmissions_;
 
   Envelope env;
   env.kind = EnvelopeKind::Request;
   env.request_id = id;
-  env.verb = pc.verb;
-  env.body = pc.body;  // refcount, not a copy
-  network_.send(net::Message{self_, pc.dest, pc.verb, net::MsgKind::Request,
+  env.verb = pc->verb;
+  env.body = pc->body;  // fragment refcounts, not a copy
+  network_.send(net::Message{self_, pc->dest, pc->verb, net::MsgKind::Request,
                              env.encode_header(), std::move(env.body)});
   arm_retry_timer(id);
 }
 
 void Transport::arm_retry_timer(common::RequestId id) {
-  PendingCall& pc = pending_.at(id.value());
-  pc.retry_timer = sim_.schedule_after(
-      pc.options.retry_timeout_us, [this, id] { transmit(id); });
+  PendingCall* pc = pending_.find(id.value());
+  assert(pc != nullptr);
+  pc->retry_timer = sim_.schedule_after(
+      pc->options.retry_timeout_us, [this, id] { transmit(id); },
+      sim::Wake::No);
 }
 
-serial::Buffer Transport::call_sync(common::NodeId dest, common::VerbId verb,
-                                    serial::Buffer body,
-                                    CallOptions options) {
+serial::BufferChain Transport::call_sync(common::NodeId dest,
+                                         common::VerbId verb,
+                                         serial::BufferChain body,
+                                         CallOptions options) {
   std::optional<CallResult> result;
   call(
       dest, verb, std::move(body),
@@ -160,21 +177,41 @@ serial::Buffer Transport::call_sync(common::NodeId dest, common::VerbId verb,
 void Transport::on_message(net::Message msg) {
   Envelope env = Envelope::decode(msg.header, std::move(msg.body));
   if (env.kind == EnvelopeKind::Request) {
-    on_request(msg.from, std::move(env));
+    on_request(msg.from, env);
   } else {
-    on_reply(std::move(env));
+    on_reply(env);
   }
 }
 
-void Transport::on_request(common::NodeId from, Envelope env) {
+Transport::ReplyCacheEntry* Transport::reply_cache_insert(std::uint64_t key) {
+  std::uint32_t slot;
+  if (reply_cache_entries_.size() < reply_cache_capacity_) {
+    slot = static_cast<std::uint32_t>(reply_cache_entries_.size());
+    reply_cache_entries_.emplace_back();
+  } else {
+    // Ring full: this slot's previous occupant is the entry evicted.
+    slot = static_cast<std::uint32_t>(reply_cache_head_);
+    reply_cache_head_ = (reply_cache_head_ + 1) % reply_cache_capacity_;
+    reply_cache_index_.erase(reply_cache_entries_[slot].key);
+    ++*reply_cache_evictions_;
+  }
+  *reply_cache_index_.try_emplace(key).first = slot;
+  ReplyCacheEntry* entry = &reply_cache_entries_[slot];
+  entry->key = key;
+  return entry;
+}
+
+void Transport::on_request(common::NodeId from, Envelope& env) {
   const std::uint64_t key = pack_key(from, env.request_id);
-  if (auto it = reply_cache_.find(key);
-      it != reply_cache_.end() && it->second.request_id == env.request_id) {
+  const std::uint32_t* cached_slot = reply_cache_index_.find(key);
+  ReplyCacheEntry* cached =
+      cached_slot != nullptr ? &reply_cache_entries_[*cached_slot] : nullptr;
+  if (cached != nullptr && cached->request_id == env.request_id) {
     // Duplicate (retransmission).  If we already answered, answer again
     // from the cache; if the service is still working, stay silent.
     ++*duplicates_suppressed_;
-    if (it->second.completed) {
-      const Envelope& reply = it->second.reply;
+    if (cached->completed) {
+      const Envelope& reply = cached->reply;
       network_.send(net::Message{self_, from, reply.verb,
                                  net::MsgKind::ReplyDup,
                                  reply.encode_header(), reply.body});
@@ -192,23 +229,17 @@ void Transport::on_request(common::NodeId from, Envelope env) {
     return;
   }
 
-  // Insert (or overwrite a low-32-bit aliased leftover) and record the key
-  // in the eviction ring, retiring the entry the ring slot previously held.
-  // An aliased overwrite must NOT re-record the key: the ring already holds
-  // it once, and a duplicate would make the older ring copy evict the
-  // newer, still-live entry — breaking at-most-once.
-  auto [cache_it, inserted] = reply_cache_.insert_or_assign(
-      key, ReplyCacheEntry{env.request_id, false, {}});
-  (void)cache_it;
-  if (inserted) {
-    if (reply_cache_ring_.size() < kReplyCacheCapacity) {
-      reply_cache_ring_.push_back(key);
-    } else {
-      reply_cache_.erase(reply_cache_ring_[reply_cache_head_]);
-      reply_cache_ring_[reply_cache_head_] = key;
-      reply_cache_head_ = (reply_cache_head_ + 1) % kReplyCacheCapacity;
-    }
-  }
+  // Record the request in the at-most-once state.  A fresh key claims a
+  // ring slot (evicting its previous occupant once the ring is full); a
+  // low-32-bit aliased leftover (cached != null but request ids differ) is
+  // overwritten in place, keeping its ring position — re-inserting it
+  // would give the key two ring slots and let the older one evict the
+  // newer, still-live entry, breaking at-most-once.
+  ReplyCacheEntry* entry =
+      cached != nullptr ? cached : reply_cache_insert(key);
+  entry->request_id = env.request_id;
+  entry->completed = false;
+  entry->reply = {};
 
   // Server-side overhead: skeleton dispatch + argument unmarshalling.
   const auto& model = network_.cost_model();
@@ -216,17 +247,24 @@ void Transport::on_request(common::NodeId from, Envelope env) {
       model.rmi_server_dispatch_us + model.marshal_time(env.body.size());
   Replier replier(this, from, env.request_id, env.verb);
   sim_.schedule_after(
-      prep, [this, verb_index, from, body = std::move(env.body),
-             replier = std::move(replier)]() mutable {
-        // Re-resolve the service at fire time: the flat table may have
-        // grown (reallocated) between dispatch and execution.
+      prep,
+      [this, verb_index, from, body = std::move(env.body),
+       replier = std::move(replier)]() mutable {
+        // User code runs here: wake so enclosing run_until predicates see
+        // whatever the service mutates (parked repliers, flags, ...).
+        sim_.wake();
+        // Re-resolve the service at fire time: the table may have grown
+        // between dispatch and execution (deque growth leaves the entry in
+        // place even if the handler itself registers new verbs).
         services_[verb_index](from, body, std::move(replier));
-      });
+      },
+      sim::Wake::No);
 }
 
 void Transport::send_reply(common::NodeId to, common::RequestId id,
                            common::VerbId verb, bool ok,
-                           const std::string& error, serial::Buffer body) {
+                           const std::string& error,
+                           serial::BufferChain body) {
   Envelope reply;
   reply.kind = EnvelopeKind::Reply;
   reply.request_id = id;
@@ -236,10 +274,11 @@ void Transport::send_reply(common::NodeId to, common::RequestId id,
   reply.body = std::move(body);
 
   const std::uint64_t key = pack_key(to, id);
-  if (auto it = reply_cache_.find(key);
-      it != reply_cache_.end() && it->second.request_id == id) {
-    it->second.completed = true;
-    it->second.reply = reply;  // Buffer refcount, not a payload copy
+  if (const std::uint32_t* slot = reply_cache_index_.find(key);
+      slot != nullptr && reply_cache_entries_[*slot].request_id == id) {
+    ReplyCacheEntry& entry = reply_cache_entries_[*slot];
+    entry.completed = true;
+    entry.reply = reply;  // fragment refcounts, not a payload copy
   }
 
   // Result marshalling charged on the serving side before the wire.
@@ -250,22 +289,23 @@ void Transport::send_reply(common::NodeId to, common::RequestId id,
         network_.send(net::Message{self_, to, reply.verb, net::MsgKind::Reply,
                                    reply.encode_header(),
                                    std::move(reply.body)});
-      });
+      },
+      sim::Wake::No);
 }
 
-void Transport::on_reply(Envelope env) {
-  auto it = pending_.find(env.request_id.value());
-  if (it == pending_.end() || it->second.done) {
+void Transport::on_reply(Envelope& env) {
+  PendingCall* pc = pending_.find(env.request_id.value());
+  if (pc == nullptr || pc->done) {
     ++*stale_replies_;
     return;
   }
-  PendingCall& pc = it->second;
-  pc.done = true;
-  sim_.cancel(pc.retry_timer);
-  auto callback = std::move(pc.callback);
+  pc->done = true;
+  sim_.cancel(pc->retry_timer);
+  auto callback = std::move(pc->callback);
   CallResult result = env.ok ? CallResult::success(std::move(env.body))
                              : CallResult::failure(std::move(env.error));
-  pending_.erase(it);
+  pending_.erase(env.request_id.value());
+  sim_.wake();  // completion wakeup for the caller's run_until
   callback(std::move(result));
 }
 

@@ -16,11 +16,16 @@
 //     copies).
 //
 // Hot-path layout: verbs are interned VerbIds, so dispatch is a flat vector
-// index; payloads are ref-counted serial::Buffers, so a steady-state call
-// deep-copies zero payload bytes (retransmission and the reply cache hold
-// refcounts, not copies); pending calls and the reply cache are hash maps
-// (the reply cache keyed by a packed (node, request) word with a ring-buffer
-// eviction order).
+// index; bodies are scatter-gather serial::BufferChains of ref-counted
+// fragments, so a steady-state call deep-copies zero payload bytes
+// (retransmission and the reply cache hold refcounts, not copies); pending
+// calls and the reply cache are open-addressed flat tables
+// (common::FlatMap64 — no per-insert node allocation), the reply cache
+// keyed by a packed (node, request) word with a ring-buffer eviction order
+// and pre-sized to its ring capacity so the receive path never allocates.
+// Completion wakeups: the transport wakes the simulation exactly where
+// user code runs (service dispatch, callback completion), letting
+// run_until skip predicate checks on internal events.
 //
 // Cost accounting per the CostModel: the caller is charged client overhead
 // plus marshalling before the request hits the wire; the callee is charged
@@ -29,28 +34,30 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/function.hpp"
 #include "common/ids.hpp"
 #include "common/verb.hpp"
 #include "net/network.hpp"
 #include "rmi/envelope.hpp"
 #include "serial/buffer.hpp"
+#include "serial/chain.hpp"
 
 namespace mage::rmi {
 
 // Outcome of one RMI call, exactly one of which reaches the callback.
 struct CallResult {
   bool ok = false;
-  std::string error;      // set when !ok
-  serial::Buffer body;    // set when ok
+  std::string error;          // set when !ok
+  serial::BufferChain body;   // set when ok
 
-  static CallResult success(serial::Buffer body) {
+  static CallResult success(serial::BufferChain body) {
     return CallResult{true, {}, std::move(body)};
   }
   static CallResult failure(std::string error) {
@@ -79,7 +86,7 @@ class Replier {
   Replier(const Replier&) = delete;
   Replier& operator=(const Replier&) = delete;
 
-  void ok(serial::Buffer body);
+  void ok(serial::BufferChain body);
   void error(const std::string& message);
 
   [[nodiscard]] common::NodeId caller() const { return to_; }
@@ -116,10 +123,16 @@ class Transport {
   // Service receives the caller's node, the argument body, and a Replier.
   // Multi-shot (std::function): one registration answers many requests.
   using Service = std::function<void(common::NodeId caller,
-                                     const serial::Buffer& body,
+                                     const serial::BufferChain& body,
                                      Replier replier)>;
 
-  Transport(net::Network& network, common::NodeId self);
+  // At-most-once reply-cache depth (cached replies retained per node).
+  static constexpr std::size_t kReplyCacheCapacity = 8192;
+
+  // `reply_cache_capacity` bounds the at-most-once cache; benches shrink it
+  // to exercise ring eviction under load without 8k-call warmups.
+  Transport(net::Network& network, common::NodeId self,
+            std::size_t reply_cache_capacity = kReplyCacheCapacity);
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
@@ -133,10 +146,11 @@ class Transport {
   }
 
   // Asynchronous call; `callback` fires exactly once.
-  void call(common::NodeId dest, common::VerbId verb, serial::Buffer body,
+  void call(common::NodeId dest, common::VerbId verb, serial::BufferChain body,
             Callback callback, CallOptions options = {});
-  void call(common::NodeId dest, std::string_view verb, serial::Buffer body,
-            Callback callback, CallOptions options = {}) {
+  void call(common::NodeId dest, std::string_view verb,
+            serial::BufferChain body, Callback callback,
+            CallOptions options = {}) {
     call(dest, common::intern_verb(verb), std::move(body),
          std::move(callback), options);
   }
@@ -144,10 +158,12 @@ class Transport {
   // Synchronous call usable only from driver code (runs the event loop
   // until the reply arrives).  Throws RemoteInvocationError on remote
   // error, TransportError when retries are exhausted.
-  serial::Buffer call_sync(common::NodeId dest, common::VerbId verb,
-                           serial::Buffer body, CallOptions options = {});
-  serial::Buffer call_sync(common::NodeId dest, std::string_view verb,
-                           serial::Buffer body, CallOptions options = {}) {
+  serial::BufferChain call_sync(common::NodeId dest, common::VerbId verb,
+                                serial::BufferChain body,
+                                CallOptions options = {});
+  serial::BufferChain call_sync(common::NodeId dest, std::string_view verb,
+                                serial::BufferChain body,
+                                CallOptions options = {}) {
     return call_sync(dest, common::intern_verb(verb), std::move(body),
                      options);
   }
@@ -158,7 +174,7 @@ class Transport {
   struct PendingCall {
     common::NodeId dest;
     common::VerbId verb;
-    serial::Buffer body;  // retained (refcount) for retransmission
+    serial::BufferChain body;  // retained (refcounts) for retransmission
     Callback callback;
     CallOptions options;
     int attempts = 0;
@@ -167,21 +183,26 @@ class Transport {
   };
 
   void on_message(net::Message msg);
-  void on_request(common::NodeId from, Envelope env);
-  void on_reply(Envelope env);
+  // The envelope is consumed (its body moved out) by the handlers.
+  void on_request(common::NodeId from, Envelope& env);
+  void on_reply(Envelope& env);
   void transmit(common::RequestId id);
   void arm_retry_timer(common::RequestId id);
   void send_reply(common::NodeId to, common::RequestId id,
                   common::VerbId verb, bool ok, const std::string& error,
-                  serial::Buffer body);
+                  serial::BufferChain body);
   std::int64_t* verb_calls_counter(common::VerbId verb);
 
   net::Network& network_;
   sim::Simulation& sim_;
   common::NodeId self_;
-  // Flat dispatch table indexed by VerbId (grown on register).
-  std::vector<Service> services_;
-  std::unordered_map<std::uint64_t, PendingCall> pending_;  // by request id
+  // Flat dispatch table indexed by VerbId (grown on register).  A deque so
+  // growth never moves existing entries: a service may register new verbs
+  // from inside its own handler while its std::function is mid-invocation
+  // (re-registering the SAME verb from its own handler is still undefined).
+  std::deque<Service> services_;
+  // Open-addressed, keyed by request id (ids start at 1, never 0).
+  common::FlatMap64<PendingCall> pending_;
   std::uint64_t next_request_ = 1;
 
   // Hot-path counters (see StatsRegistry::counter_handle).
@@ -190,14 +211,27 @@ class Transport {
   std::int64_t* retransmissions_;
   std::int64_t* duplicates_suppressed_;
   std::int64_t* stale_replies_;
+  std::int64_t* reply_cache_evictions_;
   // Per-verb "rmi.calls.<verb>" counters, indexed by VerbId.
   std::vector<std::int64_t*> per_verb_calls_;
 
   // At-most-once receiver state, keyed by (caller, request id) packed into
   // one 64-bit word (caller in the high bits, request id in the low 32).
   // The full request id is kept in the entry and verified on every hit, so
-  // a low-32-bit wraparound can never alias two live requests.
+  // a low-32-bit wraparound can never alias two live requests.  The key is
+  // never 0 (node ids start at 1), as FlatMap64 requires.
+  //
+  // Layout: the open-addressed index probes slim (key, ring slot) pairs —
+  // a few slots per cache line — while the fat entries (cached reply
+  // envelopes) sit in a ring array in insertion order, each touched only
+  // when its request is addressed.  The ring slot being overwritten on
+  // insert is the entry evicted.  The index is pre-sized to
+  // reply_cache_capacity_ (no rehash, no backward-shift of anything
+  // bigger than 16 bytes); the entries ring grows append-only to capacity
+  // and is then overwritten in place, so once it has wrapped the receive
+  // path never allocates.
   struct ReplyCacheEntry {
+    std::uint64_t key = 0;  // pack_key of the request this slot caches
     common::RequestId request_id;
     bool completed = false;  // false => execution still in progress
     Envelope reply;          // valid when completed
@@ -206,12 +240,14 @@ class Transport {
     return (static_cast<std::uint64_t>(node.value()) << 32) |
            (id.value() & 0xFFFFFFFFull);
   }
-  std::unordered_map<std::uint64_t, ReplyCacheEntry> reply_cache_;
-  // Fixed-capacity ring of cache keys in insertion order; the slot being
-  // overwritten is the entry evicted.
-  std::vector<std::uint64_t> reply_cache_ring_;
+  // Claims the ring slot for a fresh key (evicting the slot's previous
+  // entry once the ring is full) and indexes it.
+  ReplyCacheEntry* reply_cache_insert(std::uint64_t key);
+
+  common::FlatMap64<std::uint32_t> reply_cache_index_;  // key -> ring slot
+  std::vector<ReplyCacheEntry> reply_cache_entries_;    // insertion order
   std::size_t reply_cache_head_ = 0;
-  static constexpr std::size_t kReplyCacheCapacity = 8192;
+  std::size_t reply_cache_capacity_;
 };
 
 }  // namespace mage::rmi

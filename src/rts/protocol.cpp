@@ -17,18 +17,13 @@ const char* status_name(Status s) {
 }
 
 void put_node(serial::Writer& w, common::NodeId n) { w.write_u32(n.value()); }
+void put_node(serial::ChainWriter& w, common::NodeId n) {
+  w.write_u32(n.value());
+}
 
-common::NodeId get_node(serial::Reader& r) {
+common::NodeId get_node(serial::ChainReader& r) {
   return common::NodeId{r.read_u32()};
 }
-
-namespace {
-
-serial::Reader make_reader(const serial::Buffer& bytes) {
-  return serial::Reader(bytes);
-}
-
-}  // namespace
 
 // --- LookupRequest -----------------------------------------------------------
 
@@ -39,8 +34,7 @@ serial::Buffer LookupRequest::encode() const {
   return w.take();
 }
 
-LookupRequest LookupRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+LookupRequest LookupRequest::decode(serial::ChainReader& r) {
   LookupRequest v;
   v.name = r.read_string();
   v.hops = r.read_u32();
@@ -57,8 +51,7 @@ serial::Buffer LookupReply::encode() const {
   return w.take();
 }
 
-LookupReply LookupReply::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+LookupReply LookupReply::decode(serial::ChainReader& r) {
   LookupReply v;
   v.status = static_cast<Status>(r.read_u8());
   v.host = get_node(r);
@@ -74,8 +67,7 @@ serial::Buffer ClassCheckRequest::encode() const {
   return w.take();
 }
 
-ClassCheckRequest ClassCheckRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+ClassCheckRequest ClassCheckRequest::decode(serial::ChainReader& r) {
   return ClassCheckRequest{r.read_string()};
 }
 
@@ -85,8 +77,7 @@ serial::Buffer ClassCheckReply::encode() const {
   return w.take();
 }
 
-ClassCheckReply ClassCheckReply::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+ClassCheckReply ClassCheckReply::decode(serial::ChainReader& r) {
   return ClassCheckReply{r.read_bool()};
 }
 
@@ -98,29 +89,28 @@ serial::Buffer FetchClassRequest::encode() const {
   return w.take();
 }
 
-FetchClassRequest FetchClassRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+FetchClassRequest FetchClassRequest::decode(serial::ChainReader& r) {
   return FetchClassRequest{r.read_string()};
 }
 
 serial::Buffer ClassImage::encode() const {
-  serial::Writer w;
+  serial::Writer w(4 + class_name.size() + 4 + code_size);
   w.write_string(class_name);
   w.write_u32(code_size);
   // Filler standing in for the class file's bytecode so the simulated wire
   // pays the real transfer cost.
-  const std::vector<std::uint8_t> filler(code_size, 0xCA);
-  w.write_raw(filler.data(), filler.size());
+  w.write_fill(0xCA, code_size);
   return w.take();
 }
 
-ClassImage ClassImage::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+ClassImage ClassImage::decode(serial::ChainReader& r) {
   ClassImage v;
   v.class_name = r.read_string();
   v.code_size = r.read_u32();
-  std::vector<std::uint8_t> filler(v.code_size);
-  if (v.code_size > 0) r.read_raw(filler.data(), filler.size());
+  // The filler is only there so the wire pays the transfer cost; skip it
+  // (bounds-checked before anything is allocated, so a corrupt code_size
+  // raises SerializationError, never a giant allocation).
+  r.skip(v.code_size);
   return v;
 }
 
@@ -128,8 +118,8 @@ serial::Buffer LoadClassRequest::encode() const {
   return image.encode();
 }
 
-LoadClassRequest LoadClassRequest::decode(const serial::Buffer& bytes) {
-  return LoadClassRequest{ClassImage::decode(bytes)};
+LoadClassRequest LoadClassRequest::decode(serial::ChainReader& r) {
+  return LoadClassRequest{ClassImage::decode(r)};
 }
 
 // --- InstantiateRequest ---------------------------------------------------------
@@ -143,8 +133,7 @@ serial::Buffer InstantiateRequest::encode() const {
   return w.take();
 }
 
-InstantiateRequest InstantiateRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+InstantiateRequest InstantiateRequest::decode(serial::ChainReader& r) {
   InstantiateRequest v;
   v.class_name = r.read_string();
   v.object_name = r.read_string();
@@ -163,8 +152,7 @@ serial::Buffer SimpleReply::encode() const {
   return w.take();
 }
 
-SimpleReply SimpleReply::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+SimpleReply SimpleReply::decode(serial::ChainReader& r) {
   SimpleReply v;
   v.status = static_cast<Status>(r.read_u8());
   v.hint = get_node(r);
@@ -181,8 +169,7 @@ serial::Buffer MoveRequest::encode() const {
   return w.take();
 }
 
-MoveRequest MoveRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+MoveRequest MoveRequest::decode(serial::ChainReader& r) {
   MoveRequest v;
   v.name = r.read_string();
   v.to = get_node(r);
@@ -191,17 +178,16 @@ MoveRequest MoveRequest::decode(const serial::Buffer& bytes) {
 
 // --- TransferRequest ----------------------------------------------------------------
 
-serial::Buffer TransferRequest::encode() const {
-  serial::Writer w;
+serial::BufferChain TransferRequest::encode() const {
+  serial::ChainWriter w;
   w.write_string(name);
   w.write_string(class_name);
   w.write_bool(is_public);
-  w.write_bytes(state.span());
+  w.append_payload(state);
   return w.take();
 }
 
-TransferRequest TransferRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+TransferRequest TransferRequest::decode(serial::ChainReader& r) {
   TransferRequest v;
   v.name = r.read_string();
   v.class_name = r.read_string();
@@ -212,16 +198,15 @@ TransferRequest TransferRequest::decode(const serial::Buffer& bytes) {
 
 // --- InvokeRequest / InvokeReply ------------------------------------------------------
 
-serial::Buffer InvokeRequest::encode() const {
-  serial::Writer w;
+serial::BufferChain InvokeRequest::encode() const {
+  serial::ChainWriter w;
   w.write_string(name);
   w.write_string(method);
-  w.write_bytes(args.span());
+  w.append_payload(args);
   return w.take();
 }
 
-InvokeRequest InvokeRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+InvokeRequest InvokeRequest::decode(serial::ChainReader& r) {
   InvokeRequest v;
   v.name = r.read_string();
   v.method = r.read_string();
@@ -229,17 +214,16 @@ InvokeRequest InvokeRequest::decode(const serial::Buffer& bytes) {
   return v;
 }
 
-serial::Buffer InvokeReply::encode() const {
-  serial::Writer w;
+serial::BufferChain InvokeReply::encode() const {
+  serial::ChainWriter w;
   w.write_u8(static_cast<std::uint8_t>(status));
   put_node(w, hint);
   w.write_string(error);
-  w.write_bytes(result.span());
+  w.append_payload(result);
   return w.take();
 }
 
-InvokeReply InvokeReply::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+InvokeReply InvokeReply::decode(serial::ChainReader& r) {
   InvokeReply v;
   v.status = static_cast<Status>(r.read_u8());
   v.hint = get_node(r);
@@ -256,8 +240,7 @@ serial::Buffer FetchResultRequest::encode() const {
   return w.take();
 }
 
-FetchResultRequest FetchResultRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+FetchResultRequest FetchResultRequest::decode(serial::ChainReader& r) {
   return FetchResultRequest{r.read_string()};
 }
 
@@ -271,8 +254,7 @@ serial::Buffer LockRequest::encode() const {
   return w.take();
 }
 
-LockRequest LockRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+LockRequest LockRequest::decode(serial::ChainReader& r) {
   LockRequest v;
   v.name = r.read_string();
   v.target = get_node(r);
@@ -290,8 +272,7 @@ serial::Buffer LockReply::encode() const {
   return w.take();
 }
 
-LockReply LockReply::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+LockReply LockReply::decode(serial::ChainReader& r) {
   LockReply v;
   v.status = static_cast<Status>(r.read_u8());
   v.hint = get_node(r);
@@ -308,8 +289,7 @@ serial::Buffer UnlockRequest::encode() const {
   return w.take();
 }
 
-UnlockRequest UnlockRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+UnlockRequest UnlockRequest::decode(serial::ChainReader& r) {
   UnlockRequest v;
   v.name = r.read_string();
   v.lock_id = r.read_u64();
@@ -325,24 +305,22 @@ serial::Buffer StaticGetRequest::encode() const {
   return w.take();
 }
 
-StaticGetRequest StaticGetRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+StaticGetRequest StaticGetRequest::decode(serial::ChainReader& r) {
   StaticGetRequest v;
   v.class_name = r.read_string();
   v.key = r.read_string();
   return v;
 }
 
-serial::Buffer StaticPutRequest::encode() const {
-  serial::Writer w;
+serial::BufferChain StaticPutRequest::encode() const {
+  serial::ChainWriter w;
   w.write_string(class_name);
   w.write_string(key);
-  w.write_bytes(value.span());
+  w.append_payload(value);
   return w.take();
 }
 
-StaticPutRequest StaticPutRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+StaticPutRequest StaticPutRequest::decode(serial::ChainReader& r) {
   StaticPutRequest v;
   v.class_name = r.read_string();
   v.key = r.read_string();
@@ -352,18 +330,17 @@ StaticPutRequest StaticPutRequest::decode(const serial::Buffer& bytes) {
 
 // --- ExecRequest ----------------------------------------------------------------------
 
-serial::Buffer ExecRequest::encode() const {
-  serial::Writer w;
+serial::BufferChain ExecRequest::encode() const {
+  serial::ChainWriter w;
   w.write_string(class_name);
   w.write_string(object_name);
   w.write_string(method);
-  w.write_bytes(args.span());
+  w.append_payload(args);
   put_node(w, class_source);
   return w.take();
 }
 
-ExecRequest ExecRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+ExecRequest ExecRequest::decode(serial::ChainReader& r) {
   ExecRequest v;
   v.class_name = r.read_string();
   v.object_name = r.read_string();
@@ -381,8 +358,7 @@ serial::Buffer DiscoverRequest::encode() const {
   return w.take();
 }
 
-DiscoverRequest DiscoverRequest::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+DiscoverRequest DiscoverRequest::decode(serial::ChainReader& r) {
   return DiscoverRequest{r.read_string()};
 }
 
@@ -393,8 +369,7 @@ serial::Buffer DiscoverReply::encode() const {
   return w.take();
 }
 
-DiscoverReply DiscoverReply::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+DiscoverReply DiscoverReply::decode(serial::ChainReader& r) {
   DiscoverReply v;
   v.offers = r.read_bool();
   v.capacity = r.read_f64();
@@ -409,8 +384,7 @@ serial::Buffer LoadReply::encode() const {
   return w.take();
 }
 
-LoadReply LoadReply::decode(const serial::Buffer& bytes) {
-  auto r = make_reader(bytes);
+LoadReply LoadReply::decode(serial::ChainReader& r) {
   return LoadReply{r.read_f64()};
 }
 

@@ -5,6 +5,17 @@
 // implement the protocols of Section 4 — registry lookup with forwarding
 // chains (4.1), class shipping and object migration (4.2, 4.3/Figure 7),
 // invocation, and lock requests (4.4/Figure 8).
+//
+// Encoding: small field-only structs build one serial::Buffer through a
+// Writer.  Structs that carry a pre-serialized payload (invocation args,
+// migrating object state, results, static values) encode to a
+// serial::BufferChain through a ChainWriter: the payload rides as its own
+// fragment by refcount instead of being copied into the body at encode
+// time.  The logical byte stream is identical either way (the chain just
+// fragments it), so every struct decodes through one ChainReader-based
+// implementation; decode() overloads accept a flat Buffer (tests, tools)
+// or the BufferChain a service receives.  docs/WIRE_FORMAT.md records the
+// byte-level layouts.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +27,7 @@
 #include "common/verb.hpp"
 #include "rts/lock_manager.hpp"
 #include "serial/buffer.hpp"
+#include "serial/chain.hpp"
 #include "serial/reader.hpp"
 #include "serial/writer.hpp"
 
@@ -66,7 +78,21 @@ enum class Status : std::uint8_t {
 [[nodiscard]] const char* status_name(Status s);
 
 void put_node(serial::Writer& w, common::NodeId n);
-[[nodiscard]] common::NodeId get_node(serial::Reader& r);
+void put_node(serial::ChainWriter& w, common::NodeId n);
+[[nodiscard]] common::NodeId get_node(serial::ChainReader& r);
+
+// Every struct's decode is implemented once over a ChainReader; these two
+// wrappers let call sites hand in either form the bytes arrive as.
+#define MAGE_PROTO_DECODE(T)                                   \
+  static T decode(serial::ChainReader& r);                     \
+  static T decode(const serial::Buffer& bytes) {               \
+    serial::ChainReader r(bytes);                              \
+    return decode(r);                                          \
+  }                                                            \
+  static T decode(const serial::BufferChain& body) {           \
+    serial::ChainReader r(body);                               \
+    return decode(r);                                          \
+  }
 
 // --- registry lookup ---------------------------------------------------
 
@@ -75,7 +101,7 @@ struct LookupRequest {
   std::uint32_t hops = 0;  // cycle guard for the forwarding-chain walk
 
   [[nodiscard]] serial::Buffer encode() const;
-  static LookupRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(LookupRequest)
 };
 
 struct LookupReply {
@@ -84,7 +110,7 @@ struct LookupReply {
   std::string error;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static LookupReply decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(LookupReply)
 };
 
 // --- class shipping ------------------------------------------------------
@@ -93,21 +119,21 @@ struct ClassCheckRequest {
   std::string class_name;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static ClassCheckRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(ClassCheckRequest)
 };
 
 struct ClassCheckReply {
   bool cached = false;  // does the queried node hold the class image?
 
   [[nodiscard]] serial::Buffer encode() const;
-  static ClassCheckReply decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(ClassCheckReply)
 };
 
 struct FetchClassRequest {
   std::string class_name;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static FetchClassRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(FetchClassRequest)
 };
 
 // The class image: name + simulated code bytes (filler sized to the
@@ -117,7 +143,7 @@ struct ClassImage {
   std::uint32_t code_size = 0;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static ClassImage decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(ClassImage)
 };
 
 // Push-style class load (REV/MA push the class toward the target).
@@ -125,7 +151,7 @@ struct LoadClassRequest {
   ClassImage image;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static LoadClassRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(LoadClassRequest)
 };
 
 // --- instantiation (class-bound REV/COD act as object factories) -----------
@@ -138,7 +164,7 @@ struct InstantiateRequest {
   common::NodeId class_source = common::kNoNode;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static InstantiateRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(InstantiateRequest)
 };
 
 struct SimpleReply {
@@ -147,7 +173,7 @@ struct SimpleReply {
   std::string error;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static SimpleReply decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(SimpleReply)
 };
 
 // --- migration (Figure 7) ---------------------------------------------------
@@ -157,7 +183,7 @@ struct MoveRequest {
   common::NodeId to = common::kNoNode;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static MoveRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(MoveRequest)
 };
 
 struct TransferRequest {
@@ -166,8 +192,9 @@ struct TransferRequest {
   bool is_public = false;
   serial::Buffer state;  // weakly migrated heap state
 
-  [[nodiscard]] serial::Buffer encode() const;
-  static TransferRequest decode(const serial::Buffer& bytes);
+  // Scatter-gather: `state` rides as its own fragment, uncopied.
+  [[nodiscard]] serial::BufferChain encode() const;
+  MAGE_PROTO_DECODE(TransferRequest)
 };
 
 // --- invocation ---------------------------------------------------------
@@ -177,8 +204,9 @@ struct InvokeRequest {
   std::string method;
   serial::Buffer args;
 
-  [[nodiscard]] serial::Buffer encode() const;
-  static InvokeRequest decode(const serial::Buffer& bytes);
+  // Scatter-gather: `args` rides as its own fragment, uncopied.
+  [[nodiscard]] serial::BufferChain encode() const;
+  MAGE_PROTO_DECODE(InvokeRequest)
 };
 
 struct InvokeReply {
@@ -187,15 +215,16 @@ struct InvokeReply {
   std::string error;                      // valid when Error
   serial::Buffer result;                  // valid when Ok
 
-  [[nodiscard]] serial::Buffer encode() const;
-  static InvokeReply decode(const serial::Buffer& bytes);
+  // Scatter-gather: `result` rides as its own fragment, uncopied.
+  [[nodiscard]] serial::BufferChain encode() const;
+  MAGE_PROTO_DECODE(InvokeReply)
 };
 
 struct FetchResultRequest {
   common::ComponentName name;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static FetchResultRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(FetchResultRequest)
 };
 
 // --- locking -------------------------------------------------------------
@@ -206,7 +235,7 @@ struct LockRequest {
   std::uint64_t activity = 0;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static LockRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(LockRequest)
 };
 
 struct LockReply {
@@ -217,7 +246,7 @@ struct LockReply {
   std::string error;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static LockReply decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(LockReply)
 };
 
 struct UnlockRequest {
@@ -225,7 +254,7 @@ struct UnlockRequest {
   std::uint64_t lock_id = 0;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static UnlockRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(UnlockRequest)
 };
 
 // --- class statics ------------------------------------------------------------
@@ -235,7 +264,7 @@ struct StaticGetRequest {
   std::string key;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static StaticGetRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(StaticGetRequest)
 };
 
 struct StaticPutRequest {
@@ -243,8 +272,9 @@ struct StaticPutRequest {
   std::string key;
   serial::Buffer value;
 
-  [[nodiscard]] serial::Buffer encode() const;
-  static StaticPutRequest decode(const serial::Buffer& bytes);
+  // Scatter-gather: `value` rides as its own fragment, uncopied.
+  [[nodiscard]] serial::BufferChain encode() const;
+  MAGE_PROTO_DECODE(StaticPutRequest)
 };
 
 // --- condensed remote evaluation --------------------------------------------------
@@ -256,8 +286,10 @@ struct ExecRequest {
   serial::Buffer args;
   common::NodeId class_source = common::kNoNode;
 
-  [[nodiscard]] serial::Buffer encode() const;
-  static ExecRequest decode(const serial::Buffer& bytes);
+  // Scatter-gather: `args` rides as its own fragment, uncopied (the
+  // class_source field follows in a trailing fragment).
+  [[nodiscard]] serial::BufferChain encode() const;
+  MAGE_PROTO_DECODE(ExecRequest)
 };
 
 // --- resource discovery ---------------------------------------------------------
@@ -266,7 +298,7 @@ struct DiscoverRequest {
   std::string kind;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static DiscoverRequest decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(DiscoverRequest)
 };
 
 struct DiscoverReply {
@@ -274,7 +306,7 @@ struct DiscoverReply {
   double capacity = 0.0;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static DiscoverReply decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(DiscoverReply)
 };
 
 // --- misc ------------------------------------------------------------------
@@ -283,7 +315,9 @@ struct LoadReply {
   double load = 0.0;
 
   [[nodiscard]] serial::Buffer encode() const;
-  static LoadReply decode(const serial::Buffer& bytes);
+  MAGE_PROTO_DECODE(LoadReply)
 };
+
+#undef MAGE_PROTO_DECODE
 
 }  // namespace mage::rts::proto

@@ -80,7 +80,8 @@ class MageServer {
   }
 
  private:
-  using Body = serial::Buffer;
+  // The scatter-gather body a service receives from the transport.
+  using Body = serial::BufferChain;
   // Continuation for ensure_class_then; move-only so it can carry a Replier.
   using EnsureClassFn = common::UniqueFunction<void(bool ok, std::string error)>;
 

@@ -1,5 +1,6 @@
 #include "serial/buffer.hpp"
 
+#include <cstring>
 #include <string>
 
 #include "common/error.hpp"
@@ -13,9 +14,16 @@ std::uint64_t g_deep_copy_bytes = 0;
 }  // namespace
 
 Buffer Buffer::copy(std::span<const std::uint8_t> bytes) {
+  note_deep_copy(bytes.size());
+  if (bytes.empty()) return {};
+  auto storage = std::make_shared_for_overwrite<std::uint8_t[]>(bytes.size());
+  std::memcpy(storage.get(), bytes.data(), bytes.size());
+  return adopt_shared(std::move(storage), bytes.size());
+}
+
+void Buffer::note_deep_copy(std::size_t bytes) {
   ++g_deep_copy_count;
-  g_deep_copy_bytes += bytes.size();
-  return Buffer(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  g_deep_copy_bytes += bytes;
 }
 
 Buffer Buffer::slice(std::size_t offset, std::size_t length) const {

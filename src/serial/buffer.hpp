@@ -1,11 +1,17 @@
 // Immutable ref-counted byte buffer — the unit payloads travel in.
 //
-// A Buffer is produced once (Writer::take() moves the accumulated bytes in
-// with no copy) and then flows by reference count through net::Message,
+// A Buffer is produced once (Writer::take() hands over its storage with no
+// copy) and then flows by reference count through net::Message,
 // rmi::Envelope, the transport's retransmission and reply-cache state, and
 // CallResult.  Copying a Buffer bumps a refcount; slicing shares the parent's
 // storage.  The bytes themselves are never touched again — which is what
 // makes a steady-state simulated RMI call free of payload deep-copies.
+//
+// Storage is a single make_shared<uint8_t[]> block (control block and bytes
+// in one allocation), so building a message through a Writer costs exactly
+// one allocation.  Adopting a std::vector keeps the vector's storage alive
+// via shared_ptr aliasing (no byte copy, but a second control-block
+// allocation — fine off the hot path).
 //
 // Deep copies (Buffer::copy) are the only way bytes are ever duplicated, and
 // they are counted: bench builds assert the hot path performs none
@@ -25,14 +31,16 @@ class Buffer {
  public:
   Buffer() = default;
 
-  // Takes ownership of `bytes` without copying them.
-  // Implicit: lets call sites keep passing byte-vector rvalues where a
-  // Buffer is expected.
-  Buffer(std::vector<std::uint8_t>&& bytes)  // NOLINT(google-explicit-constructor)
-      : owner_(std::make_shared<const std::vector<std::uint8_t>>(
-            std::move(bytes))),
-        data_(owner_->data()),
-        size_(owner_->size()) {}
+  // Takes ownership of `bytes` without copying them (shared_ptr aliasing
+  // keeps the vector alive).  Implicit: lets call sites keep passing
+  // byte-vector rvalues where a Buffer is expected.
+  Buffer(std::vector<std::uint8_t>&& bytes) {  // NOLINT(google-explicit-constructor)
+    auto vec = std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(bytes));
+    data_ = vec->data();
+    size_ = vec->size();
+    owner_ = std::shared_ptr<const std::uint8_t[]>(std::move(vec), data_);
+  }
 
   Buffer(std::initializer_list<std::uint8_t> bytes)
       : Buffer(std::vector<std::uint8_t>(bytes)) {}
@@ -41,8 +49,20 @@ class Buffer {
     return Buffer(std::move(bytes));
   }
 
+  // Takes ownership of a writer-built array block: the single-allocation
+  // path (see Writer::take()).
+  [[nodiscard]] static Buffer adopt_shared(
+      std::shared_ptr<const std::uint8_t[]> storage, std::size_t size) {
+    const std::uint8_t* data = storage.get();
+    return Buffer(std::move(storage), data, size);
+  }
+
   // Deep copy — the counted slow path.
   [[nodiscard]] static Buffer copy(std::span<const std::uint8_t> bytes);
+
+  // Bumps the deep-copy counters without producing a buffer; gather paths
+  // (multi-fragment flatten, cross-fragment reads) account through this.
+  static void note_deep_copy(std::size_t bytes);
 
   // A view of [offset, offset+length) sharing this buffer's storage.
   // Throws SerializationError when the range is out of bounds.
@@ -77,11 +97,11 @@ class Buffer {
   static void reset_copy_counters();
 
  private:
-  Buffer(std::shared_ptr<const std::vector<std::uint8_t>> owner,
-         const std::uint8_t* data, std::size_t size)
+  Buffer(std::shared_ptr<const std::uint8_t[]> owner, const std::uint8_t* data,
+         std::size_t size)
       : owner_(std::move(owner)), data_(data), size_(size) {}
 
-  std::shared_ptr<const std::vector<std::uint8_t>> owner_;
+  std::shared_ptr<const std::uint8_t[]> owner_;
   const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
 };

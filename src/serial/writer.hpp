@@ -7,17 +7,19 @@
 // deliberately simple and self-contained, since building the wire format by
 // hand is part of the reproduction (repro note: "manual serialization").
 //
-// The accumulated bytes leave the writer exactly once, as an immutable
-// ref-counted serial::Buffer (take()), so a marshalled payload is written
-// once and never copied again on its way through the transport.
+// The writer builds directly into the shared array block that becomes the
+// Buffer: take() moves the storage out with no copy and no extra control
+// block, so a message whose size fits the initial reservation costs exactly
+// ONE allocation end to end (make_shared<uint8_t[]> fuses bytes and control
+// block).  Growth re-allocates and memcpys — an internal resize, not a
+// counted payload deep-copy; pre-reserve on known-size payloads to avoid it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <string>
 #include <string_view>
-#include <vector>
 
 #include "serial/buffer.hpp"
 
@@ -28,9 +30,11 @@ class Writer {
   Writer() = default;
   // Pre-reserves capacity so a known-size payload builds with one
   // allocation.
-  explicit Writer(std::size_t reserve_bytes) { buffer_.reserve(reserve_bytes); }
+  explicit Writer(std::size_t reserve_bytes) { reserve(reserve_bytes); }
 
-  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
+  void reserve(std::size_t bytes) {
+    if (bytes > capacity_) grow_to(bytes);
+  }
 
   void write_u8(std::uint8_t v);
   void write_u16(std::uint16_t v);
@@ -48,18 +52,27 @@ class Writer {
   void write_bytes(std::span<const std::uint8_t> v);
   // Raw bytes, caller is responsible for knowing the length on read.
   void write_raw(const void* data, std::size_t size);
+  // `count` copies of `value` (simulated class-image filler et al.) without
+  // materialising a temporary vector.
+  void write_fill(std::uint8_t value, std::size_t count);
 
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
-    return buffer_;
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {storage_.get(), size_};
   }
-  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
-  // Moves the accumulated bytes out as an immutable Buffer (no byte copy),
-  // leaving the writer empty.
+  // Moves the accumulated storage out as an immutable Buffer (no byte copy,
+  // no additional allocation), leaving the writer empty.
   [[nodiscard]] Buffer take();
 
  private:
-  std::vector<std::uint8_t> buffer_;
+  void grow_to(std::size_t min_capacity);
+  // Returns the write cursor after ensuring room for `extra` more bytes.
+  std::uint8_t* make_room(std::size_t extra);
+
+  std::shared_ptr<std::uint8_t[]> storage_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
 };
 
 }  // namespace mage::serial

@@ -36,8 +36,13 @@ class EventQueue {
  public:
   using Action = common::UniqueFunction<void()>;
 
-  // Schedules `action` to fire at absolute simulated time `at`.
-  EventId schedule(common::SimTime at, Action action);
+  // Schedules `action` to fire at absolute simulated time `at`.  `wake`
+  // marks the event as driver-visible: Simulation::run_until re-evaluates
+  // its predicate only after waking events (or an explicit wake()), so
+  // internal bookkeeping events (retransmission timers, wire deliveries,
+  // marshalling delays) schedule with wake=false and the layers that invoke
+  // user code wake explicitly at the callback boundary.
+  EventId schedule(common::SimTime at, Action action, bool wake = true);
 
   // Cancels a scheduled event; a no-op if it already fired (or was already
   // cancelled).  Returns true when the event was live.
@@ -53,8 +58,13 @@ class EventQueue {
     return heap_[0].at;
   }
 
-  // Removes and returns the earliest pending event's action.
-  [[nodiscard]] Action pop(common::SimTime& at);
+  // Removes and returns the earliest pending event's action; `wake` reports
+  // the event's wake mark.
+  [[nodiscard]] Action pop(common::SimTime& at, bool& wake);
+  [[nodiscard]] Action pop(common::SimTime& at) {
+    bool wake = false;
+    return pop(at, wake);
+  }
 
   // Number of pooled event nodes currently allocated (grows to the peak
   // number of simultaneously pending events, then stays flat).
@@ -79,6 +89,7 @@ class EventQueue {
     std::uint64_t seq = 0;      // seq of the event occupying this slot
     std::uint32_t next_free = kNil;
     bool live = false;
+    bool wake = true;  // driver-visible event (see schedule())
     Action action;
   };
 

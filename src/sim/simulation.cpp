@@ -4,46 +4,64 @@
 
 namespace mage::sim {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed)
+    : rng_(seed),
+      predicate_checks_(stats_.counter_handle("sim.predicate_checks")),
+      wakeups_(stats_.counter_handle("sim.wakeups")) {}
 
-EventId Simulation::schedule_at(common::SimTime at,
-                                EventQueue::Action action) {
+EventId Simulation::schedule_at(common::SimTime at, EventQueue::Action action,
+                                Wake wake) {
   assert(at >= now_ && "cannot schedule into the past");
-  return queue_.schedule(at, std::move(action));
+  return queue_.schedule(at, std::move(action), wake == Wake::Yes);
 }
 
 EventId Simulation::schedule_after(common::SimDuration delay,
-                                   EventQueue::Action action) {
-  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+                                   EventQueue::Action action, Wake wake) {
+  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action), wake);
 }
 
-bool Simulation::step() {
+bool Simulation::step_event() {
   if (queue_.empty()) return false;
   common::SimTime at = 0;
-  auto action = queue_.pop(at);
+  bool wake = false;
+  auto action = queue_.pop(at, wake);
   now_ = at;
   action();
+  if (wake) woken_ = true;
   return true;
 }
 
+bool Simulation::step() { return step_event(); }
+
 void Simulation::run_until_idle() {
-  while (step()) {
+  while (step_event()) {
   }
 }
 
 bool Simulation::run_until(const std::function<bool()>& done,
                            common::SimTime deadline) {
-  while (!done()) {
-    if (queue_.empty()) return false;
-    if (queue_.next_time() > deadline) return false;
-    step();
+  ++*predicate_checks_;
+  if (done()) return true;
+  while (true) {
+    if (queue_.empty() || queue_.next_time() > deadline) {
+      // Final check: a wake may have been missed (e.g. a predicate flipped
+      // by a non-waking event) — never report false while done() holds.
+      ++*predicate_checks_;
+      return done();
+    }
+    (void)step_event();
+    if (woken_) {
+      woken_ = false;
+      ++*wakeups_;
+      ++*predicate_checks_;
+      if (done()) return true;
+    }
   }
-  return true;
 }
 
 void Simulation::run_for(common::SimDuration span) {
   const common::SimTime end = now_ + span;
-  while (!queue_.empty() && queue_.next_time() <= end) step();
+  while (!queue_.empty() && queue_.next_time() <= end) (void)step_event();
   now_ = end;
 }
 

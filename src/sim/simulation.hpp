@@ -23,6 +23,15 @@
 
 namespace mage::sim {
 
+// Whether a scheduled event is driver-visible: run_until(predicate) only
+// re-evaluates its predicate after waking events (or an explicit wake()).
+// Library-internal bookkeeping events — wire deliveries, retransmission
+// timers, marshalling delays — schedule with Wake::No; the layer that
+// eventually invokes user code (a service handler, a call completion
+// callback) calls wake() at that boundary.  Driver/test schedules default
+// to Wake::Yes, so ad-hoc predicates keep working unchanged.
+enum class Wake : bool { No = false, Yes = true };
+
 class Simulation {
  public:
   explicit Simulation(std::uint64_t seed = 0x6D616765u);
@@ -32,11 +41,17 @@ class Simulation {
 
   [[nodiscard]] common::SimTime now() const { return now_; }
 
-  EventId schedule_at(common::SimTime at, EventQueue::Action action);
-  EventId schedule_after(common::SimDuration delay, EventQueue::Action action);
+  EventId schedule_at(common::SimTime at, EventQueue::Action action,
+                      Wake wake = Wake::Yes);
+  EventId schedule_after(common::SimDuration delay, EventQueue::Action action,
+                         Wake wake = Wake::Yes);
 
   // Cancels a scheduled event; no-op if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Marks the current event as having touched driver-visible state, so an
+  // enclosing run_until re-checks its predicate after this event.
+  void wake() { woken_ = true; }
 
   // Runs one pending event; returns false when the queue is empty.
   bool step();
@@ -46,7 +61,9 @@ class Simulation {
 
   // Runs events until `done` returns true.  Returns false if the queue
   // drained (or `deadline` passed) before the predicate was satisfied —
-  // the caller decides whether that is a timeout error.
+  // the caller decides whether that is a timeout error.  The predicate is
+  // evaluated only after waking events (completion wakeups), not per event;
+  // see enum Wake for the contract.
   bool run_until(const std::function<bool()>& done,
                  common::SimTime deadline = kNoDeadline);
 
@@ -61,10 +78,18 @@ class Simulation {
       std::numeric_limits<common::SimTime>::max();
 
  private:
+  // Runs one event, folding its wake mark into woken_.
+  bool step_event();
+
   common::SimTime now_ = 0;
   EventQueue queue_;
   common::Rng rng_;
   common::StatsRegistry stats_;
+  bool woken_ = false;
+  // Observability: how often run_until actually evaluated predicates vs how
+  // many events ran (docs/PERF.md tracks the ratio).
+  std::int64_t* predicate_checks_;
+  std::int64_t* wakeups_;
 };
 
 }  // namespace mage::sim

@@ -333,7 +333,7 @@ TEST_F(StaticsFixture, WrongHomeIsRejected) {
   proto::StaticPutRequest request;
   request.class_name = "Counter";
   request.key = "k";
-  auto reply_bytes = [&]() -> serial::Buffer {
+  auto reply_bytes = [&]() -> serial::BufferChain {
     // Send the put to n2, which is not the statics home.
     return system->transport(n3).call_sync(
         n2, proto::verbs::kStaticPut, request.encode());

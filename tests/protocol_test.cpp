@@ -241,7 +241,7 @@ TEST(Protocol, StatusNames) {
 TEST(Protocol, NodeCodecSentinel) {
   serial::Writer w;
   put_node(w, common::kNoNode);
-  serial::Reader r(w.bytes());
+  serial::ChainReader r(w.take());
   EXPECT_TRUE(common::is_no_node(get_node(r)));
 }
 

@@ -64,7 +64,7 @@ Cell java_rmi() {
   return run_cell(
       [](rts::MageSystem& system) {
         system.transport(kServer).register_service(
-            "noop", [](common::NodeId, const serial::Buffer&,
+            "noop", [](common::NodeId, const serial::BufferChain&,
                        rmi::Replier replier) { replier.ok({}); });
       },
       [](rts::MageSystem& system, int) {
