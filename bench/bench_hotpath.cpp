@@ -29,6 +29,7 @@
 #include "common/alloc_counter.hpp"
 #include "net/cost_model.hpp"
 #include "net/network.hpp"
+#include "rmi/envelope.hpp"
 #include "rmi/transport.hpp"
 #include "sim/simulation.hpp"
 
@@ -90,6 +91,7 @@ StormResult run_rmi_storm() {
   }
 
   serial::Buffer::reset_copy_counters();
+  rmi::Envelope::reset_header_counters();
   const std::uint64_t allocs_before = alloc_count();
   const auto start = Clock::now();
   for (int i = 0; i < kCalls; ++i) {
@@ -116,6 +118,18 @@ StormResult run_rmi_storm() {
   if (r.allocations_per_send > 1.0) {
     std::cerr << "FAIL: " << r.allocations_per_send
               << " allocations per steady-state send (budget: 1)\n";
+    std::exit(1);
+  }
+  // The framing contract: every steady-state echo send (single-buffer
+  // body, request and reply alike) must take the single-fragment fast
+  // path — 2 fast headers per call, 0 list headers.
+  if (rmi::Envelope::list_path_headers() != 0 ||
+      rmi::Envelope::fast_path_headers() !=
+          static_cast<std::uint64_t>(2 * kCalls)) {
+    std::cerr << "FAIL: single-fragment fast path not engaged: "
+              << rmi::Envelope::fast_path_headers() << " fast / "
+              << rmi::Envelope::list_path_headers() << " list headers over "
+              << kCalls << " calls (want " << 2 * kCalls << " / 0)\n";
     std::exit(1);
   }
   return r;

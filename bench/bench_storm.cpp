@@ -1,5 +1,5 @@
 // N-node all-to-all RMI storm: the scale-out stressor for the messaging
-// spine (ROADMAP: "scale benches past 2 nodes").
+// spine (ROADMAP: "scale benches past 2 nodes", then "use real cores").
 //
 // Topology: N fully meshed nodes, every ordered pair (src, dst) a live
 // link.  Each link issues kCallsPerLink echo calls with a windowed pipeline
@@ -22,22 +22,40 @@
 //     storm of hundreds of thousands of events; predicate checks are
 //     recorded so docs/PERF.md can track checks-per-event.
 //
-// Run with no arguments for the full 4/8/16-node ladder, or with a single
-// integer argument (e.g. `bench_storm 4`) for a CI smoke run.  Results are
-// written to BENCH_storm.json.
+// Two execution modes:
+//
+//   bench_storm [N]                the classic single-queue driver ladder
+//                                  (default 4/8/16; one N = CI smoke);
+//   bench_storm N --threads T      the sharded engine (sim::ShardedSim,
+//                                  one event-queue shard per node, per-link
+//                                  mailboxes, conservative lookahead) run
+//                                  at 1 worker and again at T workers on
+//                                  the same seed.  Records single- and
+//                                  multi-thread throughput + speedup, and
+//                                  FAILS unless both runs produce an
+//                                  identical per-node delivery order
+//                                  (FNV digest per receiving node) — the
+//                                  determinism contract at any thread
+//                                  count.
+//
+// Results are written to BENCH_storm.json.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/cost_model.hpp"
 #include "net/network.hpp"
 #include "rmi/transport.hpp"
 #include "serial/writer.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -50,103 +68,179 @@ constexpr int kWindow = 8;
 // overflow the ring so eviction runs continuously.
 constexpr std::size_t kCacheCapacity = 512;
 
+// Cost model for the sharded runs: a fast LAN whose cross-node floor
+// (propagation + receive CPU = 550 simulated us) is the conservative
+// lookahead.  RMI CPU overheads are zeroed so the windowed pipelines pack
+// each lookahead window with hundreds of events per shard — the regime
+// where barrier cost amortizes and real cores pay off.
+mage::net::CostModel storm_model() {
+  mage::net::CostModel m = mage::net::CostModel::zero();
+  m.propagation_us = 500;
+  m.per_message_cpu_us = 50;
+  m.bytes_per_usec = 1250.0;  // 10 Gb/s
+  m.connection_setup_us = 500;
+  m.local_invoke_us = 1;
+  return m;
+}
+
 struct StormRun {
   int nodes = 0;
+  int threads = 0;  // 0 = single-queue driver engine
   std::int64_t calls = 0;
   double wall_sec = 0;
   double calls_per_sec = 0;
   std::int64_t evictions = 0;
   std::int64_t retransmissions = 0;
   std::int64_t duplicates_suppressed = 0;
-  std::int64_t predicate_checks = 0;
+  std::int64_t predicate_checks = 0;  // driver engine only
+  std::int64_t windows = 0;           // sharded engine only
+  std::int64_t order_violations = 0;
+  std::vector<std::uint64_t> node_digests;  // sharded engine only
+};
+
+// FNV-1a fold of one (caller, seq) delivery into a node's order digest.
+std::uint64_t fold_digest(std::uint64_t digest, std::uint64_t caller,
+                          std::uint64_t seq) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ull;
+  digest = (digest ^ caller) * kPrime;
+  digest = (digest ^ seq) * kPrime;
+  return digest;
+}
+
+// One windowed pipeline per directed link; the callback chains the next
+// call so each link keeps kWindow requests in flight until drained.
+struct Link {
+  mage::rmi::Transport* transport;
+  mage::common::NodeId dst;
+  std::int64_t next_seq = 0;
+  // Sharded mode: completions are counted per SOURCE node so each slot has
+  // exactly one writing shard; the driver predicate sums them at window
+  // barriers (all workers parked — no torn reads possible).
+  std::int64_t* completed = nullptr;
+};
+
+void launch(Link& link) {
+  if (link.next_seq >= kCallsPerLink) return;
+  // Interned once (thread-safe local-static init, first hit is driver-side
+  // setup): re-interning per call would contend the registry mutex across
+  // every worker and pollute the threaded measurement.
+  static const mage::common::VerbId echo =
+      mage::common::intern_verb("storm.echo");
+  mage::serial::Writer w(8);
+  w.write_u64(static_cast<std::uint64_t>(link.next_seq++));
+  link.transport->call(link.dst, echo,
+                       w.take(), [&link](mage::rmi::CallResult r) {
+                         if (!r.ok) {
+                           std::cerr << "storm call failed: " << r.error
+                                     << "\n";
+                           std::exit(1);
+                         }
+                         ++*link.completed;
+                         launch(link);
+                       });
+}
+
+// Per-receiver state, owned by that node's shard (or the driver).
+struct NodeWatch {
+  std::vector<std::int64_t> last_seq;  // per sender; FIFO check
+  std::uint64_t digest = 0xcbf29ce484222325ull;
   std::int64_t order_violations = 0;
 };
+
+// Wires up nodes/transports/services/links on `net`; shared by both
+// engines so the workload is byte-identical.
+struct StormMesh {
+  std::vector<mage::common::NodeId> ids;
+  std::vector<std::unique_ptr<mage::rmi::Transport>> transports;
+  std::vector<NodeWatch> watch;          // indexed by node value
+  std::vector<std::int64_t> completed;   // per source node
+  std::vector<Link> links;
+
+  StormMesh(mage::net::Network& net, int n) {
+    using namespace mage;
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(net.add_node("n" + std::to_string(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      transports.push_back(
+          std::make_unique<rmi::Transport>(net, ids[i], kCacheCapacity));
+    }
+    watch.resize(static_cast<std::size_t>(n) + 1);
+    for (auto& w : watch) {
+      w.last_seq.assign(static_cast<std::size_t>(n) + 1, -1);
+    }
+    completed.assign(static_cast<std::size_t>(n) + 1, 0);
+
+    const common::VerbId echo = common::intern_verb("storm.echo");
+    for (int i = 0; i < n; ++i) {
+      NodeWatch* w = &watch[ids[i].value()];
+      transports[i]->register_service(
+          echo, [w](common::NodeId caller, const serial::BufferChain& body,
+                    rmi::Replier replier) {
+            serial::ChainReader r(body);
+            const auto seq = static_cast<std::int64_t>(r.read_u64());
+            auto& last = w->last_seq[caller.value()];
+            if (seq <= last) ++w->order_violations;
+            last = seq;
+            w->digest = fold_digest(w->digest, caller.value(),
+                                    static_cast<std::uint64_t>(seq));
+            replier.ok(body);
+          });
+    }
+
+    links.reserve(static_cast<std::size_t>(n) * (n - 1));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i != j) {
+          links.push_back(
+              Link{transports[i].get(), ids[j], 0, &completed[ids[i].value()]});
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::int64_t total_completed() const {
+    std::int64_t sum = 0;
+    for (std::int64_t c : completed) sum += c;
+    return sum;
+  }
+};
+
+void check_invariants(const StormRun& r) {
+  if (r.order_violations != 0) {
+    std::cerr << "FAIL: " << r.order_violations
+              << " per-link ordering violations\n";
+    std::exit(1);
+  }
+  if (r.evictions == 0) {
+    std::cerr << "FAIL: reply-cache ring never evicted — storm too small "
+                 "for cache capacity\n";
+    std::exit(1);
+  }
+}
 
 StormRun run_storm(int n) {
   using namespace mage;
   sim::Simulation sim(2026);
   net::Network net(sim, net::CostModel::zero());
+  StormMesh mesh(net, n);
 
-  std::vector<common::NodeId> ids;
-  for (int i = 0; i < n; ++i) ids.push_back(net.add_node("n" + std::to_string(i)));
-  std::vector<std::unique_ptr<rmi::Transport>> transports;
-  for (int i = 0; i < n; ++i) {
-    transports.push_back(
-        std::make_unique<rmi::Transport>(net, ids[i], kCacheCapacity));
-  }
-
-  // Per-receiver FIFO watch: last sequence seen from each sender.  The
-  // network promises in-order delivery per directed link; the storm is the
-  // first bench with enough interleaving (N-1 concurrent senders per node)
-  // to catch a violation.
   StormRun result;
   result.nodes = n;
-  std::vector<std::vector<std::int64_t>> last_seq(
-      static_cast<std::size_t>(n) + 1,
-      std::vector<std::int64_t>(static_cast<std::size_t>(n) + 1, -1));
-
-  const common::VerbId echo = common::intern_verb("storm.echo");
-  for (int i = 0; i < n; ++i) {
-    const auto self = ids[i];
-    transports[i]->register_service(
-        echo, [&last_seq, &result, self](common::NodeId caller,
-                                         const serial::BufferChain& body,
-                                         rmi::Replier replier) {
-          serial::ChainReader r(body);
-          const auto seq = static_cast<std::int64_t>(r.read_u64());
-          auto& last = last_seq[self.value()][caller.value()];
-          if (seq <= last) ++result.order_violations;
-          last = seq;
-          replier.ok(body);
-        });
-  }
-
   const std::int64_t total =
       static_cast<std::int64_t>(n) * (n - 1) * kCallsPerLink;
-  std::int64_t completed = 0;
-
-  // One windowed pipeline per directed link; the callback chains the next
-  // call so each link keeps kWindow requests in flight until drained.
-  struct Link {
-    rmi::Transport* transport;
-    common::NodeId dst;
-    std::int64_t next_seq = 0;
-  };
-  std::vector<Link> links;
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      if (i != j) links.push_back(Link{transports[i].get(), ids[j]});
-    }
-  }
-
-  const common::VerbId verb = echo;
-  std::function<void(Link&)> launch = [&](Link& link) {
-    if (link.next_seq >= kCallsPerLink) return;
-    serial::Writer w(8);
-    w.write_u64(static_cast<std::uint64_t>(link.next_seq++));
-    link.transport->call(link.dst, verb, w.take(),
-                         [&launch, &completed, &link](rmi::CallResult r) {
-                           if (!r.ok) {
-                             std::cerr << "storm call failed: " << r.error
-                                       << "\n";
-                             std::exit(1);
-                           }
-                           ++completed;
-                           launch(link);
-                         });
-  };
 
   const auto start = Clock::now();
-  for (auto& link : links) {
+  for (auto& link : mesh.links) {
     for (int w = 0; w < kWindow; ++w) launch(link);
   }
   const auto checks_before = sim.stats().counter("sim.predicate_checks");
   const bool done =
-      sim.run_until([&] { return completed == total; });
+      sim.run_until([&] { return mesh.total_completed() == total; });
   result.wall_sec = std::chrono::duration<double>(Clock::now() - start).count();
   if (!done) {
-    std::cerr << "storm drained with " << completed << "/" << total
-              << " calls completed\n";
+    std::cerr << "storm drained with " << mesh.total_completed() << "/"
+              << total << " calls completed\n";
     std::exit(1);
   }
 
@@ -158,40 +252,154 @@ StormRun run_storm(int n) {
       sim.stats().counter("rmi.duplicates_suppressed");
   result.predicate_checks =
       sim.stats().counter("sim.predicate_checks") - checks_before;
+  for (const auto& w : mesh.watch) result.order_violations += w.order_violations;
+  check_invariants(result);
+  return result;
+}
 
-  if (result.order_violations != 0) {
-    std::cerr << "FAIL: " << result.order_violations
-              << " per-link ordering violations\n";
+StormRun run_storm_sharded(int n, int threads) {
+  using namespace mage;
+  const net::CostModel model = storm_model();
+  sim::ShardedSim ssim(static_cast<std::size_t>(n), 2026,
+                       net::Network::min_link_latency(model));
+  net::Network net(ssim, model);
+  StormMesh mesh(net, n);
+
+  StormRun result;
+  result.nodes = n;
+  // Record the parallelism that actually existed: the engine clamps the
+  // worker pool to the shard count, and the scaling gate keys off this.
+  result.threads = std::min(threads, n);
+  const std::int64_t total =
+      static_cast<std::int64_t>(n) * (n - 1) * kCallsPerLink;
+
+  const auto start = Clock::now();
+  // Pre-run, single-threaded: prime every link's window.
+  for (auto& link : mesh.links) {
+    for (int w = 0; w < kWindow; ++w) launch(link);
+  }
+  const bool done = ssim.run_until(
+      [&] { return mesh.total_completed() == total; }, threads);
+  result.wall_sec = std::chrono::duration<double>(Clock::now() - start).count();
+  if (!done) {
+    std::cerr << "sharded storm drained with " << mesh.total_completed()
+              << "/" << total << " calls completed\n";
     std::exit(1);
   }
-  if (result.evictions == 0) {
-    std::cerr << "FAIL: reply-cache ring never evicted — storm too small "
-                 "for cache capacity\n";
-    std::exit(1);
+
+  result.calls = total;
+  result.calls_per_sec = static_cast<double>(total) / result.wall_sec;
+  result.evictions = ssim.counter("rmi.reply_cache_evictions");
+  result.retransmissions = ssim.counter("rmi.retransmissions");
+  result.duplicates_suppressed = ssim.counter("rmi.duplicates_suppressed");
+  result.windows = ssim.windows();
+  for (const auto& w : mesh.watch) {
+    result.order_violations += w.order_violations;
   }
+  for (std::size_t i = 1; i < mesh.watch.size(); ++i) {
+    result.node_digests.push_back(mesh.watch[i].digest);
+  }
+  check_invariants(result);
   return result;
 }
 
 void print_run(const StormRun& r) {
-  std::cout << r.nodes << " nodes: "
-            << static_cast<std::int64_t>(r.calls_per_sec) << " calls/sec ("
-            << r.calls << " calls, " << r.wall_sec << " s), "
-            << r.evictions << " evictions, " << r.retransmissions
-            << " retransmissions, " << r.predicate_checks
-            << " predicate checks, " << r.order_violations
-            << " order violations\n";
+  std::cout << r.nodes << " nodes";
+  if (r.threads > 0) std::cout << " x " << r.threads << " threads";
+  std::cout << ": " << static_cast<std::int64_t>(r.calls_per_sec)
+            << " calls/sec (" << r.calls << " calls, " << r.wall_sec
+            << " s), " << r.evictions << " evictions, " << r.retransmissions
+            << " retransmissions, ";
+  if (r.threads > 0) {
+    std::cout << r.windows << " windows, ";
+  } else {
+    std::cout << r.predicate_checks << " predicate checks, ";
+  }
+  std::cout << r.order_violations << " order violations\n";
+}
+
+void write_json_run(std::ofstream& json, const StormRun& r,
+                    const char* indent) {
+  json << indent << "{\n"
+       << indent << "  \"nodes\": " << r.nodes << ",\n"
+       << indent << "  \"threads\": " << r.threads << ",\n"
+       << indent << "  \"calls\": " << r.calls << ",\n"
+       << indent << "  \"wall_sec\": " << r.wall_sec << ",\n"
+       << indent << "  \"calls_per_sec\": " << r.calls_per_sec << ",\n"
+       << indent << "  \"reply_cache_evictions\": " << r.evictions << ",\n"
+       << indent << "  \"retransmissions\": " << r.retransmissions << ",\n"
+       << indent << "  \"duplicates_suppressed\": " << r.duplicates_suppressed
+       << ",\n"
+       << indent << "  \"predicate_checks\": " << r.predicate_checks << ",\n"
+       << indent << "  \"windows\": " << r.windows << ",\n"
+       << indent << "  \"order_violations\": " << r.order_violations << "\n"
+       << indent << "}";
+}
+
+}  // namespace
+
+namespace {
+
+// Strict positive-integer parse; exits with usage on anything else so a
+// CI typo cannot silently skip the threaded determinism/scaling check.
+int parse_positive(const char* what, const char* arg) {
+  char* end = nullptr;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || v < 1 || v > 1'000'000) {
+    std::cerr << "bench_storm: bad " << what << " '" << arg
+              << "'\nusage: bench_storm [N] [--threads T]\n";
+    std::exit(2);
+  }
+  return static_cast<int>(v);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<int> sizes{4, 8, 16};
-  if (argc > 1) sizes = {std::atoi(argv[1])};
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_storm: --threads needs a value\n";
+        return 2;
+      }
+      threads = parse_positive("thread count", argv[++i]);
+    } else {
+      sizes = {parse_positive("node count", argv[i])};
+    }
+  }
 
   std::vector<StormRun> runs;
-  for (int n : sizes) {
+  StormRun single_sharded;
+  StormRun multi_sharded;
+  double speedup = 0.0;
+
+  if (threads > 0) {
+    const int n = sizes.back();
+    // Driver-engine run first, so the JSON records driver vs sharded-1 vs
+    // sharded-T on the same machine state.
     runs.push_back(run_storm(n));
     print_run(runs.back());
+    single_sharded = run_storm_sharded(n, 1);
+    print_run(single_sharded);
+    multi_sharded = run_storm_sharded(n, threads);
+    print_run(multi_sharded);
+    if (single_sharded.node_digests != multi_sharded.node_digests) {
+      std::cerr << "FAIL: per-node delivery order differs between 1 and "
+                << threads
+                << " worker threads — sharded determinism contract broken\n";
+      return 1;
+    }
+    speedup = multi_sharded.calls_per_sec / single_sharded.calls_per_sec;
+    std::cout << "speedup: " << speedup << "x with " << multi_sharded.threads
+              << " threads (" << std::thread::hardware_concurrency()
+              << " hardware cores); per-node order digests identical\n";
+  } else {
+    for (int n : sizes) {
+      runs.push_back(run_storm(n));
+      print_run(runs.back());
+    }
   }
 
   std::ofstream json("BENCH_storm.json");
@@ -200,23 +408,26 @@ int main(int argc, char** argv) {
        << "  \"calls_per_link\": " << kCallsPerLink << ",\n"
        << "  \"window\": " << kWindow << ",\n"
        << "  \"reply_cache_capacity\": " << kCacheCapacity << ",\n"
-       << "  \"runs\": [\n";
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  json << "  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
-    const StormRun& r = runs[i];
-    json << "    {\n"
-         << "      \"nodes\": " << r.nodes << ",\n"
-         << "      \"calls\": " << r.calls << ",\n"
-         << "      \"wall_sec\": " << r.wall_sec << ",\n"
-         << "      \"calls_per_sec\": " << r.calls_per_sec << ",\n"
-         << "      \"reply_cache_evictions\": " << r.evictions << ",\n"
-         << "      \"retransmissions\": " << r.retransmissions << ",\n"
-         << "      \"duplicates_suppressed\": " << r.duplicates_suppressed
-         << ",\n"
-         << "      \"predicate_checks\": " << r.predicate_checks << ",\n"
-         << "      \"order_violations\": " << r.order_violations << "\n"
-         << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+    write_json_run(json, runs[i], "    ");
+    json << (i + 1 < runs.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ]";
+  if (threads > 0) {
+    json << ",\n  \"threaded\": {\n"
+         << "    \"threads\": " << multi_sharded.threads << ",\n"
+         << "    \"deterministic\": true,\n"
+         << "    \"speedup\": " << speedup << ",\n"
+         << "    \"single\":\n";
+    write_json_run(json, single_sharded, "      ");
+    json << ",\n    \"multi\":\n";
+    write_json_run(json, multi_sharded, "      ");
+    json << "\n  }";
+  }
+  json << "\n}\n";
   std::cout << "wrote BENCH_storm.json\n";
   return 0;
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Multi-core storm scaling check.
+
+Reads the `threaded` block bench_storm writes when run with --threads and
+enforces (a) the determinism digest held and (b) the multi-thread speedup
+is commensurate with the cores actually available — the ISSUE-3 acceptance
+bar of >= 3x applies on an 8-core runner, scaled down on smaller ones and
+skipped on single-core machines where no parallel speedup is possible.
+
+Usage: check_storm_scaling.py <BENCH_storm.json>
+"""
+import json
+import os
+import sys
+
+
+def required_speedup(hardware_threads, workers):
+    usable = min(hardware_threads, workers)
+    if usable >= 8:
+        return 3.0
+    if usable >= 4:
+        return 1.5
+    if usable >= 2:
+        return 1.1
+    return None  # single core: only determinism is checkable
+
+
+def main():
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+    threaded = data.get("threaded")
+    if not threaded:
+        print("no threaded block in BENCH_storm.json — run with --threads",
+              file=sys.stderr)
+        return 1
+    if not threaded.get("deterministic", False):
+        print("FAIL: per-node order digests diverged across thread counts",
+              file=sys.stderr)
+        return 1
+
+    hw = data.get("hardware_threads", 1)
+    workers = threaded["threads"]
+    speedup = threaded["speedup"]
+    need = required_speedup(hw, workers)
+    print(f"storm scaling: {speedup:.2f}x with {workers} workers on "
+          f"{hw} hardware threads"
+          + (f" (required: {need:.1f}x)" if need else " (1 core: not enforced)"))
+    if need is not None and speedup < need:
+        print(f"FAIL: speedup {speedup:.2f}x below required {need:.1f}x",
+              file=sys.stderr)
+        if os.environ.get("BENCH_GATE_MODE") == "warn":
+            print("BENCH_GATE_MODE=warn: reporting only, not failing")
+            return 0
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,8 @@
 #include "common/verb.hpp"
 
+#include <atomic>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 
 namespace mage::common {
@@ -11,6 +13,16 @@ struct VerbEntry {
   std::string calls_stat;  // "rmi.calls.<name>"
 };
 
+// Threading contract (docs/ARCHITECTURE.md): every registry access is
+// serialized by the mutex EXCEPT interned_verb_count, which reads only
+// the atomic count — that is the one lookup on the per-call hot path
+// (Transport::call's validity check), so it must stay lock-free.
+// verb_name/verb_calls_stat sit on error paths and one-time counter
+// resolution; they take the mutex because indexing the deque concurrently
+// with a push_back (which may grow the deque's internal block map) would
+// be a data race.  The returned string references stay valid after
+// unlock: deque growth never moves existing elements, and entries are
+// never erased.
 struct VerbRegistry {
   // Heterogeneous lookup so intern(string_view) does not allocate on hit.
   struct Hash {
@@ -19,8 +31,10 @@ struct VerbRegistry {
       return std::hash<std::string_view>{}(s);
     }
   };
+  std::mutex mutex;
   std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>> ids;
   std::deque<VerbEntry> entries;  // stable references, indexed by id
+  std::atomic<std::uint32_t> count{0};
 };
 
 VerbRegistry& registry() {
@@ -37,6 +51,7 @@ const std::string& invalid_name() {
 
 VerbId intern_verb(std::string_view name) {
   auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
   if (auto it = reg.ids.find(name); it != reg.ids.end()) {
     return VerbId{it->second};
   }
@@ -44,21 +59,26 @@ VerbId intern_verb(std::string_view name) {
   reg.entries.push_back(
       VerbEntry{std::string(name), "rmi.calls." + std::string(name)});
   reg.ids.emplace(std::string(name), id);
+  reg.count.store(id + 1, std::memory_order_release);
   return VerbId{id};
 }
 
 const std::string& verb_name(VerbId id) {
-  const auto& reg = registry();
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
   if (!id.valid() || id.value() >= reg.entries.size()) return invalid_name();
   return reg.entries[id.value()].name;
 }
 
 const std::string& verb_calls_stat(VerbId id) {
-  const auto& reg = registry();
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
   if (!id.valid() || id.value() >= reg.entries.size()) return invalid_name();
   return reg.entries[id.value()].calls_stat;
 }
 
-std::size_t interned_verb_count() { return registry().entries.size(); }
+std::size_t interned_verb_count() {
+  return registry().count.load(std::memory_order_acquire);
+}
 
 }  // namespace mage::common

@@ -17,21 +17,47 @@ std::pair<common::NodeId, common::NodeId> ordered_pair(common::NodeId a,
 }  // namespace
 
 Network::Network(sim::Simulation& sim, CostModel model)
-    : sim_(sim),
-      model_(model),
-      messages_sent_(sim.stats().counter_handle("net.messages_sent")),
-      bytes_sent_(sim.stats().counter_handle("net.bytes_sent")),
-      messages_dropped_(sim.stats().counter_handle("net.messages_dropped")),
-      messages_delivered_(
-          sim.stats().counter_handle("net.messages_delivered")),
-      connections_opened_(
-          sim.stats().counter_handle("net.connections_opened")) {}
+    : driver_sim_(&sim), model_(model) {}
+
+Network::Network(sim::ShardedSim& sharded, CostModel model)
+    : sharded_(&sharded), model_(model) {
+  if (min_link_latency(model_) < sharded.lookahead()) {
+    throw common::MageError(
+        "cost model's minimum cross-node delay (" +
+        std::to_string(min_link_latency(model_)) +
+        "us) does not cover the sharded lookahead (" +
+        std::to_string(sharded.lookahead()) +
+        "us): a message could arrive inside the conservative window");
+  }
+}
+
+void Network::require_config_window(const char* what) const {
+  if (sharded_ != nullptr && sharded_->running()) {
+    throw common::MageError(
+        std::string("network configuration is frozen while sharded workers "
+                    "run: ") +
+        what);
+  }
+}
 
 common::NodeId Network::add_node(std::string label) {
+  require_config_window("add_node");
+  if (sharded_ != nullptr && nodes_.size() >= sharded_->shard_count()) {
+    throw common::MageError("sharded network is full: " +
+                            std::to_string(sharded_->shard_count()) +
+                            " shards, cannot add node '" + label + "'");
+  }
   const common::NodeId id{static_cast<std::uint32_t>(nodes_.size() + 1)};
   NodeState state;
   state.label = std::move(label);
   nodes_.push_back(std::move(state));
+  NodeState& stored = nodes_.back();
+  auto& stats = node_sim(id).stats();
+  stored.messages_sent = stats.counter_handle("net.messages_sent");
+  stored.bytes_sent = stats.counter_handle("net.bytes_sent");
+  stored.messages_dropped = stats.counter_handle("net.messages_dropped");
+  stored.messages_delivered = stats.counter_handle("net.messages_delivered");
+  stored.connections_opened = stats.counter_handle("net.connections_opened");
   return id;
 }
 
@@ -45,7 +71,23 @@ const Network::NodeState& Network::state(common::NodeId node) const {
   return nodes_[node.value() - 1];
 }
 
+sim::Simulation& Network::simulation() {
+  if (driver_sim_ == nullptr) {
+    throw common::MageError(
+        "Network::simulation() is driver-mode only: a sharded network has "
+        "one simulation context per node (use node_sim)");
+  }
+  return *driver_sim_;
+}
+
+sim::Simulation& Network::node_sim(common::NodeId node) {
+  if (driver_sim_ != nullptr) return *driver_sim_;
+  assert(node.value() >= 1 && node.value() <= sharded_->shard_count());
+  return sharded_->shard(node.value() - 1);
+}
+
 void Network::set_handler(common::NodeId node, Handler handler) {
+  require_config_window("set_handler");
   state(node).handler = std::move(handler);
 }
 
@@ -63,14 +105,17 @@ std::vector<common::NodeId> Network::node_ids() const {
 }
 
 void Network::send(Message msg) {
-  ++*messages_sent_;
-  *bytes_sent_ += static_cast<std::int64_t>(msg.wire_size());
+  NodeState& from = state(msg.from);
+  sim::Simulation& sender_sim = node_sim(msg.from);
 
-  const common::SimTime sent_at = sim_.now();
+  ++*from.messages_sent;
+  *from.bytes_sent += static_cast<std::int64_t>(msg.wire_size());
+
+  const common::SimTime sent_at = sender_sim.now();
   const bool loopback = msg.from == msg.to;
 
-  if (!loopback && (state(msg.from).down || state(msg.to).down)) {
-    ++*messages_dropped_;
+  if (!loopback && (from.down || state(msg.to).down)) {
+    ++*from.messages_dropped;
     if (tracing_) {
       trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.label(),
                                   msg.wire_size(), true});
@@ -79,7 +124,7 @@ void Network::send(Message msg) {
   }
 
   if (!loopback && partitions_.contains(ordered_pair(msg.from, msg.to))) {
-    ++*messages_dropped_;
+    ++*from.messages_dropped;
     if (tracing_) {
       trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.label(),
                                   msg.wire_size(), true});
@@ -87,8 +132,8 @@ void Network::send(Message msg) {
     return;
   }
 
-  if (!loopback && loss_rate_ > 0.0 && sim_.rng().next_bool(loss_rate_)) {
-    ++*messages_dropped_;
+  if (!loopback && loss_rate_ > 0.0 && sender_sim.rng().next_bool(loss_rate_)) {
+    ++*from.messages_dropped;
     MAGE_DEBUG() << "dropped " << msg.label() << " " << msg.from << " -> "
                  << msg.to;
     if (tracing_) {
@@ -108,18 +153,30 @@ void Network::send(Message msg) {
     if (auto it = extra_latency_.find(link); it != extra_latency_.end()) {
       delay += it->second;
     }
-    // One-time connection setup per unordered pair: once either side has
-    // connected, the TCP connection is reused in both directions.
-    if (warm_connections_.insert(ordered_pair(msg.from, msg.to)).second) {
-      delay += model_.connection_setup_us;
-      ++*connections_opened_;
+    if (driver_sim_ != nullptr) {
+      // One-time connection setup per unordered pair: once either side has
+      // connected, the TCP connection is reused in both directions.
+      if (warm_connections_.insert(ordered_pair(msg.from, msg.to)).second) {
+        delay += model_.connection_setup_us;
+        ++*from.connections_opened;
+      }
+    } else {
+      // Sharded mode: warmth is per DIRECTED link (each direction pays
+      // setup once) so the state stays owned by the sending shard — the
+      // unordered pair would be written from two shards.
+      if (from.warm_to.insert(msg.to).second) {
+        delay += model_.connection_setup_us;
+        ++*from.connections_opened;
+      }
     }
   }
 
   common::SimTime deliver_at = sent_at + delay;
   if (!loopback) {
-    // TCP in-order delivery per directed link.
-    auto& floor = state(msg.to).earliest_delivery_from[msg.from];
+    // TCP in-order delivery per directed link.  The floor lives on the
+    // sender (only this link's sends touch it), so sharded workers never
+    // write foreign node state.
+    auto& floor = from.earliest_delivery_to[msg.to];
     deliver_at = std::max(deliver_at, floor);
     floor = deliver_at + 1;
   }
@@ -132,22 +189,35 @@ void Network::send(Message msg) {
   // Wake::No: delivery hands the message to the transport, which wakes the
   // simulation itself exactly where user code runs (service dispatch,
   // completion callbacks).
-  sim_.schedule_at(
-      deliver_at,
-      [this, msg = std::move(msg)]() mutable {
-        auto& node = state(msg.to);
-        if (!node.handler) {
-          throw common::TransportError("node '" + node.label +
-                                       "' has no message handler installed");
-        }
-        ++*messages_delivered_;
-        node.handler(std::move(msg));
-      },
-      sim::Wake::No);
+  auto deliver = [this, msg = std::move(msg)]() mutable {
+    auto& node = state(msg.to);
+    if (!node.handler) {
+      throw common::TransportError("node '" + node.label +
+                                   "' has no message handler installed");
+    }
+    ++*node.messages_delivered;
+    node.handler(std::move(msg));
+  };
+  if (loopback || driver_sim_ != nullptr) {
+    sender_sim.schedule_at(deliver_at, std::move(deliver), sim::Wake::No);
+  } else {
+    // Cross-shard: into the (from, to) mailbox; the destination shard
+    // drains it at the next window boundary.  deliver_at >= sent_at +
+    // lookahead by the construction-time cost-model check, so the event
+    // always lands outside the current conservative window.
+    sharded_->post(msg.from.value() - 1, msg.to.value() - 1, deliver_at,
+                   std::move(deliver), sim::Wake::No);
+  }
+}
+
+void Network::set_loss_rate(double p) {
+  require_config_window("set_loss_rate");
+  loss_rate_ = p;
 }
 
 void Network::set_partitioned(common::NodeId a, common::NodeId b,
                               bool partitioned) {
+  require_config_window("set_partitioned");
   if (partitioned) {
     partitions_.insert(ordered_pair(a, b));
   } else {
@@ -157,6 +227,15 @@ void Network::set_partitioned(common::NodeId a, common::NodeId b,
 
 void Network::set_extra_latency(common::NodeId from, common::NodeId to,
                                 common::SimDuration extra) {
+  require_config_window("set_extra_latency");
+  if (sharded_ != nullptr && extra < 0) {
+    // Negative "extra" would undercut the conservative lookahead the
+    // construction-time check validated; ShardedSim::post would reject
+    // the send mid-run anyway — fail at configuration time instead.
+    throw common::MageError(
+        "negative extra link latency is not allowed on a sharded network "
+        "(it would undercut the conservative lookahead)");
+  }
   extra_latency_[{from, to}] = extra;
 }
 
@@ -167,6 +246,7 @@ void Network::set_load(common::NodeId node, double load) {
 double Network::load(common::NodeId node) const { return state(node).load; }
 
 void Network::set_node_down(common::NodeId node, bool down) {
+  require_config_window("set_node_down");
   state(node).down = down;
 }
 
@@ -175,11 +255,27 @@ bool Network::node_down(common::NodeId node) const {
 }
 
 void Network::set_domain(common::NodeId node, std::string domain) {
+  require_config_window("set_domain");
   state(node).domain = std::move(domain);
 }
 
 const std::string& Network::domain(common::NodeId node) const {
   return state(node).domain;
+}
+
+void Network::set_tracing(bool enabled) {
+  if (enabled && sharded_ != nullptr) {
+    throw common::MageError(
+        "message tracing is driver-mode only: sharded workers would "
+        "interleave the trace stream");
+  }
+  tracing_ = enabled;
+}
+
+void Network::reset_connections() {
+  require_config_window("reset_connections");
+  warm_connections_.clear();
+  for (auto& node : nodes_) node.warm_to.clear();
 }
 
 }  // namespace mage::net

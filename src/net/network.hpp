@@ -15,6 +15,18 @@
 //     paper's protocol figures;
 //   * a per-node load metric for load-directed mobility policies
 //     (the paper's `cloc.getLoad()`).
+//
+// Execution modes.  A Network runs over either
+//   * one driver sim::Simulation (the classic single-core mode: every node
+//     shares the queue, clock, RNG and stats registry), or
+//   * a sim::ShardedSim (multi-core mode: node i lives on shard i with its
+//     own queue/clock/RNG/stats; cross-node delivery is posted through the
+//     per-link mailboxes and every delay is >= the sharded lookahead).
+// The threading contract in sharded mode (enforced, not advisory): all
+// configuration — adding nodes, handlers, fault injection, tracing — is
+// driver-only and throws while workers run; per-node state (counters,
+// connection warmth, ordering floors, the load metric) is only ever
+// touched from the owning node's shard.  See docs/ARCHITECTURE.md.
 #pragma once
 
 #include <functional>
@@ -28,6 +40,7 @@
 #include "common/ids.hpp"
 #include "net/cost_model.hpp"
 #include "net/message.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
 
 namespace mage::net {
@@ -36,7 +49,14 @@ class Network {
  public:
   using Handler = std::function<void(Message)>;
 
+  // Driver mode: all nodes share `sim`.
   Network(sim::Simulation& sim, CostModel model);
+
+  // Sharded mode: node i (the i-th add_node) lives on shard i of
+  // `sharded`; at most sharded.shard_count() nodes may be added.  Requires
+  // the model's minimum cross-node delay to cover the sharded lookahead
+  // (checked at construction).
+  Network(sim::ShardedSim& sharded, CostModel model);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -56,13 +76,15 @@ class Network {
 
   // Sends msg; delivery is scheduled on the simulation.  A message to the
   // sender's own node is delivered after local_invoke_us with no wire cost
-  // and is never dropped (loopback).
+  // and is never dropped (loopback).  In sharded mode this must run on the
+  // sending node's shard (true by construction: sends originate from
+  // transports, whose events run on their own shard).
   void send(Message msg);
 
   // --- fault injection --------------------------------------------------
 
   // IID probability that a non-loopback message is dropped in flight.
-  void set_loss_rate(double p) { loss_rate_ = p; }
+  void set_loss_rate(double p);
 
   // Cuts / restores both directions between a and b.
   void set_partitioned(common::NodeId a, common::NodeId b, bool partitioned);
@@ -80,6 +102,9 @@ class Network {
 
   // --- load metric --------------------------------------------------------
 
+  // Contract: in sharded mode, call from the driver while stopped or from
+  // the owning node's shard; reading another node's load mid-run is what
+  // the `mage.get_load` RMI verb is for.
   void set_load(common::NodeId node, double load);
   [[nodiscard]] double load(common::NodeId node) const;
 
@@ -95,15 +120,35 @@ class Network {
 
   [[nodiscard]] const CostModel& cost_model() const { return model_; }
 
-  void set_tracing(bool enabled) { tracing_ = enabled; }
+  // Driver mode only (the trace is a single ordered stream; sharded
+  // workers would interleave it): throws in sharded mode.
+  void set_tracing(bool enabled);
   [[nodiscard]] const std::vector<TraceEntry>& trace() const { return trace_; }
   void clear_trace() { trace_.clear(); }
 
   // Forgets all warm connections, so the next message on every pair pays
   // connection setup again (benches use this between "single" runs).
-  void reset_connections() { warm_connections_.clear(); }
+  void reset_connections();
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  // The driver simulation; throws in sharded mode (there is no single
+  // universe — use node_sim()).
+  [[nodiscard]] sim::Simulation& simulation();
+
+  // The simulation context a node's events run on: the shared driver sim
+  // in driver mode, the node's shard in sharded mode.
+  [[nodiscard]] sim::Simulation& node_sim(common::NodeId node);
+
+  [[nodiscard]] bool is_sharded() const { return sharded_ != nullptr; }
+  [[nodiscard]] sim::ShardedSim* sharded() { return sharded_; }
+
+  // The minimum delay any cross-node message can experience under `model`
+  // — the conservative lookahead a ShardedSim driving this network must
+  // use.  (Connection setup, wire time, extra link latency and ordering
+  // floors only ever add on top.)
+  [[nodiscard]] static common::SimDuration min_link_latency(
+      const CostModel& model) {
+    return model.propagation_us + model.per_message_cpu_us;
+  }
 
  private:
   struct NodeState {
@@ -113,21 +158,33 @@ class Network {
     std::string domain;
     bool down = false;
     // Per TCP ordering: no message on a directed link may be delivered
-    // before one sent earlier on the same link.
-    std::map<common::NodeId, common::SimTime> earliest_delivery_from;
+    // before one sent earlier on the same link.  Owned by the SENDER (only
+    // sends on the (this, to) link ever touch floor[to]), which is what
+    // lets sharded workers apply floors without touching foreign state.
+    std::map<common::NodeId, common::SimTime> earliest_delivery_to;
+    // Sharded mode: directed warm links (each direction pays connection
+    // setup once).  Driver mode uses the shared unordered-pair set below,
+    // matching real TCP connection reuse in both directions.
+    std::set<common::NodeId> warm_to;
+    // Hot-path counters, resolved from the node's own stats registry at
+    // add_node (per-shard registries in sharded mode; all handles alias
+    // the same slots in driver mode).
+    std::int64_t* messages_sent = nullptr;
+    std::int64_t* bytes_sent = nullptr;
+    std::int64_t* messages_dropped = nullptr;
+    std::int64_t* messages_delivered = nullptr;
+    std::int64_t* connections_opened = nullptr;
   };
 
   [[nodiscard]] NodeState& state(common::NodeId node);
   [[nodiscard]] const NodeState& state(common::NodeId node) const;
 
-  sim::Simulation& sim_;
+  // Throws while sharded workers run: all global configuration is frozen.
+  void require_config_window(const char* what) const;
+
+  sim::Simulation* driver_sim_ = nullptr;
+  sim::ShardedSim* sharded_ = nullptr;
   CostModel model_;
-  // Hot-path counters, resolved once (see StatsRegistry::counter_handle).
-  std::int64_t* messages_sent_;
-  std::int64_t* bytes_sent_;
-  std::int64_t* messages_dropped_;
-  std::int64_t* messages_delivered_;
-  std::int64_t* connections_opened_;
   std::vector<NodeState> nodes_;
   std::set<std::pair<common::NodeId, common::NodeId>> warm_connections_;
   std::set<std::pair<common::NodeId, common::NodeId>> partitions_;

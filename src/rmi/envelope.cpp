@@ -1,5 +1,6 @@
 #include "rmi/envelope.hpp"
 
+#include <atomic>
 #include <limits>
 #include <utility>
 
@@ -10,9 +11,12 @@
 namespace mage::rmi {
 namespace {
 
-// Upper bound on header size for Writer pre-reservation: kind + id + verb +
-// ok + fragment list plus a typical error string.
+// Upper bound on header size for Writer pre-reservation: tag + id + verb +
+// ok + fragment framing plus a typical error string.
 constexpr std::size_t kHeaderReserve = 64;
+
+std::atomic<std::uint64_t> g_fast_headers{0};
+std::atomic<std::uint64_t> g_list_headers{0};
 
 void write_header(serial::Writer& w, const Envelope& e) {
   if (e.body.size() > std::numeric_limits<std::uint32_t>::max()) {
@@ -20,17 +24,28 @@ void write_header(serial::Writer& w, const Envelope& e) {
         "envelope body of " + std::to_string(e.body.size()) +
         " bytes exceeds the u32 total-size limit");
   }
-  w.write_u8(static_cast<std::uint8_t>(e.kind));
+  const bool single = e.body.fragments() == 1;
+  std::uint8_t tag = static_cast<std::uint8_t>(e.kind);
+  if (single) tag |= kSingleFragmentFlag;
+  w.write_u8(tag);
   w.write_u64(e.request_id.value());
   w.write_u32(e.verb.value());
   if (e.kind == EnvelopeKind::Reply) {
     w.write_bool(e.ok);
     if (!e.ok) w.write_string(e.error);
   }
+  if (single) {
+    // Fast path: the dominant single-buffer body skips the count byte and
+    // the per-fragment loop.
+    w.write_u32(static_cast<std::uint32_t>(e.body.fragment(0).size()));
+    g_fast_headers.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   w.write_u8(static_cast<std::uint8_t>(e.body.fragments()));
   for (std::size_t i = 0; i < e.body.fragments(); ++i) {
     w.write_u32(static_cast<std::uint32_t>(e.body.fragment(i).size()));
   }
+  g_list_headers.fetch_add(1, std::memory_order_relaxed);
 }
 
 // Parsed fragment declarations from a header.
@@ -42,10 +57,12 @@ struct FragmentList {
 
 // Parses the framing fields; returns the declared fragment list.
 FragmentList read_header(serial::Reader& r, Envelope& e) {
-  const std::uint8_t kind = r.read_u8();
+  const std::uint8_t tag = r.read_u8();
+  const bool single = (tag & kSingleFragmentFlag) != 0;
+  const std::uint8_t kind = tag & static_cast<std::uint8_t>(~kSingleFragmentFlag);
   if (kind > 1) {
-    throw common::SerializationError("bad envelope kind " +
-                                     std::to_string(kind));
+    throw common::SerializationError("bad envelope tag " +
+                                     std::to_string(tag));
   }
   e.kind = static_cast<EnvelopeKind>(kind);
   e.request_id = common::RequestId{r.read_u64()};
@@ -55,6 +72,12 @@ FragmentList read_header(serial::Reader& r, Envelope& e) {
     if (!e.ok) e.error = r.read_string();
   }
   FragmentList frags;
+  if (single) {
+    frags.count = 1;
+    frags.sizes[0] = r.read_u32();
+    frags.total = frags.sizes[0];
+    return frags;
+  }
   frags.count = r.read_u8();
   if (frags.count > serial::BufferChain::kMaxFragments) {
     throw common::SerializationError(
@@ -110,6 +133,19 @@ Envelope Envelope::decode(const serial::Buffer& header,
   }
   e.body = std::move(body);
   return e;
+}
+
+std::uint64_t Envelope::fast_path_headers() {
+  return g_fast_headers.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Envelope::list_path_headers() {
+  return g_list_headers.load(std::memory_order_relaxed);
+}
+
+void Envelope::reset_header_counters() {
+  g_fast_headers.store(0, std::memory_order_relaxed);
+  g_list_headers.store(0, std::memory_order_relaxed);
 }
 
 Envelope Envelope::decode(const serial::Buffer& flat) {

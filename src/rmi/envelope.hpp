@@ -13,9 +13,17 @@
 // fragment sizes so the receiver can reconstruct the list without copying.
 //
 // Wire layout (header ++ body fragments, little-endian):
-//   u8 kind | u64 request_id | u32 verb | [reply: u8 ok, !ok: str error]
-//   | u8 fragment_count | u32 fragment_size × fragment_count
-//   | fragment bytes, concatenated
+//   u8 tag | u64 request_id | u32 verb | [reply: u8 ok, !ok: str error]
+//   | fragment framing | fragment bytes, concatenated
+// The tag byte packs the kind (bit 0: 0 = Request, 1 = Reply) with the
+// single-fragment flag (bit 6, kSingleFragmentFlag).  Fragment framing is
+//   flag set:    u32 size                       (exactly one fragment)
+//   flag clear:  u8 count | u32 size × count    (0 or 2+ fragments)
+// The flag is the hot path: the overwhelmingly common single-buffer body
+// (every raw echo, every cached reply) skips the fragment-count byte and
+// the per-fragment encode/validate loop — the "single-fragment fast path"
+// that reclaims the 2-node echo floor (docs/PERF.md), asserted live by
+// bench_hotpath via the fast_path_headers counter.
 // On the wire a verb is its interned 32-bit id.  The byte-level contract —
 // including the fragment-list framing and the u32 size limits — is
 // docs/WIRE_FORMAT.md; the transport sends header and fragments as separate
@@ -34,6 +42,9 @@
 namespace mage::rmi {
 
 enum class EnvelopeKind : std::uint8_t { Request = 0, Reply = 1 };
+
+// Tag-byte bit marking the single-fragment fast path (see file comment).
+inline constexpr std::uint8_t kSingleFragmentFlag = 0x40;
 
 struct Envelope {
   EnvelopeKind kind = EnvelopeKind::Request;
@@ -59,6 +70,15 @@ struct Envelope {
   // Decodes the concatenated form; body fragments are zero-copy slices of
   // `flat`.
   static Envelope decode(const serial::Buffer& flat);
+
+  // --- fast-path accounting (bench_hotpath's assertion hook) ---------------
+
+  // Headers encoded via the single-fragment fast path vs the general
+  // fragment-list path since the last reset.  Thread-safe (relaxed
+  // atomics), like serial::Buffer's deep-copy counters.
+  [[nodiscard]] static std::uint64_t fast_path_headers();
+  [[nodiscard]] static std::uint64_t list_path_headers();
+  static void reset_header_counters();
 };
 
 }  // namespace mage::rmi

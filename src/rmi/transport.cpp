@@ -30,7 +30,7 @@ void Replier::error(const std::string& message) {
 Transport::Transport(net::Network& network, common::NodeId self,
                      std::size_t reply_cache_capacity)
     : network_(network),
-      sim_(network.simulation()),
+      sim_(network.node_sim(self)),
       self_(self),
       calls_(sim_.stats().counter_handle("rmi.calls")),
       failures_(sim_.stats().counter_handle("rmi.failures")),
@@ -147,6 +147,13 @@ serial::BufferChain Transport::call_sync(common::NodeId dest,
                                          common::VerbId verb,
                                          serial::BufferChain body,
                                          CallOptions options) {
+  if (network_.is_sharded()) {
+    // Blocking here would spin one shard's queue while the reply depends
+    // on other shards making progress — a deadlock by construction.
+    throw common::MageError(
+        "call_sync is driver-mode only: on a sharded network use the "
+        "asynchronous call() and complete from the callback");
+  }
   std::optional<CallResult> result;
   call(
       dest, verb, std::move(body),

@@ -48,7 +48,7 @@ class MageClient {
   [[nodiscard]] MageServer& local_server() { return local_server_; }
   [[nodiscard]] Directory& directory() { return directory_; }
   [[nodiscard]] sim::Simulation& simulation() {
-    return transport_.network().simulation();
+    return transport_.network().node_sim(transport_.self());
   }
 
   // --- component lifecycle --------------------------------------------------

@@ -23,7 +23,9 @@ MageServer::MageServer(rmi::Transport& transport, const ClassWorld& world,
 }
 
 sim::Simulation& MageServer::sim() {
-  return transport_.network().simulation();
+  // The node's own context: the shared driver sim in single-core mode,
+  // this node's shard in sharded mode (handlers run on that shard).
+  return transport_.network().node_sim(transport_.self());
 }
 
 void MageServer::register_services() {

@@ -1,5 +1,6 @@
 #include "serial/buffer.hpp"
 
+#include <atomic>
 #include <cstring>
 #include <string>
 
@@ -8,8 +9,10 @@
 namespace mage::serial {
 namespace {
 
-std::uint64_t g_deep_copy_count = 0;
-std::uint64_t g_deep_copy_bytes = 0;
+// Atomic so sharded workers can account gathers concurrently; the hot path
+// never copies, so the counters only cost on the slow path they police.
+std::atomic<std::uint64_t> g_deep_copy_count{0};
+std::atomic<std::uint64_t> g_deep_copy_bytes{0};
 
 }  // namespace
 
@@ -22,8 +25,8 @@ Buffer Buffer::copy(std::span<const std::uint8_t> bytes) {
 }
 
 void Buffer::note_deep_copy(std::size_t bytes) {
-  ++g_deep_copy_count;
-  g_deep_copy_bytes += bytes;
+  g_deep_copy_count.fetch_add(1, std::memory_order_relaxed);
+  g_deep_copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 Buffer Buffer::slice(std::size_t offset, std::size_t length) const {
@@ -36,12 +39,16 @@ Buffer Buffer::slice(std::size_t offset, std::size_t length) const {
   return Buffer(owner_, data_ + offset, length);
 }
 
-std::uint64_t Buffer::deep_copy_count() { return g_deep_copy_count; }
-std::uint64_t Buffer::deep_copy_bytes() { return g_deep_copy_bytes; }
+std::uint64_t Buffer::deep_copy_count() {
+  return g_deep_copy_count.load(std::memory_order_relaxed);
+}
+std::uint64_t Buffer::deep_copy_bytes() {
+  return g_deep_copy_bytes.load(std::memory_order_relaxed);
+}
 
 void Buffer::reset_copy_counters() {
-  g_deep_copy_count = 0;
-  g_deep_copy_bytes = 0;
+  g_deep_copy_count.store(0, std::memory_order_relaxed);
+  g_deep_copy_bytes.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mage::serial

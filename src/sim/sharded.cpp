@@ -1,0 +1,195 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mage::sim {
+namespace {
+
+// SplitMix64: spreads one master seed into decorrelated per-shard seeds.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedSim::ShardedSim(std::size_t shard_count, std::uint64_t seed,
+                       common::SimDuration lookahead)
+    : mail_(shard_count * shard_count), lookahead_(lookahead) {
+  if (shard_count == 0) {
+    throw common::MageError("sharded simulation needs at least one shard");
+  }
+  if (lookahead < 1) {
+    throw common::MageError(
+        "conservative lookahead must be >= 1 simulated microsecond (a zero "
+        "lookahead makes every window empty); use a cost model with nonzero "
+        "cross-node latency");
+  }
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Simulation>(splitmix64(seed + i)));
+  }
+}
+
+void ShardedSim::post(std::size_t from, std::size_t to, common::SimTime at,
+                      EventQueue::Action action, Wake wake) {
+  // Causality check, enforced rather than documented: a mid-run post that
+  // lands inside the current conservative window would execute in the
+  // destination's past and silently break determinism (e.g. a cost model
+  // whose effective cross-node delay dropped below the lookahead).
+  // Driver-side posts while stopped are exempt — they are drained before
+  // the first window is computed.
+  if (running() && at < shards_[from]->now() + lookahead_) {
+    throw common::MageError(
+        "cross-shard post at t=" + std::to_string(at) + " from shard " +
+        std::to_string(from) + " (now " +
+        std::to_string(shards_[from]->now()) + ") lands inside the " +
+        std::to_string(lookahead_) +
+        "us conservative window: the link's delay undercuts the lookahead");
+  }
+  mailbox(from, to).items.push_back(
+      Posted{at, wake == Wake::Yes, std::move(action)});
+}
+
+void ShardedSim::drain_shard(std::size_t s) {
+  const std::size_t count = shards_.size();
+  Simulation& sim = *shards_[s];
+  for (std::size_t from = 0; from < count; ++from) {
+    auto& box = mailbox(from, s).items;
+    for (Posted& p : box) {
+      (void)sim.schedule_at(p.at, std::move(p.action),
+                            p.wake ? Wake::Yes : Wake::No);
+    }
+    box.clear();  // keeps capacity: steady-state drains allocate nothing
+  }
+}
+
+void ShardedSim::control(const std::function<bool()>& done,
+                         common::SimTime deadline) {
+  if (failed_.load(std::memory_order_relaxed)) {
+    stop_ = true;
+    success_ = false;
+    return;
+  }
+  // All of this runs with every worker parked inside the barrier, so plain
+  // reads of shard state and plain writes of the run-scoped fields are
+  // ordered by the barrier itself.
+  try {
+    if (any_woke_.exchange(false, std::memory_order_relaxed) && done) {
+      if (done()) {
+        stop_ = true;
+        success_ = true;
+        return;
+      }
+    }
+    common::SimTime frontier = Simulation::kNoDeadline;
+    for (const auto& s : shards_) {
+      frontier = std::min(frontier, s->next_event_time());
+    }
+    if (frontier == Simulation::kNoDeadline) {
+      // Every queue and mailbox drained.  Mirror Simulation::run_until's
+      // final re-check: never report false while done() holds.
+      stop_ = true;
+      success_ = done ? done() : true;
+      return;
+    }
+    if (frontier > deadline) {
+      stop_ = true;
+      success_ = done ? done() : false;
+      return;
+    }
+    frontier_ = frontier;
+    // Clamp to the deadline so no event past it ever executes — the same
+    // contract as Simulation::run_until.  frontier <= deadline here, so
+    // the window still makes progress (>= frontier + 1).
+    window_end_ = frontier + lookahead_;
+    if (deadline != Simulation::kNoDeadline && window_end_ > deadline + 1) {
+      window_end_ = deadline + 1;
+    }
+    ++windows_;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+    stop_ = true;
+    success_ = false;
+  }
+}
+
+bool ShardedSim::run_until(const std::function<bool()>& done, int threads,
+                           common::SimTime deadline) {
+  if (running_.load(std::memory_order_relaxed)) {
+    throw common::MageError("ShardedSim::run_until is not reentrant");
+  }
+  if (done && done()) return true;
+
+  const std::size_t shard_total = shards_.size();
+  const std::size_t workers = std::clamp<std::size_t>(
+      threads < 1 ? 1 : static_cast<std::size_t>(threads), 1, shard_total);
+
+  stop_ = false;
+  success_ = false;
+  windows_ = 0;
+  any_woke_.store(false, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+
+  auto on_window = [this, &done, deadline]() noexcept {
+    control(done, deadline);
+  };
+  std::barrier window_barrier(static_cast<std::ptrdiff_t>(workers), on_window);
+  std::barrier round_barrier(static_cast<std::ptrdiff_t>(workers));
+
+  auto worker = [&](std::size_t w) {
+    const std::size_t begin = w * shard_total / workers;
+    const std::size_t end = (w + 1) * shard_total / workers;
+    while (true) {
+      // Phase 1: drain inbound mailboxes (fixed source order — this is
+      // where cross-shard determinism is decided).
+      for (std::size_t s = begin; s < end; ++s) drain_shard(s);
+      // The barrier's completion step computes the next window (or stops)
+      // with everyone parked.
+      window_barrier.arrive_and_wait();
+      if (stop_) break;
+      // Phase 2: run this worker's shards up to the window bound.
+      bool woke = false;
+      try {
+        for (std::size_t s = begin; s < end; ++s) {
+          woke = shards_[s]->run_window(window_end_) || woke;
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        failed_.store(true, std::memory_order_relaxed);
+      }
+      if (woke) any_woke_.store(true, std::memory_order_relaxed);
+      round_barrier.arrive_and_wait();
+    }
+  };
+
+  running_.store(true, std::memory_order_release);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
+  for (auto& t : pool) t.join();
+  running_.store(false, std::memory_order_release);
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  return success_;
+}
+
+std::int64_t ShardedSim::counter(const std::string& key) const {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s->stats().counter(key);
+  return total;
+}
+
+}  // namespace mage::sim

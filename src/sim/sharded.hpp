@@ -1,0 +1,158 @@
+// Sharded simulation: one event-queue shard per simulated node, driven by a
+// worker-thread pool under conservative-lookahead synchronization.
+//
+// The single-queue sim::Simulation executes an N-node federation on one
+// core; this driver gives each node its own Simulation shard (private
+// clock, event queue, RNG, stats registry) and runs the shards in parallel,
+// synchronized in *windows* of virtual time:
+//
+//   frontier   = min over shards of their next pending event's time
+//   window_end = frontier + lookahead
+//
+// where `lookahead` is the minimum latency any cross-shard interaction can
+// add (for the simulated network: the smallest cross-node link delay).  A
+// shard may safely execute every event with time < window_end, because any
+// message another shard sends this window was sent at a time >= frontier
+// and therefore arrives at >= frontier + lookahead = window_end — outside
+// the window.  That is the classic conservative (Chandy–Misra-style) bound
+// with a barrier instead of null messages.
+//
+// Cross-shard sends travel through per-link SPSC mailboxes: during a
+// window only the source shard's worker appends to mailbox (from, to), and
+// only the destination shard's worker drains it — at the next window
+// boundary, after a barrier.  The phase barriers are the synchronization;
+// the mailboxes themselves need no locks or atomics.
+//
+// Determinism: the window sequence is a pure function of event timestamps,
+// so it does not depend on the worker count.  Within a window each shard
+// executes its own queue sequentially, and at each boundary a shard drains
+// its inbound mailboxes in fixed source order (each mailbox FIFO), so the
+// events of every shard fire in an identical order at any thread count —
+// a property tests/sharded_sim_test.cpp enforces and BENCH_storm's
+// threaded mode re-asserts with a per-node order digest on every run.
+//
+// Threading contract (audited; see docs/ARCHITECTURE.md):
+//   * shard state (queue, clock, RNG, stats) is touched only by the worker
+//     that owns the shard while running, and only by the driver thread
+//     while stopped;
+//   * post() may be called only from the source shard's worker (or from
+//     the driver while stopped);
+//   * the driver predicate runs at window barriers with all workers
+//     parked, so it may read anything the shards wrote — but state it
+//     reads that is written from multiple shards' callbacks must be
+//     per-shard or atomic;
+//   * configuration (adding nodes, handlers, fault injection) is frozen
+//     while workers run — net::Network enforces this by throwing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace mage::sim {
+
+class ShardedSim {
+ public:
+  // `lookahead` must be >= 1 simulated microsecond: a zero lookahead makes
+  // every window empty and the conservative driver cannot progress.
+  // Shard i is seeded deterministically from `seed` and i.
+  ShardedSim(std::size_t shard_count, std::uint64_t seed,
+             common::SimDuration lookahead);
+
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Simulation& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] common::SimDuration lookahead() const { return lookahead_; }
+
+  // True while run_until's workers are executing; layers use this to
+  // reject configuration changes mid-run.
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  // Schedules `action` at absolute time `at` on shard `to`.  Callable from
+  // shard `from`'s worker during a window (the action lands in the (from,
+  // to) mailbox and is drained at the next boundary), or from the driver
+  // thread while stopped.  `at` must be >= the posting shard's current
+  // time + lookahead when posting cross-shard mid-run; the network layer
+  // guarantees this by construction (every cross-node delay >= lookahead).
+  void post(std::size_t from, std::size_t to, common::SimTime at,
+            EventQueue::Action action, Wake wake = Wake::Yes);
+
+  // Runs all shards on `threads` workers until `done` returns true —
+  // checked at window boundaries after any shard executed a waking event —
+  // or every queue and mailbox drains (returns done() then, or true when
+  // no predicate was given), or the frontier passes `deadline` (returns
+  // done()).  Driver-only; not reentrant.
+  bool run_until(const std::function<bool()>& done, int threads,
+                 common::SimTime deadline = Simulation::kNoDeadline);
+
+  // Runs until every shard queue and mailbox drains.
+  void run_until_idle(int threads) { (void)run_until(nullptr, threads); }
+
+  // Global virtual-time frontier reached by the last run.
+  [[nodiscard]] common::SimTime frontier() const { return frontier_; }
+
+  // Sum of one named counter across all shard registries (driver-only).
+  [[nodiscard]] std::int64_t counter(const std::string& key) const;
+
+  // Windows executed by the last run (observability: the barrier cost per
+  // unit of progress).
+  [[nodiscard]] std::int64_t windows() const { return windows_; }
+
+ private:
+  struct Posted {
+    common::SimTime at;
+    bool wake;
+    EventQueue::Action action;
+  };
+
+  // One direction of one link.  Padded to a cache line so neighbouring
+  // mailboxes written by different workers never share one.
+  struct alignas(64) Mailbox {
+    std::vector<Posted> items;
+  };
+
+  [[nodiscard]] Mailbox& mailbox(std::size_t from, std::size_t to) {
+    return mail_[from * shards_.size() + to];
+  }
+
+  // Drains every inbound mailbox of shard `s` into its queue, in source
+  // order.  Runs on the shard's worker between barriers.
+  void drain_shard(std::size_t s);
+
+  // The control step, run by exactly one thread inside the window barrier
+  // (all workers parked): folds wake marks, evaluates the predicate,
+  // computes the next window or decides to stop.
+  void control(const std::function<bool()>& done, common::SimTime deadline);
+
+  std::vector<std::unique_ptr<Simulation>> shards_;
+  std::vector<Mailbox> mail_;  // row-major: mail_[from * S + to]
+  common::SimDuration lookahead_;
+
+  // Run-scoped state.  Written by control() inside a barrier or by workers
+  // under the phase discipline above; the barriers provide the ordering.
+  common::SimTime frontier_ = 0;
+  common::SimTime window_end_ = 0;
+  bool stop_ = false;
+  bool success_ = false;
+  std::int64_t windows_ = 0;
+  std::atomic<bool> any_woke_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+};
+
+}  // namespace mage::sim

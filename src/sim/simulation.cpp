@@ -2,12 +2,16 @@
 
 #include <cassert>
 
+#include "common/log.hpp"
+
 namespace mage::sim {
 
 Simulation::Simulation(std::uint64_t seed)
     : rng_(seed),
       predicate_checks_(stats_.counter_handle("sim.predicate_checks")),
-      wakeups_(stats_.counter_handle("sim.wakeups")) {}
+      wakeups_(stats_.counter_handle("sim.wakeups")),
+      wake_contract_violations_(
+          stats_.counter_handle("sim.wake_contract_violations")) {}
 
 EventId Simulation::schedule_at(common::SimTime at, EventQueue::Action action,
                                 Wake wake) {
@@ -55,8 +59,35 @@ bool Simulation::run_until(const std::function<bool()>& done,
       ++*wakeups_;
       ++*predicate_checks_;
       if (done()) return true;
+    } else if (wake_contract_checks_ && done()) {
+      // Wake-contract violation: a non-waking event flipped the predicate.
+      // Whatever that event ran touched driver-visible state, so its layer
+      // should have scheduled with Wake::Yes or called wake() — without
+      // this check the caller silently stalls until the drain-time
+      // re-check.  Flag it, but keep the release-build behaviour (do not
+      // return early) so debug and release runs are step-identical.
+      ++*wake_contract_violations_;
+      if (!wake_contract_warned_) {
+        wake_contract_warned_ = true;
+        MAGE_WARN() << "wake-contract violation: a run_until predicate "
+                       "flipped true after a non-waking event (a layer ran "
+                       "user-visible code under Wake::No without wake()); "
+                       "counted in sim.wake_contract_violations";
+      }
     }
   }
+}
+
+bool Simulation::run_window(common::SimTime end) {
+  bool woke = false;
+  while (!queue_.empty() && queue_.next_time() < end) {
+    (void)step_event();
+    if (woken_) {
+      woken_ = false;
+      woke = true;
+    }
+  }
+  return woke;
 }
 
 void Simulation::run_for(common::SimDuration span) {

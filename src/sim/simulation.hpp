@@ -71,6 +71,38 @@ class Simulation {
   // to exactly now()+span even if the queue drained earlier.
   void run_for(common::SimDuration span);
 
+  // --- sharded-execution primitives (see sim/sharded.hpp) -----------------
+
+  // Time of the earliest pending event, or kNoDeadline when the queue is
+  // empty.  The sharded driver folds these into the global virtual-time
+  // frontier.
+  [[nodiscard]] common::SimTime next_event_time() {
+    return queue_.empty() ? kNoDeadline : queue_.next_time();
+  }
+
+  // Runs every event with time strictly before `end` — this shard's share
+  // of one conservative window.  The clock is left at the last executed
+  // event's time (not advanced to `end`).  Returns true when any waking
+  // event ran, consuming the wake mark; the sharded driver folds the marks
+  // and re-checks the driver predicate at the window barrier.
+  bool run_window(common::SimTime end);
+
+  // --- wake-contract checking ----------------------------------------------
+
+  // When enabled, run_until additionally evaluates its predicate after
+  // every NON-waking event.  A predicate that flips true there exposes a
+  // mis-marked event: some layer ran user-visible code under Wake::No and
+  // forgot its wake() call, so the caller would have stalled until the
+  // drain-time re-check (or the next unrelated wakeup).  Violations bump
+  // the "sim.wake_contract_violations" counter and log one warning per
+  // simulation; run_until's observable behaviour is unchanged (the check
+  // never returns early), so debug and release runs stay step-identical.
+  // Defaults to on in debug builds (!NDEBUG), off in release.
+  void set_wake_contract_checks(bool on) { wake_contract_checks_ = on; }
+  [[nodiscard]] bool wake_contract_checks() const {
+    return wake_contract_checks_;
+  }
+
   [[nodiscard]] common::Rng& rng() { return rng_; }
   [[nodiscard]] common::StatsRegistry& stats() { return stats_; }
 
@@ -86,10 +118,17 @@ class Simulation {
   common::Rng rng_;
   common::StatsRegistry stats_;
   bool woken_ = false;
+#ifdef NDEBUG
+  bool wake_contract_checks_ = false;
+#else
+  bool wake_contract_checks_ = true;
+#endif
+  bool wake_contract_warned_ = false;
   // Observability: how often run_until actually evaluated predicates vs how
   // many events ran (docs/PERF.md tracks the ratio).
   std::int64_t* predicate_checks_;
   std::int64_t* wakeups_;
+  std::int64_t* wake_contract_violations_;
 };
 
 }  // namespace mage::sim

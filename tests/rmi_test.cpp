@@ -93,6 +93,73 @@ TEST(Envelope, ScatterGatherMatchesFlatEncoding) {
   EXPECT_EQ(decoded.body, e.body);
 }
 
+TEST(Envelope, SingleFragmentFastPathLayout) {
+  Envelope e;
+  e.kind = EnvelopeKind::Request;
+  e.request_id = common::RequestId{7};
+  e.verb = common::intern_verb("v");
+  e.body = bytes({1, 2, 3, 4});
+
+  Envelope::reset_header_counters();
+  const auto header = e.encode_header();
+  EXPECT_EQ(Envelope::fast_path_headers(), 1u);
+  EXPECT_EQ(Envelope::list_path_headers(), 0u);
+  // tag | u64 id | u32 verb | u32 size — no count byte, no size list.
+  ASSERT_EQ(header.size(), 1u + 8u + 4u + 4u);
+  EXPECT_EQ(header[0] & 0x40, 0x40);  // kSingleFragmentFlag
+  EXPECT_EQ(header[0] & ~0x40, 0);    // kind = Request
+
+  const auto decoded = Envelope::decode(header, e.body);
+  EXPECT_EQ(decoded.kind, EnvelopeKind::Request);
+  EXPECT_EQ(decoded.request_id, common::RequestId{7});
+  EXPECT_EQ(decoded.body, e.body);
+
+  const auto from_flat = Envelope::decode(e.encode());
+  EXPECT_EQ(from_flat.body, e.body);
+}
+
+TEST(Envelope, MultiFragmentBodiesUseTheListPath) {
+  Envelope e;
+  e.kind = EnvelopeKind::Reply;
+  e.request_id = common::RequestId{8};
+  e.verb = common::intern_verb("v");
+  e.ok = true;
+  e.body.append(bytes({1, 2}));
+  e.body.append(bytes({3, 4, 5}));
+
+  Envelope::reset_header_counters();
+  const auto decoded = Envelope::decode(e.encode_header(), e.body);
+  EXPECT_EQ(Envelope::fast_path_headers(), 0u);
+  EXPECT_EQ(Envelope::list_path_headers(), 1u);
+  EXPECT_EQ(decoded.body, e.body);
+  EXPECT_EQ(decoded.body.fragments(), 2u);
+}
+
+TEST(Envelope, EmptyBodyUsesTheListPath) {
+  Envelope e;
+  e.kind = EnvelopeKind::Request;
+  e.request_id = common::RequestId{9};
+  e.verb = common::intern_verb("v");
+
+  Envelope::reset_header_counters();
+  const auto decoded = Envelope::decode(e.encode());
+  EXPECT_EQ(Envelope::list_path_headers(), 1u);
+  EXPECT_EQ(decoded.body.fragments(), 0u);
+  EXPECT_TRUE(decoded.body.empty());
+}
+
+TEST(Envelope, FastPathSizeMismatchRejected) {
+  Envelope e;
+  e.kind = EnvelopeKind::Request;
+  e.request_id = common::RequestId{10};
+  e.verb = common::intern_verb("v");
+  e.body = bytes({1, 2, 3, 4});
+  const auto header = e.encode_header();
+  serial::BufferChain wrong = bytes({1, 2, 3});
+  EXPECT_THROW((void)Envelope::decode(header, wrong),
+               common::SerializationError);
+}
+
 // --- transport ------------------------------------------------------------------
 
 struct RmiFixture : ::testing::Test {

@@ -1,0 +1,225 @@
+// Sharded-simulation contract tests.
+//
+// The two load-bearing properties of sim::ShardedSim:
+//
+//   1. determinism — one seed fully determines each node's event order at
+//      ANY worker-thread count (the conservative windows are a pure
+//      function of event timestamps; mailbox drains happen in fixed source
+//      order at barriers);
+//   2. the threading contract is enforced, not advisory — configuration
+//      mutations while workers run, driver-blocking calls on shard
+//      threads, and zero-lookahead construction all throw.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/cost_model.hpp"
+#include "net/network.hpp"
+#include "rmi/transport.hpp"
+#include "serial/writer.hpp"
+#include "sim/sharded.hpp"
+
+namespace mage {
+namespace {
+
+net::CostModel lan_model() {
+  net::CostModel m = net::CostModel::zero();
+  m.propagation_us = 200;
+  m.per_message_cpu_us = 20;
+  m.connection_setup_us = 100;
+  m.local_invoke_us = 1;
+  return m;
+}
+
+// One delivery observed by a node: (caller, seq, shard-local sim time).
+using Observation = std::tuple<std::uint32_t, std::uint64_t, common::SimTime>;
+
+// Runs a small all-to-all echo mesh on the sharded engine and returns each
+// node's full observation log (order + timestamps).
+std::vector<std::vector<Observation>> run_mesh(int nodes, int calls_per_link,
+                                               int threads,
+                                               std::uint64_t seed) {
+  const net::CostModel model = lan_model();
+  sim::ShardedSim ssim(static_cast<std::size_t>(nodes), seed,
+                       net::Network::min_link_latency(model));
+  net::Network net(ssim, model);
+
+  std::vector<common::NodeId> ids;
+  std::vector<std::unique_ptr<rmi::Transport>> transports;
+  for (int i = 0; i < nodes; ++i) {
+    ids.push_back(net.add_node("n" + std::to_string(i)));
+  }
+  for (int i = 0; i < nodes; ++i) {
+    transports.push_back(std::make_unique<rmi::Transport>(net, ids[i]));
+  }
+
+  std::vector<std::vector<Observation>> observed(
+      static_cast<std::size_t>(nodes) + 1);
+  const common::VerbId echo = common::intern_verb("sharded.echo");
+  for (int i = 0; i < nodes; ++i) {
+    auto* log = &observed[ids[i].value()];
+    auto& sim = net.node_sim(ids[i]);
+    transports[i]->register_service(
+        echo, [log, &sim](common::NodeId caller,
+                          const serial::BufferChain& body,
+                          rmi::Replier replier) {
+          serial::ChainReader r(body);
+          log->emplace_back(caller.value(), r.read_u64(), sim.now());
+          replier.ok(body);
+        });
+  }
+
+  struct Pipe {
+    rmi::Transport* transport;
+    common::NodeId dst;
+    std::int64_t next = 0;
+    std::int64_t* completed = nullptr;
+  };
+  std::vector<std::int64_t> completed(static_cast<std::size_t>(nodes) + 1, 0);
+  std::vector<Pipe> pipes;
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = 0; j < nodes; ++j) {
+      if (i != j) {
+        pipes.push_back(
+            Pipe{transports[i].get(), ids[j], 0, &completed[ids[i].value()]});
+      }
+    }
+  }
+  std::function<void(Pipe&)> next_call = [&](Pipe& p) {
+    if (p.next >= calls_per_link) return;
+    serial::Writer w(8);
+    w.write_u64(static_cast<std::uint64_t>(p.next++));
+    p.transport->call(p.dst, echo, w.take(), [&next_call, &p](rmi::CallResult r) {
+      // Thrown on a worker thread; ShardedSim::run_until rethrows it on
+      // the driver (gtest assertions are not thread-safe off-thread).
+      if (!r.ok) throw common::MageError("echo failed: " + r.error);
+      ++*p.completed;
+      next_call(p);
+    });
+  };
+  for (auto& p : pipes) {
+    next_call(p);
+    next_call(p);  // window of 2 outstanding per link
+  }
+
+  const std::int64_t total =
+      static_cast<std::int64_t>(nodes) * (nodes - 1) * calls_per_link;
+  const bool done = ssim.run_until(
+      [&] {
+        std::int64_t sum = 0;
+        for (auto c : completed) sum += c;
+        return sum == total;
+      },
+      threads);
+  EXPECT_TRUE(done);
+  return observed;
+}
+
+TEST(ShardedSim, SameSeedSameOrderAtAnyThreadCount) {
+  const auto one = run_mesh(4, 30, 1, 99);
+  const auto two = run_mesh(4, 30, 2, 99);
+  const auto four = run_mesh(4, 30, 4, 99);
+  ASSERT_EQ(one.size(), two.size());
+  // Identical per-node event order AND identical shard-local timestamps:
+  // the parallel execution replays the sequential one exactly.
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  // And the logs are non-trivial: every node saw every peer's full stream.
+  for (std::size_t node = 1; node < one.size(); ++node) {
+    EXPECT_EQ(one[node].size(), 3u * 30u);
+  }
+}
+
+TEST(ShardedSim, DifferentSeedsDiverge) {
+  // The per-shard RNG streams (and so loss decisions, had any been
+  // configured) derive from the master seed; sanity-check the derivation
+  // by observing shard RNGs directly.
+  sim::ShardedSim a(2, 1, 100);
+  sim::ShardedSim b(2, 2, 100);
+  EXPECT_NE(a.shard(0).rng().next_below(1u << 30),
+            b.shard(0).rng().next_below(1u << 30));
+  EXPECT_NE(a.shard(0).rng().next_below(1u << 30),
+            a.shard(1).rng().next_below(1u << 30));
+}
+
+TEST(ShardedSim, ZeroLookaheadRejected) {
+  EXPECT_THROW(sim::ShardedSim(4, 7, 0), common::MageError);
+}
+
+TEST(ShardedSim, CostModelMustCoverLookahead) {
+  sim::ShardedSim ssim(2, 7, 10'000);  // lookahead larger than any delay
+  EXPECT_THROW(net::Network(ssim, net::CostModel::zero()),
+               common::MageError);
+}
+
+TEST(ShardedSim, PostedEventsRunInTimeOrder) {
+  sim::ShardedSim ssim(2, 7, 50);
+  std::vector<int> order;
+  // Driver-side posts before the run: both land in shard 1's mailbox and
+  // must fire in time order regardless of post order.
+  ssim.post(0, 1, 200, [&order] { order.push_back(2); });
+  ssim.post(0, 1, 100, [&order] { order.push_back(1); });
+  ssim.run_until_idle(2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(ssim.shard(1).now(), 200);
+}
+
+TEST(ShardedSim, ConfigFrozenWhileWorkersRun) {
+  const net::CostModel model = lan_model();
+  sim::ShardedSim ssim(2, 7, net::Network::min_link_latency(model));
+  net::Network net(ssim, model);
+  net.add_node("a");
+  net.add_node("b");
+  // An event on a worker thread mutating global network config must throw;
+  // the error surfaces through run_until on the driver.
+  ssim.shard(0).schedule_after(10, [&net] { net.set_loss_rate(0.5); });
+  EXPECT_THROW(ssim.run_until_idle(2), common::MageError);
+  // Stopped again: configuration reopens.
+  EXPECT_NO_THROW(net.set_loss_rate(0.0));
+}
+
+TEST(ShardedSim, TracingIsDriverModeOnly) {
+  const net::CostModel model = lan_model();
+  sim::ShardedSim ssim(2, 7, net::Network::min_link_latency(model));
+  net::Network net(ssim, model);
+  EXPECT_THROW(net.set_tracing(true), common::MageError);
+}
+
+TEST(ShardedSim, CallSyncIsDriverModeOnly) {
+  const net::CostModel model = lan_model();
+  sim::ShardedSim ssim(2, 7, net::Network::min_link_latency(model));
+  net::Network net(ssim, model);
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  rmi::Transport ta(net, a);
+  rmi::Transport tb(net, b);
+  tb.register_service("noop", [](common::NodeId, const serial::BufferChain&,
+                                 rmi::Replier replier) {
+    replier.ok({});
+  });
+  EXPECT_THROW((void)ta.call_sync(b, "noop", {}), common::MageError);
+}
+
+TEST(ShardedSim, SimulationAccessorIsDriverModeOnly) {
+  const net::CostModel model = lan_model();
+  sim::ShardedSim ssim(2, 7, net::Network::min_link_latency(model));
+  net::Network net(ssim, model);
+  EXPECT_THROW((void)net.simulation(), common::MageError);
+  const auto a = net.add_node("a");
+  EXPECT_EQ(&net.node_sim(a), &ssim.shard(0));
+}
+
+TEST(ShardedSim, CounterAggregatesAcrossShards) {
+  sim::ShardedSim ssim(3, 7, 100);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ssim.shard(i).stats().add("test.key", static_cast<std::int64_t>(i) + 1);
+  }
+  EXPECT_EQ(ssim.counter("test.key"), 6);
+}
+
+}  // namespace
+}  // namespace mage

@@ -150,5 +150,62 @@ TEST(Simulation, ManySameTimeEventsStableOrder) {
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(Simulation, RunWindowStopsStrictlyBeforeBound) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  (void)sim.run_window(30);  // [_, 30): the event AT the bound must wait
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.next_event_time(), 30);
+  (void)sim.run_window(31);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.next_event_time(), Simulation::kNoDeadline);
+}
+
+TEST(Simulation, RunWindowReportsWakes) {
+  Simulation sim;
+  sim.schedule_at(10, [] {}, Wake::No);
+  EXPECT_FALSE(sim.run_window(20));
+  sim.schedule_at(30, [] {}, Wake::Yes);
+  EXPECT_TRUE(sim.run_window(40));
+}
+
+TEST(Simulation, WakeContractViolationIsFlagged) {
+  Simulation sim;
+  sim.set_wake_contract_checks(true);
+  bool flag = false;
+  // A mis-marked event: flips driver-visible state under Wake::No without
+  // calling wake().  The checker must count it; run_until still succeeds
+  // via the drain-time re-check (behaviour is unchanged by the checker).
+  sim.schedule_after(10, [&flag] { flag = true; }, Wake::No);
+  EXPECT_TRUE(sim.run_until([&flag] { return flag; }));
+  EXPECT_EQ(sim.stats().counter("sim.wake_contract_violations"), 1);
+}
+
+TEST(Simulation, WakeContractCleanRunCountsNothing) {
+  Simulation sim;
+  sim.set_wake_contract_checks(true);
+  bool flag = false;
+  sim.schedule_after(5, [] {}, Wake::No);  // non-waking, touches nothing
+  sim.schedule_after(10, [&flag, &sim] {
+    flag = true;
+    sim.wake();
+  }, Wake::No);
+  EXPECT_TRUE(sim.run_until([&flag] { return flag; }));
+  EXPECT_EQ(sim.stats().counter("sim.wake_contract_violations"), 0);
+}
+
+TEST(Simulation, WakeContractCheckCanBeDisabled) {
+  Simulation sim;
+  sim.set_wake_contract_checks(false);
+  bool flag = false;
+  sim.schedule_after(10, [&flag] { flag = true; }, Wake::No);
+  EXPECT_TRUE(sim.run_until([&flag] { return flag; }));
+  EXPECT_EQ(sim.stats().counter("sim.wake_contract_violations"), 0);
+}
+
 }  // namespace
 }  // namespace mage::sim
