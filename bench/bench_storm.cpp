@@ -37,6 +37,20 @@
 //                                  (FNV digest per receiving node) — the
 //                                  determinism contract at any thread
 //                                  count.
+//   ... --chaos                    additionally re-runs the sharded storm
+//                                  under a fixed net::FaultSchedule (loss
+//                                  bursts, a partition/heal, a node
+//                                  crash/restart, applied at window
+//                                  boundaries) at 1 and T workers: the
+//                                  degraded-mode scaling curve.  FAILS
+//                                  unless the chaos runs are digest-
+//                                  identical across worker counts, every
+//                                  call completed (nothing lost after
+//                                  heal), every request executed exactly
+//                                  once (execution counters, adequately
+//                                  sized reply cache => zero eviction-
+//                                  caused re-executions), and the wire-
+//                                  FIFO self-check saw zero violations.
 //
 // Results are written to BENCH_storm.json.
 #include <atomic>
@@ -96,6 +110,12 @@ struct StormRun {
   std::int64_t windows = 0;           // sharded engine only
   std::int64_t order_violations = 0;
   std::vector<std::uint64_t> node_digests;  // sharded engine only
+  // Chaos mode only:
+  std::int64_t faults_applied = 0;
+  std::int64_t messages_dropped_by_schedule = 0;
+  std::int64_t evicted_reexecutions = 0;
+  std::int64_t fifo_violations = 0;
+  bool exactly_once = true;
 };
 
 // FNV-1a fold of one (caller, seq) delivery into a node's order digest.
@@ -117,6 +137,7 @@ struct Link {
   // exactly one writing shard; the driver predicate sums them at window
   // barriers (all workers parked — no torn reads possible).
   std::int64_t* completed = nullptr;
+  mage::rmi::CallOptions options{};
 };
 
 void launch(Link& link) {
@@ -137,7 +158,8 @@ void launch(Link& link) {
                          }
                          ++*link.completed;
                          launch(link);
-                       });
+                       },
+                       link.options);
 }
 
 // Per-receiver state, owned by that node's shard (or the driver).
@@ -145,6 +167,18 @@ struct NodeWatch {
   std::vector<std::int64_t> last_seq;  // per sender; FIFO check
   std::uint64_t digest = 0xcbf29ce484222325ull;
   std::int64_t order_violations = 0;
+  // Chaos mode: executions per (caller, seq) — the at-most-once witness.
+  std::vector<std::int8_t> exec_counts;
+};
+
+struct MeshOptions {
+  std::size_t cache_capacity = kCacheCapacity;
+  // Chaos mode: loss makes first arrivals overtake retransmitted
+  // predecessors, so app-level execution order is legitimately non-
+  // monotonic per link — the service-level seq check is replaced by the
+  // network's wire-FIFO self-check plus per-request execution counters.
+  bool chaos = false;
+  mage::rmi::CallOptions call_options{};
 };
 
 // Wires up nodes/transports/services/links on `net`; shared by both
@@ -156,32 +190,43 @@ struct StormMesh {
   std::vector<std::int64_t> completed;   // per source node
   std::vector<Link> links;
 
-  StormMesh(mage::net::Network& net, int n) {
+  StormMesh(mage::net::Network& net, int n, MeshOptions options = {}) {
     using namespace mage;
     for (int i = 0; i < n; ++i) {
       ids.push_back(net.add_node("n" + std::to_string(i)));
     }
     for (int i = 0; i < n; ++i) {
-      transports.push_back(
-          std::make_unique<rmi::Transport>(net, ids[i], kCacheCapacity));
+      transports.push_back(std::make_unique<rmi::Transport>(
+          net, ids[i], options.cache_capacity));
     }
     watch.resize(static_cast<std::size_t>(n) + 1);
     for (auto& w : watch) {
       w.last_seq.assign(static_cast<std::size_t>(n) + 1, -1);
+      if (options.chaos) {
+        w.exec_counts.assign(
+            (static_cast<std::size_t>(n) + 1) * kCallsPerLink, 0);
+      }
     }
     completed.assign(static_cast<std::size_t>(n) + 1, 0);
 
+    const bool chaos = options.chaos;
     const common::VerbId echo = common::intern_verb("storm.echo");
     for (int i = 0; i < n; ++i) {
       NodeWatch* w = &watch[ids[i].value()];
       transports[i]->register_service(
-          echo, [w](common::NodeId caller, const serial::BufferChain& body,
-                    rmi::Replier replier) {
+          echo, [w, chaos](common::NodeId caller,
+                           const serial::BufferChain& body,
+                           rmi::Replier replier) {
             serial::ChainReader r(body);
             const auto seq = static_cast<std::int64_t>(r.read_u64());
-            auto& last = w->last_seq[caller.value()];
-            if (seq <= last) ++w->order_violations;
-            last = seq;
+            if (chaos) {
+              ++w->exec_counts[caller.value() * kCallsPerLink +
+                               static_cast<std::size_t>(seq)];
+            } else {
+              auto& last = w->last_seq[caller.value()];
+              if (seq <= last) ++w->order_violations;
+              last = seq;
+            }
             w->digest = fold_digest(w->digest, caller.value(),
                                     static_cast<std::uint64_t>(seq));
             replier.ok(body);
@@ -192,11 +237,27 @@ struct StormMesh {
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
         if (i != j) {
-          links.push_back(
-              Link{transports[i].get(), ids[j], 0, &completed[ids[i].value()]});
+          links.push_back(Link{transports[i].get(), ids[j], 0,
+                               &completed[ids[i].value()],
+                               options.call_options});
         }
       }
     }
+  }
+
+  // True when every cross-link (caller, seq) executed exactly once.
+  [[nodiscard]] bool exactly_once() const {
+    const std::size_t n = ids.size();
+    for (std::size_t node = 1; node <= n; ++node) {
+      const auto& counts = watch[node].exec_counts;
+      for (std::size_t caller = 1; caller <= n; ++caller) {
+        if (caller == node) continue;
+        for (std::size_t seq = 0; seq < kCallsPerLink; ++seq) {
+          if (counts[caller * kCallsPerLink + seq] != 1) return false;
+        }
+      }
+    }
+    return true;
   }
 
   [[nodiscard]] std::int64_t total_completed() const {
@@ -217,6 +278,115 @@ void check_invariants(const StormRun& r) {
                  "for cache capacity\n";
     std::exit(1);
   }
+}
+
+void check_chaos_invariants(const StormRun& r) {
+  if (!r.exactly_once) {
+    std::cerr << "FAIL: some chaos request did not execute exactly once\n";
+    std::exit(1);
+  }
+  if (r.fifo_violations != 0) {
+    std::cerr << "FAIL: " << r.fifo_violations
+              << " wire-FIFO violations under chaos\n";
+    std::exit(1);
+  }
+  if (r.evicted_reexecutions != 0) {
+    std::cerr << "FAIL: " << r.evicted_reexecutions
+              << " eviction-caused re-executions despite an adequately "
+                 "sized reply cache\n";
+    std::exit(1);
+  }
+  if (r.faults_applied < 8 || r.messages_dropped_by_schedule == 0 ||
+      r.retransmissions == 0) {
+    std::cerr << "FAIL: chaos run was not chaotic (faults_applied="
+              << r.faults_applied << ", scheduled drops="
+              << r.messages_dropped_by_schedule << ", retransmissions="
+              << r.retransmissions << ")\n";
+    std::exit(1);
+  }
+}
+
+// The fixed degraded-mode program: two loss bursts, a partition/heal of
+// the (n1, n2) link, and a crash/restart of n3, all inside the storm's
+// active phase.  Absolute times — the storm runs ~70-90 simulated ms at
+// any mesh size, and the generous retry budget below rides out every
+// outage.
+mage::net::FaultSchedule chaos_schedule(
+    const std::vector<mage::common::NodeId>& ids) {
+  mage::net::FaultSchedule s;
+  s.loss_burst(5'000, 0.10, 10'000);
+  s.partition_for(8'000, ids[0], ids[1], 20'000);
+  s.crash_for(20'000, ids[2], 15'000);
+  s.loss_burst(40'000, 0.20, 10'000);
+  return s;
+}
+
+constexpr mage::common::SimTime kChaosHorizonUs = 55'000;
+
+StormRun run_storm_chaos(int n, int threads) {
+  using namespace mage;
+  const net::CostModel model = storm_model();
+  sim::ShardedSim ssim(static_cast<std::size_t>(n), 2026,
+                       net::Network::min_link_latency(model));
+  net::Network net(ssim, model);
+  MeshOptions options;
+  options.chaos = true;
+  // Adequately sized: every in-flight retransmission finds its entry, so
+  // at-most-once must hold exactly (asserted via execution counters).
+  options.cache_capacity = rmi::Transport::kReplyCacheCapacity;
+  options.call_options = rmi::CallOptions{/*retry_timeout_us=*/30'000,
+                                          /*max_attempts=*/64};
+  StormMesh mesh(net, n, options);
+
+  net.set_fifo_checks(true);
+  net.set_fault_schedule(chaos_schedule(mesh.ids));
+
+  // Horizon ticks keep virtual time advancing past the last schedule entry
+  // even if the storm drains early, so the whole program always applies.
+  for (common::SimTime t = 1'000; t <= kChaosHorizonUs; t += 1'000) {
+    net.node_sim(mesh.ids[0]).schedule_at(t, [] {}, sim::Wake::No);
+  }
+
+  StormRun result;
+  result.nodes = n;
+  result.threads = std::min(threads, n);
+  const std::int64_t total =
+      static_cast<std::int64_t>(n) * (n - 1) * kCallsPerLink;
+
+  const auto start = Clock::now();
+  for (auto& link : mesh.links) {
+    for (int w = 0; w < kWindow; ++w) launch(link);
+  }
+  const bool done = ssim.run_until(
+      [&] {
+        return mesh.total_completed() == total &&
+               net.pending_fault_events() == 0;
+      },
+      threads);
+  result.wall_sec = std::chrono::duration<double>(Clock::now() - start).count();
+  if (!done) {
+    std::cerr << "chaos storm drained with " << mesh.total_completed() << "/"
+              << total << " calls completed\n";
+    std::exit(1);
+  }
+
+  result.calls = total;
+  result.calls_per_sec = static_cast<double>(total) / result.wall_sec;
+  result.evictions = ssim.counter("rmi.reply_cache_evictions");
+  result.retransmissions = ssim.counter("rmi.retransmissions");
+  result.duplicates_suppressed = ssim.counter("rmi.duplicates_suppressed");
+  result.windows = ssim.windows();
+  result.faults_applied = ssim.counter("net.faults_applied");
+  result.messages_dropped_by_schedule =
+      ssim.counter("net.messages_dropped_by_schedule");
+  result.evicted_reexecutions = ssim.counter("rmi.evicted_reexecutions");
+  result.fifo_violations = ssim.counter("net.fifo_violations");
+  result.exactly_once = mesh.exactly_once();
+  for (std::size_t i = 1; i < mesh.watch.size(); ++i) {
+    result.node_digests.push_back(mesh.watch[i].digest);
+  }
+  check_chaos_invariants(result);
+  return result;
 }
 
 StormRun run_storm(int n) {
@@ -303,9 +473,10 @@ StormRun run_storm_sharded(int n, int threads) {
   return result;
 }
 
-void print_run(const StormRun& r) {
+void print_run(const StormRun& r, bool chaos = false) {
   std::cout << r.nodes << " nodes";
   if (r.threads > 0) std::cout << " x " << r.threads << " threads";
+  if (chaos) std::cout << " [chaos]";
   std::cout << ": " << static_cast<std::int64_t>(r.calls_per_sec)
             << " calls/sec (" << r.calls << " calls, " << r.wall_sec
             << " s), " << r.evictions << " evictions, " << r.retransmissions
@@ -315,7 +486,12 @@ void print_run(const StormRun& r) {
   } else {
     std::cout << r.predicate_checks << " predicate checks, ";
   }
-  std::cout << r.order_violations << " order violations\n";
+  if (chaos) {
+    std::cout << r.faults_applied << " faults applied, "
+              << r.messages_dropped_by_schedule << " scheduled drops\n";
+  } else {
+    std::cout << r.order_violations << " order violations\n";
+  }
 }
 
 void write_json_run(std::ofstream& json, const StormRun& r,
@@ -332,7 +508,13 @@ void write_json_run(std::ofstream& json, const StormRun& r,
        << ",\n"
        << indent << "  \"predicate_checks\": " << r.predicate_checks << ",\n"
        << indent << "  \"windows\": " << r.windows << ",\n"
-       << indent << "  \"order_violations\": " << r.order_violations << "\n"
+       << indent << "  \"order_violations\": " << r.order_violations << ",\n"
+       << indent << "  \"faults_applied\": " << r.faults_applied << ",\n"
+       << indent << "  \"messages_dropped_by_schedule\": "
+       << r.messages_dropped_by_schedule << ",\n"
+       << indent << "  \"evicted_reexecutions\": " << r.evicted_reexecutions
+       << ",\n"
+       << indent << "  \"fifo_violations\": " << r.fifo_violations << "\n"
        << indent << "}";
 }
 
@@ -358,6 +540,7 @@ int parse_positive(const char* what, const char* arg) {
 int main(int argc, char** argv) {
   std::vector<int> sizes{4, 8, 16};
   int threads = 0;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
@@ -365,15 +548,31 @@ int main(int argc, char** argv) {
         return 2;
       }
       threads = parse_positive("thread count", argv[++i]);
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else {
       sizes = {parse_positive("node count", argv[i])};
     }
+  }
+  if (chaos && threads == 0) {
+    std::cerr << "bench_storm: --chaos needs --threads (it measures the "
+                 "sharded engine's degraded mode)\n";
+    return 2;
+  }
+  if (chaos && sizes.back() < 4) {
+    std::cerr << "bench_storm: --chaos needs >= 4 nodes (the schedule "
+                 "partitions one link and crashes a third node)\n";
+    return 2;
   }
 
   std::vector<StormRun> runs;
   StormRun single_sharded;
   StormRun multi_sharded;
+  StormRun chaos_single;
+  StormRun chaos_multi;
   double speedup = 0.0;
+  double chaos_speedup = 0.0;
+  double degraded_vs_clean = 0.0;
 
   if (threads > 0) {
     const int n = sizes.back();
@@ -395,6 +594,26 @@ int main(int argc, char** argv) {
     std::cout << "speedup: " << speedup << "x with " << multi_sharded.threads
               << " threads (" << std::thread::hardware_concurrency()
               << " hardware cores); per-node order digests identical\n";
+    if (chaos) {
+      chaos_single = run_storm_chaos(n, 1);
+      print_run(chaos_single, /*chaos=*/true);
+      chaos_multi = run_storm_chaos(n, threads);
+      print_run(chaos_multi, /*chaos=*/true);
+      if (chaos_single.node_digests != chaos_multi.node_digests) {
+        std::cerr << "FAIL: chaos per-node digests differ between 1 and "
+                  << threads
+                  << " workers — the fault schedule broke determinism\n";
+        return 1;
+      }
+      chaos_speedup =
+          chaos_multi.calls_per_sec / chaos_single.calls_per_sec;
+      degraded_vs_clean =
+          chaos_multi.calls_per_sec / multi_sharded.calls_per_sec;
+      std::cout << "chaos: " << chaos_speedup << "x degraded-mode speedup; "
+                << degraded_vs_clean
+                << "x of clean throughput under faults; digests identical; "
+                   "every request executed exactly once\n";
+    }
   } else {
     for (int n : sizes) {
       runs.push_back(run_storm(n));
@@ -416,15 +635,43 @@ int main(int argc, char** argv) {
     json << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   json << "  ]";
+  // The exit(1) paths above fire before any JSON is written, so these can
+  // only ever record true in a file that exists — but emit the ACTUAL
+  // comparison results anyway, so ci/check_storm_scaling.py gates on real
+  // data rather than a constant if those paths are ever reordered.
+  const char* threaded_deterministic =
+      single_sharded.node_digests == multi_sharded.node_digests ? "true"
+                                                                : "false";
   if (threads > 0) {
     json << ",\n  \"threaded\": {\n"
          << "    \"threads\": " << multi_sharded.threads << ",\n"
-         << "    \"deterministic\": true,\n"
+         << "    \"deterministic\": " << threaded_deterministic << ",\n"
          << "    \"speedup\": " << speedup << ",\n"
          << "    \"single\":\n";
     write_json_run(json, single_sharded, "      ");
     json << ",\n    \"multi\":\n";
     write_json_run(json, multi_sharded, "      ");
+    json << "\n  }";
+  }
+  if (chaos) {
+    json << ",\n  \"chaos\": {\n"
+         << "    \"threads\": " << chaos_multi.threads << ",\n"
+         << "    \"deterministic\": "
+         << (chaos_single.node_digests == chaos_multi.node_digests
+                 ? "true"
+                 : "false")
+         << ",\n"
+         << "    \"exactly_once\": "
+         << (chaos_single.exactly_once && chaos_multi.exactly_once
+                 ? "true"
+                 : "false")
+         << ",\n"
+         << "    \"speedup\": " << chaos_speedup << ",\n"
+         << "    \"degraded_vs_clean\": " << degraded_vs_clean << ",\n"
+         << "    \"single\":\n";
+    write_json_run(json, chaos_single, "      ");
+    json << ",\n    \"multi\":\n";
+    write_json_run(json, chaos_multi, "      ");
     json << "\n  }";
   }
   json << "\n}\n";

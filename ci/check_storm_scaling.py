@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Multi-core storm scaling check.
+"""Multi-core storm scaling + chaos record check.
 
 Reads the `threaded` block bench_storm writes when run with --threads and
 enforces (a) the determinism digest held and (b) the multi-thread speedup
@@ -7,7 +7,15 @@ is commensurate with the cores actually available — the ISSUE-3 acceptance
 bar of >= 3x applies on an 8-core runner, scaled down on smaller ones and
 skipped on single-core machines where no parallel speedup is possible.
 
-Usage: check_storm_scaling.py <BENCH_storm.json>
+When bench_storm ran with --chaos it also writes a `chaos` block (the
+degraded-mode runs under a scheduled fault program); this script validates
+it: digest-identical across worker counts, every request executed exactly
+once, zero eviction-caused re-executions (the reply cache is adequately
+sized in chaos mode), zero wire-FIFO violations, and a genuinely chaotic
+run (faults applied, scheduled drops, retransmissions all nonzero).
+Pass --require-chaos to fail when the block is missing.
+
+Usage: check_storm_scaling.py <BENCH_storm.json> [--require-chaos]
 """
 import json
 import os
@@ -25,8 +33,49 @@ def required_speedup(hardware_threads, workers):
     return None  # single core: only determinism is checkable
 
 
+def check_chaos(data, require_chaos):
+    chaos = data.get("chaos")
+    if not chaos:
+        if require_chaos:
+            print("no chaos block in BENCH_storm.json — run with --chaos",
+                  file=sys.stderr)
+            return 1
+        return 0
+    failures = []
+    if not chaos.get("deterministic", False):
+        failures.append("chaos digests diverged across worker counts")
+    if not chaos.get("exactly_once", False):
+        failures.append("some chaos request did not execute exactly once")
+    for which in ("single", "multi"):
+        run = chaos.get(which, {})
+        tag = f"chaos {which}"
+        if run.get("evicted_reexecutions", -1) != 0:
+            failures.append(f"{tag}: eviction-caused re-executions despite "
+                            "an adequately sized reply cache")
+        if run.get("fifo_violations", -1) != 0:
+            failures.append(f"{tag}: wire-FIFO violations")
+        if run.get("faults_applied", 0) < 8:
+            failures.append(f"{tag}: fault schedule did not fully apply")
+        if run.get("messages_dropped_by_schedule", 0) <= 0:
+            failures.append(f"{tag}: scheduled faults dropped nothing")
+        if run.get("retransmissions", 0) <= 0:
+            failures.append(f"{tag}: no retransmissions under chaos")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"chaos: {chaos['speedup']:.2f}x degraded-mode speedup, "
+          f"{chaos['degraded_vs_clean']:.2f}x of clean throughput, "
+          f"{chaos['multi']['faults_applied']} faults applied, "
+          f"{chaos['multi']['messages_dropped_by_schedule']} scheduled "
+          "drops; deterministic + exactly-once held")
+    return 0
+
+
 def main():
-    with open(sys.argv[1]) as f:
+    args = [a for a in sys.argv[1:] if a != "--require-chaos"]
+    require_chaos = "--require-chaos" in sys.argv[1:]
+    with open(args[0]) as f:
         data = json.load(f)
     threaded = data.get("threaded")
     if not threaded:
@@ -36,6 +85,9 @@ def main():
     if not threaded.get("deterministic", False):
         print("FAIL: per-node order digests diverged across thread counts",
               file=sys.stderr)
+        return 1
+
+    if check_chaos(data, require_chaos) != 0:
         return 1
 
     hw = data.get("hardware_threads", 1)

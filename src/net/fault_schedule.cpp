@@ -1,0 +1,89 @@
+#include "net/fault_schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mage::net {
+
+FaultSchedule& FaultSchedule::loss_rate(common::SimTime at, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw common::MageError("fault schedule loss rate must be in [0, 1]");
+  }
+  events_.push_back(FaultEvent{at, FaultKind::LossRate, p, {}, {}});
+  base_loss_ = p;
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::loss_burst(common::SimTime at, double p,
+                                         common::SimDuration duration) {
+  if (p < 0.0 || p > 1.0) {
+    throw common::MageError("fault schedule loss rate must be in [0, 1]");
+  }
+  if (duration < 1) {
+    throw common::MageError("fault schedule loss burst needs duration >= 1us");
+  }
+  // Two plain entries; the restore targets the builder's base rate so a
+  // burst composes with a preceding loss_rate() ramp.
+  events_.push_back(FaultEvent{at, FaultKind::LossRate, p, {}, {}});
+  events_.push_back(
+      FaultEvent{at + duration, FaultKind::LossRate, base_loss_, {}, {}});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::partition(common::SimTime at, common::NodeId a,
+                                        common::NodeId b) {
+  if (a == b) {
+    throw common::MageError("cannot partition a node from itself");
+  }
+  events_.push_back(FaultEvent{at, FaultKind::Partition, 0.0, a, b});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::heal(common::SimTime at, common::NodeId a,
+                                   common::NodeId b) {
+  events_.push_back(FaultEvent{at, FaultKind::Heal, 0.0, a, b});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::partition_for(common::SimTime at,
+                                            common::NodeId a, common::NodeId b,
+                                            common::SimDuration duration) {
+  if (duration < 1) {
+    throw common::MageError("fault schedule partition needs duration >= 1us");
+  }
+  partition(at, a, b);
+  return heal(at + duration, a, b);
+}
+
+FaultSchedule& FaultSchedule::crash(common::SimTime at, common::NodeId node) {
+  events_.push_back(FaultEvent{at, FaultKind::Crash, 0.0, node, {}});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::restart(common::SimTime at,
+                                      common::NodeId node) {
+  events_.push_back(FaultEvent{at, FaultKind::Restart, 0.0, node, {}});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::crash_for(common::SimTime at,
+                                        common::NodeId node,
+                                        common::SimDuration duration) {
+  if (duration < 1) {
+    throw common::MageError("fault schedule crash needs duration >= 1us");
+  }
+  crash(at, node);
+  return restart(at + duration, node);
+}
+
+std::vector<FaultEvent> FaultSchedule::sorted() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  return out;
+}
+
+}  // namespace mage::net

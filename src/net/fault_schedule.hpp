@@ -1,0 +1,97 @@
+// Scheduled fault injection: a time-ordered program of fault events the
+// Network applies while a simulation runs.
+//
+// Ad-hoc fault mutation (`set_loss_rate`, `set_partitioned`, ...) is
+// driver-only and frozen while sharded workers run — a worker observing a
+// half-applied fault config would break both the threading contract and
+// determinism.  A FaultSchedule closes that gap: the driver builds the
+// whole fault program up front (loss-rate ramps, loss bursts, per-link
+// partitions and heals, node crash/restart), installs it with
+// `Network::set_fault_schedule`, and the network applies due entries
+// atomically —
+//
+//   * driver mode: at each entry's exact simulated time, as an ordinary
+//     (non-waking) event on the driver simulation;
+//   * sharded mode: at ShardedSim window boundaries, inside the barrier
+//     with every worker parked.  An entry takes effect at the first window
+//     whose start time (the conservative frontier) is >= the entry's
+//     nominal time.  Window boundaries are a pure function of event
+//     timestamps, so the quantization — and therefore every loss decision,
+//     drop, and retransmission downstream of it — is bit-identical at any
+//     worker-thread count.  One seed replays the whole chaos run.
+//
+// Entries at equal times apply in insertion order (stable sort).  The
+// builder is value-semantic: build once, install on a network (or several
+// runs' networks) freely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace mage::net {
+
+enum class FaultKind : std::uint8_t {
+  LossRate,   // set the IID loss probability to `loss_rate`
+  Partition,  // cut both directions between nodes `a` and `b`
+  Heal,       // restore the (a, b) link
+  Crash,      // take node `a` down (messages to/from it are dropped)
+  Restart,    // bring node `a` back up
+};
+
+struct FaultEvent {
+  common::SimTime at = 0;
+  FaultKind kind = FaultKind::LossRate;
+  double loss_rate = 0.0;           // LossRate only
+  common::NodeId a;                 // Partition/Heal endpoint, Crash/Restart node
+  common::NodeId b;                 // Partition/Heal endpoint
+};
+
+class FaultSchedule {
+ public:
+  // Sets the IID message-loss probability from `at` onward.
+  FaultSchedule& loss_rate(common::SimTime at, double p);
+
+  // Loss burst: rate `p` during [at, at + duration), then back to the base
+  // rate — the rate set by the most recent `loss_rate()` call on this
+  // builder (0 when none), evaluated at build time.
+  FaultSchedule& loss_burst(common::SimTime at, double p,
+                            common::SimDuration duration);
+
+  // Cuts / restores both directions between a and b at `at`.
+  FaultSchedule& partition(common::SimTime at, common::NodeId a,
+                           common::NodeId b);
+  FaultSchedule& heal(common::SimTime at, common::NodeId a, common::NodeId b);
+
+  // Convenience: partition at `at`, heal at `at + duration`.
+  FaultSchedule& partition_for(common::SimTime at, common::NodeId a,
+                               common::NodeId b, common::SimDuration duration);
+
+  // Crashes node at `at` / restarts it.  While down every message to or
+  // from the node is dropped; its objects survive in memory (the simulated
+  // "reboot with memory intact" — MAGE has no replication).
+  FaultSchedule& crash(common::SimTime at, common::NodeId node);
+  FaultSchedule& restart(common::SimTime at, common::NodeId node);
+
+  // Convenience: crash at `at`, restart at `at + duration`.
+  FaultSchedule& crash_for(common::SimTime at, common::NodeId node,
+                           common::SimDuration duration);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  // Entries sorted by time, ties in insertion order — the order the
+  // network applies them in.
+  [[nodiscard]] std::vector<FaultEvent> sorted() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  double base_loss_ = 0.0;  // last loss_rate(), restored after bursts
+};
+
+}  // namespace mage::net

@@ -38,6 +38,10 @@ struct Message {
   MsgKind kind = MsgKind::Request;
   serial::Buffer header;      // envelope framing
   serial::BufferChain body;   // application payload fragments
+  // Per-directed-link delivery stamp, assigned by the network when its
+  // wire-FIFO self-check is enabled (Network::set_fifo_checks); 0 = not
+  // stamped.  Simulation-side only — never serialized to the wire.
+  std::uint64_t wire_seq = 0;
 
   [[nodiscard]] std::size_t payload_size() const {
     return header.size() + body.size();

@@ -17,7 +17,9 @@ std::pair<common::NodeId, common::NodeId> ordered_pair(common::NodeId a,
 }  // namespace
 
 Network::Network(sim::Simulation& sim, CostModel model)
-    : driver_sim_(&sim), model_(model) {}
+    : driver_sim_(&sim), model_(model) {
+  faults_applied_ = sim.stats().counter_handle("net.faults_applied");
+}
 
 Network::Network(sim::ShardedSim& sharded, CostModel model)
     : sharded_(&sharded), model_(model) {
@@ -29,6 +31,30 @@ Network::Network(sim::ShardedSim& sharded, CostModel model)
         std::to_string(sharded.lookahead()) +
         "us): a message could arrive inside the conservative window");
   }
+  // Faults apply at window boundaries (one thread, all workers parked);
+  // shard 0's registry is the conventional home for driver-side counters.
+  faults_applied_ = sharded.shard(0).stats().counter_handle(
+      "net.faults_applied");
+}
+
+Network::~Network() {
+  // Schedule appliers capture `this`; leaving them behind would dangle.
+  // Sharded: uninstall the boundary hook — but only if it is still OURS
+  // (a newer Network on the same ShardedSim may have installed its own).
+  // Driver: cancel every not-yet-fired applier event.  Never mid-run in
+  // practice (the network outlives its runs), but stay noexcept.
+  if (hook_installed_ && !sharded_->running() &&
+      sharded_->boundary_hook_owner() == this) {
+    sharded_->set_boundary_hook(nullptr);
+  }
+  cancel_fault_appliers();
+}
+
+void Network::cancel_fault_appliers() {
+  if (driver_sim_ != nullptr) {
+    for (sim::EventId id : fault_applier_events_) driver_sim_->cancel(id);
+  }
+  fault_applier_events_.clear();
 }
 
 void Network::require_config_window(const char* what) const {
@@ -37,6 +63,17 @@ void Network::require_config_window(const char* what) const {
         std::string("network configuration is frozen while sharded workers "
                     "run: ") +
         what);
+  }
+}
+
+void Network::require_fault_window(const char* what) const {
+  if (sharded_ != nullptr && sharded_->running()) {
+    throw common::MageError(
+        std::string(what) +
+        " is frozen while sharded workers run: install a net::FaultSchedule "
+        "(Network::set_fault_schedule) before the run — its entries are "
+        "applied atomically at window boundaries, so faults can change "
+        "mid-run without breaking the threading contract or determinism");
   }
 }
 
@@ -58,6 +95,9 @@ common::NodeId Network::add_node(std::string label) {
   stored.messages_dropped = stats.counter_handle("net.messages_dropped");
   stored.messages_delivered = stats.counter_handle("net.messages_delivered");
   stored.connections_opened = stats.counter_handle("net.connections_opened");
+  stored.messages_dropped_by_schedule =
+      stats.counter_handle("net.messages_dropped_by_schedule");
+  stored.fifo_violations = stats.counter_handle("net.fifo_violations");
   return id;
 }
 
@@ -116,6 +156,9 @@ void Network::send(Message msg) {
 
   if (!loopback && (from.down || state(msg.to).down)) {
     ++*from.messages_dropped;
+    if (from.down_by_schedule || state(msg.to).down_by_schedule) {
+      ++*from.messages_dropped_by_schedule;
+    }
     if (tracing_) {
       trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.label(),
                                   msg.wire_size(), true});
@@ -125,6 +168,9 @@ void Network::send(Message msg) {
 
   if (!loopback && partitions_.contains(ordered_pair(msg.from, msg.to))) {
     ++*from.messages_dropped;
+    if (scheduled_partitions_.contains(ordered_pair(msg.from, msg.to))) {
+      ++*from.messages_dropped_by_schedule;
+    }
     if (tracing_) {
       trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.label(),
                                   msg.wire_size(), true});
@@ -134,6 +180,7 @@ void Network::send(Message msg) {
 
   if (!loopback && loss_rate_ > 0.0 && sender_sim.rng().next_bool(loss_rate_)) {
     ++*from.messages_dropped;
+    if (loss_from_schedule_) ++*from.messages_dropped_by_schedule;
     MAGE_DEBUG() << "dropped " << msg.label() << " " << msg.from << " -> "
                  << msg.to;
     if (tracing_) {
@@ -179,6 +226,14 @@ void Network::send(Message msg) {
     auto& floor = from.earliest_delivery_to[msg.to];
     deliver_at = std::max(deliver_at, floor);
     floor = deliver_at + 1;
+    if (fifo_checks_) {
+      // Wire-FIFO stamp, sender-owned (mirrors the ordering floor).
+      // Dropped messages never reach this point, so stamps on delivered
+      // messages are strictly increasing per directed link by
+      // construction — the delivery-side check verifies the floors
+      // actually preserved that order.
+      msg.wire_seq = ++from.next_wire_seq_to[msg.to];
+    }
   }
 
   if (tracing_) {
@@ -196,6 +251,17 @@ void Network::send(Message msg) {
                                    "' has no message handler installed");
     }
     ++*node.messages_delivered;
+    if (fifo_checks_ && msg.wire_seq != 0) {
+      // Receiver-owned monotonicity check (this runs on the destination's
+      // shard).  Gaps are fine — drops consume no stamp — but any
+      // reordering on a directed link is a violation.
+      auto& last = node.last_wire_seq_from[msg.from];
+      if (msg.wire_seq <= last) {
+        ++*node.fifo_violations;
+      } else {
+        last = msg.wire_seq;
+      }
+    }
     node.handler(std::move(msg));
   };
   if (loopback || driver_sim_ != nullptr) {
@@ -211,18 +277,115 @@ void Network::send(Message msg) {
 }
 
 void Network::set_loss_rate(double p) {
-  require_config_window("set_loss_rate");
+  require_fault_window("set_loss_rate");
   loss_rate_ = p;
+  loss_from_schedule_ = false;
 }
 
 void Network::set_partitioned(common::NodeId a, common::NodeId b,
                               bool partitioned) {
-  require_config_window("set_partitioned");
+  require_fault_window("set_partitioned");
+  const auto link = ordered_pair(a, b);
   if (partitioned) {
-    partitions_.insert(ordered_pair(a, b));
+    if (partitions_.insert(link).second) ++link_epochs_[link];
   } else {
-    partitions_.erase(ordered_pair(a, b));
+    if (partitions_.erase(link) != 0) ++link_epochs_[link];
   }
+  scheduled_partitions_.erase(link);
+}
+
+std::int64_t Network::link_epoch(common::NodeId a, common::NodeId b) const {
+  const auto it = link_epochs_.find(ordered_pair(a, b));
+  return it == link_epochs_.end() ? 0 : it->second;
+}
+
+void Network::set_fifo_checks(bool on) {
+  require_config_window("set_fifo_checks");
+  fifo_checks_ = on;
+}
+
+void Network::set_fault_schedule(FaultSchedule schedule) {
+  require_config_window("set_fault_schedule");
+  for (const FaultEvent& e : schedule.events()) {
+    const bool needs_b =
+        e.kind == FaultKind::Partition || e.kind == FaultKind::Heal;
+    const bool needs_a = needs_b || e.kind == FaultKind::Crash ||
+                         e.kind == FaultKind::Restart;
+    if ((needs_a && (e.a.value() < 1 || e.a.value() > nodes_.size())) ||
+        (needs_b && (e.b.value() < 1 || e.b.value() > nodes_.size()))) {
+      throw common::MageError(
+          "fault schedule references a node not on this network (add all "
+          "nodes before set_fault_schedule)");
+    }
+  }
+  // Replacing a schedule orphans its driver-mode appliers: cancel them.
+  cancel_fault_appliers();
+  fault_events_ = schedule.sorted();
+  next_fault_ = 0;
+
+  if (sharded_ != nullptr) {
+    // Applied inside the window barrier, before the window runs: every
+    // worker parked, so shards never observe a half-applied config, and
+    // the boundary times are a pure function of event timestamps, so the
+    // effective application times are identical at any worker count.
+    sharded_->set_boundary_hook(
+        [this](common::SimTime window_start) { apply_due_faults(window_start); },
+        /*owner=*/this);
+    hook_installed_ = true;
+  } else {
+    // Driver mode: one (non-waking) event per entry at its exact time.
+    // The ids are kept so a replaced schedule or a destroyed network can
+    // cancel appliers that have not fired yet.
+    fault_applier_events_.reserve(fault_events_.size());
+    for (const FaultEvent& e : fault_events_) {
+      const common::SimTime at = std::max(e.at, driver_sim_->now());
+      fault_applier_events_.push_back(driver_sim_->schedule_at(
+          at, [this] { apply_due_faults(driver_sim_->now()); },
+          sim::Wake::No));
+    }
+  }
+}
+
+void Network::apply_due_faults(common::SimTime now) {
+  while (next_fault_ < fault_events_.size() &&
+         fault_events_[next_fault_].at <= now) {
+    apply_fault(fault_events_[next_fault_]);
+    ++next_fault_;
+  }
+}
+
+void Network::apply_fault(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::LossRate:
+      loss_rate_ = event.loss_rate;
+      loss_from_schedule_ = true;
+      break;
+    case FaultKind::Partition: {
+      const auto link = ordered_pair(event.a, event.b);
+      if (partitions_.insert(link).second) ++link_epochs_[link];
+      scheduled_partitions_.insert(link);
+      break;
+    }
+    case FaultKind::Heal: {
+      const auto link = ordered_pair(event.a, event.b);
+      if (partitions_.erase(link) != 0) ++link_epochs_[link];
+      scheduled_partitions_.erase(link);
+      break;
+    }
+    case FaultKind::Crash: {
+      NodeState& node = state(event.a);
+      node.down = true;
+      node.down_by_schedule = true;
+      break;
+    }
+    case FaultKind::Restart: {
+      NodeState& node = state(event.a);
+      node.down = false;
+      node.down_by_schedule = false;
+      break;
+    }
+  }
+  ++*faults_applied_;
 }
 
 void Network::set_extra_latency(common::NodeId from, common::NodeId to,
@@ -246,8 +409,9 @@ void Network::set_load(common::NodeId node, double load) {
 double Network::load(common::NodeId node) const { return state(node).load; }
 
 void Network::set_node_down(common::NodeId node, bool down) {
-  require_config_window("set_node_down");
+  require_fault_window("set_node_down");
   state(node).down = down;
+  state(node).down_by_schedule = false;
 }
 
 bool Network::node_down(common::NodeId node) const {

@@ -8,9 +8,11 @@
 //     per (from, to) pair (models TCP/RMI handshake and explains the
 //     paper's cold-vs-warm split in Table 3);
 //   * in-order delivery per directed link (TCP semantics);
-//   * fault injection: IID message loss and per-link partitions, used by
-//     the at-most-once RMI tests ("protocols must recover from message
-//     loss", Section 4.3);
+//   * fault injection: IID message loss, per-link partitions and node
+//     crashes, used by the at-most-once RMI tests ("protocols must recover
+//     from message loss", Section 4.3) — mutable ad-hoc while stopped, or
+//     mid-run through a scheduled net::FaultSchedule applied atomically at
+//     sharded window boundaries (see net/fault_schedule.hpp);
 //   * tracing: optional per-message trace that benches turn into the
 //     paper's protocol figures;
 //   * a per-node load metric for load-directed mobility policies
@@ -39,6 +41,7 @@
 
 #include "common/ids.hpp"
 #include "net/cost_model.hpp"
+#include "net/fault_schedule.hpp"
 #include "net/message.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
@@ -61,6 +64,9 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  // Uninstalls this network's ShardedSim boundary hook, if one was set.
+  ~Network();
+
   // --- topology -------------------------------------------------------
 
   // Adds a namespace/VM to the federation; label is for traces only.
@@ -82,6 +88,13 @@ class Network {
   void send(Message msg);
 
   // --- fault injection --------------------------------------------------
+  //
+  // The ad-hoc mutators below are driver-only and frozen while sharded
+  // workers run (they throw, pointing at FaultSchedule).  To change faults
+  // MID-RUN, install a FaultSchedule: the network applies its entries
+  // atomically — at each entry's exact time in driver mode, at window
+  // boundaries (workers parked) in sharded mode — so one seed replays the
+  // whole chaos run bit-identically at any worker count.
 
   // IID probability that a non-loopback message is dropped in flight.
   void set_loss_rate(double p);
@@ -95,6 +108,33 @@ class Network {
   // pointing into the void).
   void set_node_down(common::NodeId node, bool down);
   [[nodiscard]] bool node_down(common::NodeId node) const;
+
+  // Installs `schedule` (replacing any previous one, applied or not).
+  // Driver-only while stopped; entries referencing unknown nodes throw.
+  // Applied-by-schedule faults are additionally accounted in the
+  // "net.faults_applied" counter (driver registry / shard 0) and drops
+  // they cause in the per-node "net.messages_dropped_by_schedule".
+  void set_fault_schedule(FaultSchedule schedule);
+
+  // Entries not yet applied (introspection for tests/benches).
+  [[nodiscard]] std::size_t pending_fault_events() const {
+    return fault_events_.size() - next_fault_;
+  }
+
+  // Number of partition/heal transitions applied to the (a, b) link, by
+  // schedule or ad-hoc mutator — each cut and each heal bumps the epoch.
+  // Driver-only read (while stopped) in sharded mode.
+  [[nodiscard]] std::int64_t link_epoch(common::NodeId a,
+                                        common::NodeId b) const;
+
+  // Wire-FIFO self-check: when enabled, every non-loopback message is
+  // stamped with a per-directed-link sequence number at send (sender-owned
+  // state) and verified monotonic at delivery (receiver-owned state);
+  // violations bump the receiver's "net.fifo_violations" counter.  Off by
+  // default (two map touches per message); the chaos harness turns it on
+  // to assert per-link FIFO holds across partition heals.  Driver-only.
+  void set_fifo_checks(bool on);
+  [[nodiscard]] bool fifo_checks() const { return fifo_checks_; }
 
   // Extra one-way latency for a directed link (e.g. a WAN hop).
   void set_extra_latency(common::NodeId from, common::NodeId to,
@@ -166,6 +206,15 @@ class Network {
     // setup once).  Driver mode uses the shared unordered-pair set below,
     // matching real TCP connection reuse in both directions.
     std::set<common::NodeId> warm_to;
+    // Crash state: `down` is the effective flag; `down_by_schedule` records
+    // whether the current down state was installed by the fault schedule
+    // (provenance for the messages_dropped_by_schedule counter).
+    bool down_by_schedule = false;
+    // Wire-FIFO self-check state (only touched when fifo_checks_ is on):
+    // next_wire_seq_to is sender-owned, last_wire_seq_from receiver-owned —
+    // same shard-ownership split as the ordering floors.
+    std::map<common::NodeId, std::uint64_t> next_wire_seq_to;
+    std::map<common::NodeId, std::uint64_t> last_wire_seq_from;
     // Hot-path counters, resolved from the node's own stats registry at
     // add_node (per-shard registries in sharded mode; all handles alias
     // the same slots in driver mode).
@@ -174,6 +223,8 @@ class Network {
     std::int64_t* messages_dropped = nullptr;
     std::int64_t* messages_delivered = nullptr;
     std::int64_t* connections_opened = nullptr;
+    std::int64_t* messages_dropped_by_schedule = nullptr;
+    std::int64_t* fifo_violations = nullptr;
   };
 
   [[nodiscard]] NodeState& state(common::NodeId node);
@@ -181,6 +232,17 @@ class Network {
 
   // Throws while sharded workers run: all global configuration is frozen.
   void require_config_window(const char* what) const;
+  // Same freeze, but for the ad-hoc fault mutators: the error points at
+  // FaultSchedule, the supported way to mutate faults mid-run.
+  void require_fault_window(const char* what) const;
+
+  // Applies every schedule entry with at <= now, in order.  Driver mode:
+  // runs as ordinary simulation events.  Sharded mode: runs as the
+  // ShardedSim boundary hook, every worker parked.
+  void apply_due_faults(common::SimTime now);
+  void apply_fault(const FaultEvent& event);
+  // Cancels driver-mode applier events that have not fired yet.
+  void cancel_fault_appliers();
 
   sim::Simulation* driver_sim_ = nullptr;
   sim::ShardedSim* sharded_ = nullptr;
@@ -193,6 +255,24 @@ class Network {
   double loss_rate_ = 0.0;
   bool tracing_ = false;
   std::vector<TraceEntry> trace_;
+
+  // --- scheduled fault state ------------------------------------------------
+  std::vector<FaultEvent> fault_events_;  // sorted; applied prefix < next_fault_
+  std::size_t next_fault_ = 0;
+  // Driver mode: pending applier events, cancelled on schedule replacement
+  // and in the destructor (they capture `this`).
+  std::vector<sim::EventId> fault_applier_events_;
+  bool hook_installed_ = false;
+  // Provenance: was the current loss rate / this partition / this crash
+  // installed by the schedule?  Drops they cause are double-counted into
+  // messages_dropped_by_schedule.
+  bool loss_from_schedule_ = false;
+  std::set<std::pair<common::NodeId, common::NodeId>> scheduled_partitions_;
+  // Partition/heal transition count per unordered link.
+  std::map<std::pair<common::NodeId, common::NodeId>, std::int64_t>
+      link_epochs_;
+  std::int64_t* faults_applied_ = nullptr;  // driver / shard-0 registry
+  bool fifo_checks_ = false;
 };
 
 }  // namespace mage::net

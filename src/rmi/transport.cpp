@@ -40,6 +40,8 @@ Transport::Transport(net::Network& network, common::NodeId self,
       stale_replies_(sim_.stats().counter_handle("rmi.stale_replies")),
       reply_cache_evictions_(
           sim_.stats().counter_handle("rmi.reply_cache_evictions")),
+      evicted_reexecutions_(
+          sim_.stats().counter_handle("rmi.evicted_reexecutions")),
       reply_cache_capacity_(reply_cache_capacity) {
   if (reply_cache_capacity_ == 0) {
     throw common::MageError(
@@ -190,6 +192,11 @@ void Transport::on_message(net::Message msg) {
   }
 }
 
+void Transport::mark_evicted(std::uint64_t key, common::RequestId id) {
+  CallerMarks* marks = caller_marks_.try_emplace(key >> 32).first;
+  marks->evicted_max = std::max(marks->evicted_max, id.value());
+}
+
 Transport::ReplyCacheEntry* Transport::reply_cache_insert(std::uint64_t key) {
   std::uint32_t slot;
   if (reply_cache_entries_.size() < reply_cache_capacity_) {
@@ -201,6 +208,8 @@ Transport::ReplyCacheEntry* Transport::reply_cache_insert(std::uint64_t key) {
     reply_cache_head_ = (reply_cache_head_ + 1) % reply_cache_capacity_;
     reply_cache_index_.erase(reply_cache_entries_[slot].key);
     ++*reply_cache_evictions_;
+    mark_evicted(reply_cache_entries_[slot].key,
+                 reply_cache_entries_[slot].request_id);
   }
   *reply_cache_index_.try_emplace(key).first = slot;
   ReplyCacheEntry* entry = &reply_cache_entries_[slot];
@@ -236,12 +245,34 @@ void Transport::on_request(common::NodeId from, Envelope& env) {
     return;
   }
 
+  // Not in the cache — a genuinely new request, a first transmission
+  // arriving late (its predecessors already raised the high-water mark),
+  // or a retransmission whose at-most-once entry was evicted (the ring
+  // wrapped while it was in flight).  Only the last re-executes an
+  // already-run service; it is the one at or below the caller's evicted
+  // high-water mark.  Surface it — nothing better than re-executing is
+  // possible once the entry is gone (see CallerMarks).
+  {
+    CallerMarks* marks = caller_marks_.try_emplace(
+        static_cast<std::uint64_t>(from.value())).first;
+    if (env.request_id.value() > marks->high_water) {
+      marks->high_water = env.request_id.value();
+    } else if (env.request_id.value() <= marks->evicted_max) {
+      ++*evicted_reexecutions_;
+    }
+  }
+
   // Record the request in the at-most-once state.  A fresh key claims a
   // ring slot (evicting its previous occupant once the ring is full); a
   // low-32-bit aliased leftover (cached != null but request ids differ) is
   // overwritten in place, keeping its ring position — re-inserting it
   // would give the key two ring slots and let the older one evict the
   // newer, still-live entry, breaking at-most-once.
+  if (cached != nullptr) {
+    // Alias overwrite is an eviction in disguise: the previous occupant's
+    // at-most-once entry is gone the moment we reuse its slot.
+    mark_evicted(cached->key, cached->request_id);
+  }
   ReplyCacheEntry* entry =
       cached != nullptr ? cached : reply_cache_insert(key);
   entry->request_id = env.request_id;

@@ -212,6 +212,7 @@ class Transport {
   std::int64_t* duplicates_suppressed_;
   std::int64_t* stale_replies_;
   std::int64_t* reply_cache_evictions_;
+  std::int64_t* evicted_reexecutions_;
   // Per-verb "rmi.calls.<verb>" counters, indexed by VerbId.
   std::vector<std::int64_t*> per_verb_calls_;
 
@@ -248,6 +249,26 @@ class Transport {
   std::vector<ReplyCacheEntry> reply_cache_entries_;    // insertion order
   std::size_t reply_cache_head_ = 0;
   std::size_t reply_cache_capacity_;
+
+  // Per-caller-node marks backing the "rmi.evicted_reexecutions" counter
+  // (ROADMAP: surface eviction-caused re-executions).  Keyed by the
+  // caller's node value (non-zero as FlatMap64 requires; one entry per
+  // peer).  `high_water` is the highest request id ever received from the
+  // caller; `evicted_max` the highest of the caller's ids whose reply-cache
+  // entry has been evicted (or alias-overwritten).  An arriving request
+  // that misses the cache with id <= evicted_max re-executes the service —
+  // at-most-once broken by cache undersizing — and is counted.  The test
+  // is exact whenever the cache is adequately sized (nothing of the
+  // caller's was ever evicted => counter provably 0, the chaos-run
+  // assertion); in deliberately undersized AND lossy runs a late first
+  // transmission below an evicted id can overcount — acceptable for a
+  // pressure diagnostic whose load-bearing use is the zero assertion.
+  struct CallerMarks {
+    std::uint64_t high_water = 0;
+    std::uint64_t evicted_max = 0;
+  };
+  void mark_evicted(std::uint64_t key, common::RequestId id);
+  common::FlatMap64<CallerMarks> caller_marks_;
 };
 
 }  // namespace mage::rmi

@@ -38,6 +38,16 @@ ShardedSim::ShardedSim(std::size_t shard_count, std::uint64_t seed,
   }
 }
 
+void ShardedSim::set_boundary_hook(BoundaryHook hook, const void* owner) {
+  if (running()) {
+    throw common::MageError(
+        "ShardedSim::set_boundary_hook is driver-only: the hook table "
+        "cannot change while workers run");
+  }
+  boundary_hook_ = std::move(hook);
+  boundary_hook_owner_ = boundary_hook_ ? owner : nullptr;
+}
+
 void ShardedSim::post(std::size_t from, std::size_t to, common::SimTime at,
                       EventQueue::Action action, Wake wake) {
   // Causality check, enforced rather than documented: a mid-run post that
@@ -106,6 +116,11 @@ void ShardedSim::control(const std::function<bool()>& done,
       return;
     }
     frontier_ = frontier;
+    // Boundary hook (fault schedules, window instrumentation): all workers
+    // are parked, so plain mutation of state the shards read mid-window is
+    // ordered by the barrier itself.  Runs before the window executes, so
+    // every event of [frontier, window_end) sees the updated state.
+    if (boundary_hook_) boundary_hook_(frontier);
     // Clamp to the deadline so no event past it ever executes — the same
     // contract as Simulation::run_until.  frontier <= deadline here, so
     // the window still makes progress (>= frontier + 1).

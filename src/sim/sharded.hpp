@@ -81,6 +81,25 @@ class ShardedSim {
     return running_.load(std::memory_order_relaxed);
   }
 
+  // Window-boundary hook: invoked inside the window barrier — every worker
+  // parked — with the start time of the window about to run (the
+  // conservative frontier), before any shard executes an event of that
+  // window.  This is the one place mid-run global mutation is safe: the
+  // barrier orders the hook's plain writes before every worker's reads, so
+  // shards never observe a half-applied change, and because the window
+  // sequence is a pure function of event timestamps the hook fires at
+  // identical virtual times at any worker count.  net::Network installs
+  // its FaultSchedule applier here.  The hook MUST be deterministic (no
+  // wall clock, no shared RNG) or the determinism contract is void.
+  // Driver-only; throws while workers run.  Pass nullptr to clear.
+  // `owner` tags the installer (opaque identity) so a layer tearing down
+  // can verify the installed hook is still its own before clearing.
+  using BoundaryHook = std::function<void(common::SimTime window_start)>;
+  void set_boundary_hook(BoundaryHook hook, const void* owner = nullptr);
+  [[nodiscard]] const void* boundary_hook_owner() const {
+    return boundary_hook_owner_;
+  }
+
   // Schedules `action` at absolute time `at` on shard `to`.  Callable from
   // shard `from`'s worker during a window (the action lands in the (from,
   // to) mailbox and is drained at the next boundary), or from the driver
@@ -140,6 +159,8 @@ class ShardedSim {
   std::vector<std::unique_ptr<Simulation>> shards_;
   std::vector<Mailbox> mail_;  // row-major: mail_[from * S + to]
   common::SimDuration lookahead_;
+  BoundaryHook boundary_hook_;
+  const void* boundary_hook_owner_ = nullptr;
 
   // Run-scoped state.  Written by control() inside a barrier or by workers
   // under the phase discipline above; the barriers provide the ordering.

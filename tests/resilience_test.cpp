@@ -78,6 +78,60 @@ TEST_F(CrashFixture, NodeDownFlagQueryable) {
   EXPECT_TRUE(system->network().node_down(n1));
 }
 
+// --- scheduled crash/restart (driver mode) ---------------------------------
+//
+// Mirrors the chaos harness's crash/restart program on the single-queue
+// engine: a call issued INTO the outage must ride its retransmissions
+// through the restart and execute exactly once — the sharded chaos tests
+// assert the same property at every worker count.
+
+TEST_F(CrashFixture, ScheduledCrashRestartRecoversInFlightCalls) {
+  system->client(n2).create_component("obj", "Counter");
+  auto& sim = system->simulation();
+
+  net::FaultSchedule schedule;
+  schedule.crash_for(sim.now() + 100, n2, 400'000);  // down for 400 ms
+  system->network().set_fault_schedule(std::move(schedule));
+  sim.run_for(200);
+  EXPECT_TRUE(system->network().node_down(n2));
+
+  // Issued while n2 is down; completes only after the scheduled restart.
+  common::NodeId cloc = n2;
+  EXPECT_EQ(system->client(n1).invoke<std::int64_t>(cloc, "obj", "increment"),
+            1);
+  EXPECT_GE(sim.now(), 400'000);
+  EXPECT_FALSE(system->network().node_down(n2));
+  EXPECT_EQ(system->network().pending_fault_events(), 0u);
+  EXPECT_GT(system->stats().counter("rmi.retransmissions"), 0);
+  EXPECT_GT(system->stats().counter("net.messages_dropped_by_schedule"), 0);
+  // Exactly one execution despite every dropped/retransmitted copy.
+  cloc = n2;
+  EXPECT_EQ(system->client(n1).invoke<std::int64_t>(cloc, "obj", "get"), 1);
+}
+
+TEST_F(CrashFixture, ScheduledCrashOutlastingRetriesFailsCleanly) {
+  system->client(n2).create_component("obj", "Counter");
+  auto& sim = system->simulation();
+
+  // Down for longer than the whole retry budget (24 x 150 ms): the caller
+  // gets a clean transport error, and a fresh call after the scheduled
+  // restart succeeds — the object survived the simulated reboot.
+  net::FaultSchedule schedule;
+  schedule.crash_for(sim.now() + 100, n2, 5'000'000);
+  system->network().set_fault_schedule(std::move(schedule));
+  sim.run_for(200);
+
+  common::NodeId cloc = n2;
+  EXPECT_THROW((void)system->client(n1).invoke<std::int64_t>(cloc, "obj",
+                                                             "increment"),
+               common::MageError);
+  sim.run_for(6'000'000);  // ride past the scheduled restart
+  EXPECT_FALSE(system->network().node_down(n2));
+  cloc = n2;
+  EXPECT_EQ(system->client(n1).invoke<std::int64_t>(cloc, "obj", "increment"),
+            1);
+}
+
 // --- agent missions -----------------------------------------------------------------
 
 TEST(Mission, VisitsEveryStopAndAccumulates) {
