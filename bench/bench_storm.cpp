@@ -39,18 +39,29 @@
 //                                  count.
 //   ... --chaos                    additionally re-runs the sharded storm
 //                                  under a fixed net::FaultSchedule (loss
-//                                  bursts, a partition/heal, a node
-//                                  crash/restart, applied at window
+//                                  bursts, a partition/heal, rolling node
+//                                  crashes/restarts, applied at window
 //                                  boundaries) at 1 and T workers: the
-//                                  degraded-mode scaling curve.  FAILS
-//                                  unless the chaos runs are digest-
-//                                  identical across worker counts, every
-//                                  call completed (nothing lost after
-//                                  heal), every request executed exactly
-//                                  once (execution counters, adequately
-//                                  sized reply cache => zero eviction-
-//                                  caused re-executions), and the wire-
-//                                  FIFO self-check saw zero violations.
+//                                  degraded-mode scaling curve.  The chaos
+//                                  mesh also hosts the HA control plane —
+//                                  a 3-member director quorum (rts::
+//                                  Director + deterministic election) on
+//                                  nodes 0-2, every one of which crashes
+//                                  at some point, plus a resolver client
+//                                  on node 3 probing the quorum throughout
+//                                  — so the JSON records election and
+//                                  directory-failover latency in sim time
+//                                  under the same schedule.  FAILS unless
+//                                  the chaos runs are digest-identical
+//                                  across worker counts, every call
+//                                  completed (nothing lost after heal),
+//                                  every request executed exactly once
+//                                  (execution counters, adequately sized
+//                                  reply cache => zero eviction-caused
+//                                  re-executions), the wire-FIFO self-
+//                                  check saw zero violations, and the
+//                                  control plane demonstrably failed over
+//                                  (elections held, client failovers).
 //
 // Results are written to BENCH_storm.json.
 #include <atomic>
@@ -59,6 +70,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -68,6 +80,7 @@
 #include "net/cost_model.hpp"
 #include "net/network.hpp"
 #include "rmi/transport.hpp"
+#include "rts/director.hpp"
 #include "serial/writer.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
@@ -116,6 +129,13 @@ struct StormRun {
   std::int64_t evicted_reexecutions = 0;
   std::int64_t fifo_violations = 0;
   bool exactly_once = true;
+  // Chaos mode HA control plane (directors on nodes 0-2):
+  std::int64_t elections_held = 0;
+  std::int64_t leader_changes = 0;
+  std::int64_t directory_failovers = 0;
+  std::int64_t directory_resolves = 0;
+  std::int64_t election_time_us = 0;  // summed candidacy->majority, sim us
+  std::int64_t failover_time_us = 0;  // summed failed-over call latency
 };
 
 // FNV-1a fold of one (caller, seq) delivery into a node's order digest.
@@ -304,19 +324,34 @@ void check_chaos_invariants(const StormRun& r) {
               << r.retransmissions << ")\n";
     std::exit(1);
   }
+  // HA control plane: rolling director crashes guarantee the sitting
+  // leader died at least once (>= 2 elections) and that the resolver's
+  // preferred member was dead for at least one probe (>= 1 failover).
+  if (r.elections_held < 2 || r.directory_failovers < 1 ||
+      r.directory_resolves < 1) {
+    std::cerr << "FAIL: chaos control plane did not fail over "
+                 "(elections_held="
+              << r.elections_held << ", directory_failovers="
+              << r.directory_failovers << ", directory_resolves="
+              << r.directory_resolves << ")\n";
+    std::exit(1);
+  }
 }
 
 // The fixed degraded-mode program: two loss bursts, a partition/heal of
-// the (n1, n2) link, and a crash/restart of n3, all inside the storm's
-// active phase.  Absolute times — the storm runs ~70-90 simulated ms at
-// any mesh size, and the generous retry budget below rides out every
-// outage.
+// the (n1, n2) link, and rolling crashes that take down EVERY director
+// (nodes 0-2) at some point — at most one at a time, so the quorum can
+// always re-form and the sitting leader is guaranteed to die at least
+// once.  Absolute times — the storm runs ~70-90 simulated ms at any mesh
+// size, and the generous retry budget below rides out every outage.
 mage::net::FaultSchedule chaos_schedule(
     const std::vector<mage::common::NodeId>& ids) {
   mage::net::FaultSchedule s;
+  s.crash_for(5'000, ids[0], 6'000);
   s.loss_burst(5'000, 0.10, 10'000);
   s.partition_for(8'000, ids[0], ids[1], 20'000);
   s.crash_for(20'000, ids[2], 15'000);
+  s.crash_for(37'000, ids[1], 6'000);
   s.loss_burst(40'000, 0.20, 10'000);
   return s;
 }
@@ -341,6 +376,43 @@ StormRun run_storm_chaos(int n, int threads) {
   net.set_fifo_checks(true);
   net.set_fault_schedule(chaos_schedule(mesh.ids));
 
+  // HA control plane under the same schedule: a 3-member director quorum
+  // on nodes 0-2 (each of which the schedule crashes once), pre-seeded
+  // with one placement record, and a resolver on node 3 probing it every
+  // 2 simulated ms for the whole chaos window.  The resolver's preferred
+  // member starts at node 0 — dead at 5ms — so the failover path is
+  // exercised deterministically.
+  const std::vector<mage::common::NodeId> directors_ids{
+      mesh.ids[0], mesh.ids[1], mesh.ids[2]};
+  std::vector<std::unique_ptr<rts::Director>> directors;
+  for (int i = 0; i < 3; ++i) {
+    directors.push_back(std::make_unique<rts::Director>(
+        *mesh.transports[static_cast<std::size_t>(i)], directors_ids));
+  }
+  for (auto& d : directors) {
+    d->seed(rts::proto::PlacementRecord{"storm.obj", "Echo", mesh.ids[3],
+                                        /*is_public=*/true, /*epoch=*/1});
+  }
+  for (auto& d : directors) d->start();
+
+  rts::DirectoryClient resolver(*mesh.transports[3], directors_ids);
+  auto& resolver_sim = net.node_sim(mesh.ids[3]);
+  bool resolver_done = false;
+  std::int64_t resolver_ok = 0;
+  std::function<void()> probe = [&] {
+    resolver.resolve(
+        "storm.obj",
+        [&](std::optional<rts::DirectoryClient::Resolution> r) {
+          if (r.has_value()) ++resolver_ok;
+          if (resolver_sim.now() >= kChaosHorizonUs) {
+            resolver_done = true;  // set inside a waking callback
+            return;
+          }
+          resolver_sim.schedule_after(2'000, probe, sim::Wake::No);
+        });
+  };
+  resolver_sim.schedule_at(1'000, [&probe] { probe(); }, sim::Wake::No);
+
   // Horizon ticks keep virtual time advancing past the last schedule entry
   // even if the storm drains early, so the whole program always applies.
   for (common::SimTime t = 1'000; t <= kChaosHorizonUs; t += 1'000) {
@@ -359,7 +431,7 @@ StormRun run_storm_chaos(int n, int threads) {
   }
   const bool done = ssim.run_until(
       [&] {
-        return mesh.total_completed() == total &&
+        return mesh.total_completed() == total && resolver_done &&
                net.pending_fault_events() == 0;
       },
       threads);
@@ -367,6 +439,10 @@ StormRun run_storm_chaos(int n, int threads) {
   if (!done) {
     std::cerr << "chaos storm drained with " << mesh.total_completed() << "/"
               << total << " calls completed\n";
+    std::exit(1);
+  }
+  if (resolver_ok == 0) {
+    std::cerr << "FAIL: no directory resolve ever succeeded under chaos\n";
     std::exit(1);
   }
 
@@ -382,6 +458,12 @@ StormRun run_storm_chaos(int n, int threads) {
   result.evicted_reexecutions = ssim.counter("rmi.evicted_reexecutions");
   result.fifo_violations = ssim.counter("net.fifo_violations");
   result.exactly_once = mesh.exactly_once();
+  result.elections_held = ssim.counter("rts.elections_held");
+  result.leader_changes = ssim.counter("rts.leader_changes");
+  result.directory_failovers = ssim.counter("rmi.directory_failovers");
+  result.directory_resolves = ssim.counter("rts.dir_resolves");
+  result.election_time_us = ssim.counter("rts.election_time_us");
+  result.failover_time_us = ssim.counter("rmi.directory_failover_time_us");
   for (std::size_t i = 1; i < mesh.watch.size(); ++i) {
     result.node_digests.push_back(mesh.watch[i].digest);
   }
@@ -488,7 +570,11 @@ void print_run(const StormRun& r, bool chaos = false) {
   }
   if (chaos) {
     std::cout << r.faults_applied << " faults applied, "
-              << r.messages_dropped_by_schedule << " scheduled drops\n";
+              << r.messages_dropped_by_schedule << " scheduled drops, "
+              << r.elections_held << " elections ("
+              << r.election_time_us << " us), " << r.directory_failovers
+              << " directory failovers (" << r.failover_time_us << " us), "
+              << r.directory_resolves << " resolves\n";
   } else {
     std::cout << r.order_violations << " order violations\n";
   }
@@ -514,7 +600,18 @@ void write_json_run(std::ofstream& json, const StormRun& r,
        << r.messages_dropped_by_schedule << ",\n"
        << indent << "  \"evicted_reexecutions\": " << r.evicted_reexecutions
        << ",\n"
-       << indent << "  \"fifo_violations\": " << r.fifo_violations << "\n"
+       << indent << "  \"fifo_violations\": " << r.fifo_violations << ",\n"
+       << indent << "  \"failover\": {\n"
+       << indent << "    \"elections_held\": " << r.elections_held << ",\n"
+       << indent << "    \"leader_changes\": " << r.leader_changes << ",\n"
+       << indent << "    \"directory_failovers\": " << r.directory_failovers
+       << ",\n"
+       << indent << "    \"directory_resolves\": " << r.directory_resolves
+       << ",\n"
+       << indent << "    \"election_time_us\": " << r.election_time_us
+       << ",\n"
+       << indent << "    \"failover_time_us\": " << r.failover_time_us << "\n"
+       << indent << "  }\n"
        << indent << "}";
 }
 

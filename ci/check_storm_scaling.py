@@ -13,6 +13,12 @@ it: digest-identical across worker counts, every request executed exactly
 once, zero eviction-caused re-executions (the reply cache is adequately
 sized in chaos mode), zero wire-FIFO violations, and a genuinely chaotic
 run (faults applied, scheduled drops, retransmissions all nonzero).
+
+Chaos runs also host the HA control plane (ISSUE 6): a director quorum
+whose members the schedule crashes one at a time, probed by a resolver
+client.  Each chaos run must therefore carry a `failover` block proving
+the control plane actually failed over: elections held, client
+directory failovers, and successful resolves, all nonzero.
 Pass --require-chaos to fail when the block is missing.
 
 Usage: check_storm_scaling.py <BENCH_storm.json> [--require-chaos]
@@ -60,15 +66,31 @@ def check_chaos(data, require_chaos):
             failures.append(f"{tag}: scheduled faults dropped nothing")
         if run.get("retransmissions", 0) <= 0:
             failures.append(f"{tag}: no retransmissions under chaos")
+        failover = run.get("failover")
+        if not failover:
+            failures.append(f"{tag}: no failover block — chaos runs must "
+                            "exercise the replicated directory")
+        else:
+            if failover.get("elections_held", 0) < 1:
+                failures.append(f"{tag}: no elections held")
+            if failover.get("directory_failovers", 0) < 1:
+                failures.append(f"{tag}: no directory failovers")
+            if failover.get("directory_resolves", 0) < 1:
+                failures.append(f"{tag}: no directory resolves")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
         return 1
+    fo = chaos["multi"]["failover"]
     print(f"chaos: {chaos['speedup']:.2f}x degraded-mode speedup, "
           f"{chaos['degraded_vs_clean']:.2f}x of clean throughput, "
           f"{chaos['multi']['faults_applied']} faults applied, "
           f"{chaos['multi']['messages_dropped_by_schedule']} scheduled "
-          "drops; deterministic + exactly-once held")
+          "drops; deterministic + exactly-once held; "
+          f"{fo['elections_held']} elections "
+          f"({fo['election_time_us']} sim-us), "
+          f"{fo['directory_failovers']} directory failovers "
+          f"({fo['failover_time_us']} sim-us)")
     return 0
 
 

@@ -31,6 +31,41 @@ FaultSchedule& FaultSchedule::loss_burst(common::SimTime at, double p,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::link_loss_rate(common::SimTime at,
+                                             common::NodeId from,
+                                             common::NodeId to, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw common::MageError("fault schedule loss rate must be in [0, 1]");
+  }
+  if (from == to) {
+    throw common::MageError("per-link loss needs two distinct nodes");
+  }
+  events_.push_back(FaultEvent{at, FaultKind::LinkLoss, p, from, to});
+  base_link_loss_[{from, to}] = p;
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_loss_burst(common::SimTime at,
+                                              common::NodeId from,
+                                              common::NodeId to, double p,
+                                              common::SimDuration duration) {
+  if (p < 0.0 || p > 1.0) {
+    throw common::MageError("fault schedule loss rate must be in [0, 1]");
+  }
+  if (from == to) {
+    throw common::MageError("per-link loss needs two distinct nodes");
+  }
+  if (duration < 1) {
+    throw common::MageError("fault schedule loss burst needs duration >= 1us");
+  }
+  const auto it = base_link_loss_.find({from, to});
+  const double base = it == base_link_loss_.end() ? 0.0 : it->second;
+  events_.push_back(FaultEvent{at, FaultKind::LinkLoss, p, from, to});
+  events_.push_back(
+      FaultEvent{at + duration, FaultKind::LinkLoss, base, from, to});
+  return *this;
+}
+
 FaultSchedule& FaultSchedule::partition(common::SimTime at, common::NodeId a,
                                         common::NodeId b) {
   if (a == b) {

@@ -26,6 +26,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -35,6 +37,7 @@ namespace mage::net {
 
 enum class FaultKind : std::uint8_t {
   LossRate,   // set the IID loss probability to `loss_rate`
+  LinkLoss,   // set the IID loss probability of the directed link a -> b
   Partition,  // cut both directions between nodes `a` and `b`
   Heal,       // restore the (a, b) link
   Crash,      // take node `a` down (messages to/from it are dropped)
@@ -44,9 +47,9 @@ enum class FaultKind : std::uint8_t {
 struct FaultEvent {
   common::SimTime at = 0;
   FaultKind kind = FaultKind::LossRate;
-  double loss_rate = 0.0;           // LossRate only
-  common::NodeId a;                 // Partition/Heal endpoint, Crash/Restart node
-  common::NodeId b;                 // Partition/Heal endpoint
+  double loss_rate = 0.0;           // LossRate/LinkLoss only
+  common::NodeId a;                 // link endpoint / sender, Crash/Restart node
+  common::NodeId b;                 // link endpoint / receiver
 };
 
 class FaultSchedule {
@@ -59,6 +62,22 @@ class FaultSchedule {
   // builder (0 when none), evaluated at build time.
   FaultSchedule& loss_burst(common::SimTime at, double p,
                             common::SimDuration duration);
+
+  // Per-link loss: sets the IID loss probability of the DIRECTED link
+  // from -> to from `at` onward, layered on top of the global rate (a
+  // message first survives the global draw, then the link draw).  Model
+  // one flaky NIC or an asymmetric WAN path without touching the rest of
+  // the mesh.
+  FaultSchedule& link_loss_rate(common::SimTime at, common::NodeId from,
+                                common::NodeId to, double p);
+
+  // Per-link loss burst: rate `p` on from -> to during [at, at + duration),
+  // then back to that link's base rate — the rate set by the most recent
+  // `link_loss_rate()` call for the same directed link (0 when none),
+  // evaluated at build time.
+  FaultSchedule& link_loss_burst(common::SimTime at, common::NodeId from,
+                                 common::NodeId to, double p,
+                                 common::SimDuration duration);
 
   // Cuts / restores both directions between a and b at `at`.
   FaultSchedule& partition(common::SimTime at, common::NodeId a,
@@ -92,6 +111,8 @@ class FaultSchedule {
  private:
   std::vector<FaultEvent> events_;
   double base_loss_ = 0.0;  // last loss_rate(), restored after bursts
+  // Last link_loss_rate() per directed link, restored after link bursts.
+  std::map<std::pair<common::NodeId, common::NodeId>, double> base_link_loss_;
 };
 
 }  // namespace mage::net

@@ -42,6 +42,11 @@ struct Message {
   // wire-FIFO self-check is enabled (Network::set_fifo_checks); 0 = not
   // stamped.  Simulation-side only — never serialized to the wire.
   std::uint64_t wire_seq = 0;
+  // Link epoch at send time (crash/restart/partition transitions of the
+  // link bump it).  The receiver's FIFO check resets its expected wire_seq
+  // when the epoch changes, so a restarted sender — whose seq counters
+  // start over — cannot trip a spurious violation.  Simulation-side only.
+  std::int64_t link_epoch = 0;
 
   [[nodiscard]] std::size_t payload_size() const {
     return header.size() + body.size();

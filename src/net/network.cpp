@@ -97,6 +97,8 @@ common::NodeId Network::add_node(std::string label) {
   stored.connections_opened = stats.counter_handle("net.connections_opened");
   stored.messages_dropped_by_schedule =
       stats.counter_handle("net.messages_dropped_by_schedule");
+  stored.messages_dropped_by_link_loss =
+      stats.counter_handle("net.messages_dropped_by_link_loss");
   stored.fifo_violations = stats.counter_handle("net.fifo_violations");
   return id;
 }
@@ -190,6 +192,30 @@ void Network::send(Message msg) {
     return;
   }
 
+  // Per-link loss, layered after the global draw.  The RNG is consulted
+  // only when this directed link has a nonzero rate, so runs without
+  // per-link faults replay the exact same random stream as before.
+  if (!loopback && !link_loss_.empty()) {
+    const auto link = std::make_pair(msg.from, msg.to);
+    const auto it = link_loss_.find(link);
+    if (it != link_loss_.end() && it->second > 0.0 &&
+        sender_sim.rng().next_bool(it->second)) {
+      ++*from.messages_dropped;
+      ++*from.messages_dropped_by_link_loss;
+      ++from.link_loss_drops_to[msg.to];
+      if (scheduled_link_loss_.contains(link)) {
+        ++*from.messages_dropped_by_schedule;
+      }
+      MAGE_DEBUG() << "link-dropped " << msg.label() << " " << msg.from
+                   << " -> " << msg.to;
+      if (tracing_) {
+        trace_.push_back(TraceEntry{sent_at, -1, msg.from, msg.to, msg.label(),
+                                    msg.wire_size(), true});
+      }
+      return;
+    }
+  }
+
   common::SimDuration delay = 0;
   if (loopback) {
     delay = model_.local_invoke_us;
@@ -233,6 +259,10 @@ void Network::send(Message msg) {
       // construction — the delivery-side check verifies the floors
       // actually preserved that order.
       msg.wire_seq = ++from.next_wire_seq_to[msg.to];
+      // Epoch stamp: which incarnation of this link the stamp belongs to.
+      // Crash/restart transitions bump it (see on_node_transition), telling
+      // the receiver the sender's counters may have started over.
+      msg.link_epoch = link_epoch(msg.from, msg.to);
     }
   }
 
@@ -254,8 +284,17 @@ void Network::send(Message msg) {
     if (fifo_checks_ && msg.wire_seq != 0) {
       // Receiver-owned monotonicity check (this runs on the destination's
       // shard).  Gaps are fine — drops consume no stamp — but any
-      // reordering on a directed link is a violation.
+      // reordering on a directed link is a violation.  A new link epoch
+      // means the sender crashed/restarted (or the link was cut and
+      // healed) since the last delivery: its counters may have started
+      // over, so the expectation resets instead of flagging a spurious
+      // violation.
+      auto& epoch = node.last_wire_epoch_from[msg.from];
       auto& last = node.last_wire_seq_from[msg.from];
+      if (msg.link_epoch != epoch) {
+        epoch = msg.link_epoch;
+        last = 0;
+      }
       if (msg.wire_seq <= last) {
         ++*node.fifo_violations;
       } else {
@@ -280,6 +319,30 @@ void Network::set_loss_rate(double p) {
   require_fault_window("set_loss_rate");
   loss_rate_ = p;
   loss_from_schedule_ = false;
+}
+
+void Network::set_link_loss_rate(common::NodeId from, common::NodeId to,
+                                 double p) {
+  require_fault_window("set_link_loss_rate");
+  const auto link = std::make_pair(from, to);
+  if (p > 0.0) {
+    link_loss_[link] = p;
+  } else {
+    link_loss_.erase(link);
+  }
+  scheduled_link_loss_.erase(link);
+}
+
+double Network::link_loss_rate(common::NodeId from, common::NodeId to) const {
+  const auto it = link_loss_.find({from, to});
+  return it == link_loss_.end() ? 0.0 : it->second;
+}
+
+std::int64_t Network::link_loss_drops(common::NodeId from,
+                                      common::NodeId to) const {
+  const auto& drops = state(from).link_loss_drops_to;
+  const auto it = drops.find(to);
+  return it == drops.end() ? 0 : it->second;
 }
 
 void Network::set_partitioned(common::NodeId a, common::NodeId b,
@@ -307,8 +370,9 @@ void Network::set_fifo_checks(bool on) {
 void Network::set_fault_schedule(FaultSchedule schedule) {
   require_config_window("set_fault_schedule");
   for (const FaultEvent& e : schedule.events()) {
-    const bool needs_b =
-        e.kind == FaultKind::Partition || e.kind == FaultKind::Heal;
+    const bool needs_b = e.kind == FaultKind::Partition ||
+                         e.kind == FaultKind::Heal ||
+                         e.kind == FaultKind::LinkLoss;
     const bool needs_a = needs_b || e.kind == FaultKind::Crash ||
                          e.kind == FaultKind::Restart;
     if ((needs_a && (e.a.value() < 1 || e.a.value() > nodes_.size())) ||
@@ -360,6 +424,17 @@ void Network::apply_fault(const FaultEvent& event) {
       loss_rate_ = event.loss_rate;
       loss_from_schedule_ = true;
       break;
+    case FaultKind::LinkLoss: {
+      const auto link = std::make_pair(event.a, event.b);
+      if (event.loss_rate > 0.0) {
+        link_loss_[link] = event.loss_rate;
+        scheduled_link_loss_.insert(link);
+      } else {
+        link_loss_.erase(link);
+        scheduled_link_loss_.erase(link);
+      }
+      break;
+    }
     case FaultKind::Partition: {
       const auto link = ordered_pair(event.a, event.b);
       if (partitions_.insert(link).second) ++link_epochs_[link];
@@ -376,12 +451,14 @@ void Network::apply_fault(const FaultEvent& event) {
       NodeState& node = state(event.a);
       node.down = true;
       node.down_by_schedule = true;
+      on_node_transition(event.a);
       break;
     }
     case FaultKind::Restart: {
       NodeState& node = state(event.a);
       node.down = false;
       node.down_by_schedule = false;
+      on_node_transition(event.a);
       break;
     }
   }
@@ -408,10 +485,31 @@ void Network::set_load(common::NodeId node, double load) {
 
 double Network::load(common::NodeId node) const { return state(node).load; }
 
+void Network::on_node_transition(common::NodeId node) {
+  // The crashed (or restarting) process loses its wire state: every link
+  // it touches becomes a new incarnation, and its own FIFO counters reset
+  // — a restarted sender starts stamping from 1 again, and the bumped
+  // epoch tells every receiver to reset its expectation rather than flag
+  // spurious fifo_violations.  No timing impact: none of this state feeds
+  // delay computation.  Runs only with faults frozen (driver / boundary
+  // hook), so touching foreign-node maps here is safe.
+  for (std::uint32_t i = 1; i <= nodes_.size(); ++i) {
+    const common::NodeId other{i};
+    if (other == node) continue;
+    ++link_epochs_[ordered_pair(node, other)];
+  }
+  NodeState& self = state(node);
+  self.next_wire_seq_to.clear();
+  self.last_wire_seq_from.clear();
+  self.last_wire_epoch_from.clear();
+}
+
 void Network::set_node_down(common::NodeId node, bool down) {
   require_fault_window("set_node_down");
+  if (state(node).down == down) return;
   state(node).down = down;
   state(node).down_by_schedule = false;
+  on_node_transition(node);
 }
 
 bool Network::node_down(common::NodeId node) const {

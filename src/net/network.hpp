@@ -99,6 +99,18 @@ class Network {
   // IID probability that a non-loopback message is dropped in flight.
   void set_loss_rate(double p);
 
+  // IID loss probability for the DIRECTED link from -> to, layered on top
+  // of the global rate (a message must survive both draws).  0 removes the
+  // per-link rate.
+  void set_link_loss_rate(common::NodeId from, common::NodeId to, double p);
+  [[nodiscard]] double link_loss_rate(common::NodeId from,
+                                      common::NodeId to) const;
+
+  // Provenance: messages dropped by the per-link loss rate on the directed
+  // link from -> to.  Driver-only read (while stopped) in sharded mode.
+  [[nodiscard]] std::int64_t link_loss_drops(common::NodeId from,
+                                             common::NodeId to) const;
+
   // Cuts / restores both directions between a and b.
   void set_partitioned(common::NodeId a, common::NodeId b, bool partitioned);
 
@@ -121,9 +133,11 @@ class Network {
     return fault_events_.size() - next_fault_;
   }
 
-  // Number of partition/heal transitions applied to the (a, b) link, by
-  // schedule or ad-hoc mutator — each cut and each heal bumps the epoch.
-  // Driver-only read (while stopped) in sharded mode.
+  // Number of transitions applied to the (a, b) link, by schedule or
+  // ad-hoc mutator — each cut and each heal bumps the epoch, as does each
+  // crash and each restart of either endpoint (a restarted node's wire
+  // state is gone, so its links are new incarnations).  Driver-only read
+  // (while stopped) in sharded mode.
   [[nodiscard]] std::int64_t link_epoch(common::NodeId a,
                                         common::NodeId b) const;
 
@@ -215,6 +229,12 @@ class Network {
     // same shard-ownership split as the ordering floors.
     std::map<common::NodeId, std::uint64_t> next_wire_seq_to;
     std::map<common::NodeId, std::uint64_t> last_wire_seq_from;
+    // Link epoch the receiver last saw per sender; a change resets the
+    // expected wire_seq (the peer's counters restarted across a crash).
+    std::map<common::NodeId, std::int64_t> last_wire_epoch_from;
+    // Per-link loss provenance, sender-owned (plain ints, not registry
+    // counters: the key space is dynamic).
+    std::map<common::NodeId, std::int64_t> link_loss_drops_to;
     // Hot-path counters, resolved from the node's own stats registry at
     // add_node (per-shard registries in sharded mode; all handles alias
     // the same slots in driver mode).
@@ -224,6 +244,7 @@ class Network {
     std::int64_t* messages_delivered = nullptr;
     std::int64_t* connections_opened = nullptr;
     std::int64_t* messages_dropped_by_schedule = nullptr;
+    std::int64_t* messages_dropped_by_link_loss = nullptr;
     std::int64_t* fifo_violations = nullptr;
   };
 
@@ -241,6 +262,10 @@ class Network {
   // ShardedSim boundary hook, every worker parked.
   void apply_due_faults(common::SimTime now);
   void apply_fault(const FaultEvent& event);
+  // Crash/restart epoch discipline: every link incident to `node` becomes a
+  // new incarnation, and the node's own wire-FIFO state is forgotten (a
+  // fresh process restarts its sequence counters).
+  void on_node_transition(common::NodeId node);
   // Cancels driver-mode applier events that have not fired yet.
   void cancel_fault_appliers();
 
@@ -253,6 +278,10 @@ class Network {
   std::map<std::pair<common::NodeId, common::NodeId>, common::SimDuration>
       extra_latency_;
   double loss_rate_ = 0.0;
+  // Per-directed-link loss rates.  Mutated only from the driver while
+  // stopped or at window boundaries (workers parked); read from sender
+  // shards mid-run — same discipline as partitions_.
+  std::map<std::pair<common::NodeId, common::NodeId>, double> link_loss_;
   bool tracing_ = false;
   std::vector<TraceEntry> trace_;
 
@@ -268,7 +297,9 @@ class Network {
   // messages_dropped_by_schedule.
   bool loss_from_schedule_ = false;
   std::set<std::pair<common::NodeId, common::NodeId>> scheduled_partitions_;
-  // Partition/heal transition count per unordered link.
+  // Directed links whose current per-link loss rate came from the schedule.
+  std::set<std::pair<common::NodeId, common::NodeId>> scheduled_link_loss_;
+  // Link-transition count per unordered link (partition/heal/crash/restart).
   std::map<std::pair<common::NodeId, common::NodeId>, std::int64_t>
       link_epochs_;
   std::int64_t* faults_applied_ = nullptr;  // driver / shard-0 registry

@@ -1,0 +1,124 @@
+#include "rmi/failover.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mage::rmi {
+
+struct FailoverCaller::Call {
+  common::VerbId verb;
+  serial::BufferChain body;  // refcounted; reused verbatim per attempt
+  Verdict verdict;
+  Transport::Callback done;
+  std::size_t position = 0;   // index into targets_ for the next attempt
+  int tried_this_round = 0;   // members probed in the current sweep
+  int round = 0;
+  bool switched = false;      // left the first member at least once
+  common::SimTime start = 0;
+};
+
+FailoverCaller::FailoverCaller(Transport& transport,
+                               std::vector<common::NodeId> targets)
+    : FailoverCaller(transport, std::move(targets), Options{}) {}
+
+FailoverCaller::FailoverCaller(Transport& transport,
+                               std::vector<common::NodeId> targets,
+                               Options options)
+    : transport_(transport),
+      targets_(std::move(targets)),
+      options_(options),
+      preferred_(targets_.empty() ? common::kNoNode : targets_.front()),
+      failovers_(sim().stats().counter_handle("rmi.directory_failovers")) {
+  if (targets_.empty()) {
+    throw common::MageError("FailoverCaller needs at least one target");
+  }
+}
+
+sim::Simulation& FailoverCaller::sim() {
+  return transport_.network().node_sim(transport_.self());
+}
+
+std::size_t FailoverCaller::index_of(common::NodeId node) const {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i] == node) return i;
+  }
+  return 0;
+}
+
+void FailoverCaller::set_preferred(common::NodeId node) {
+  for (auto target : targets_) {
+    if (target == node) {
+      preferred_ = node;
+      return;
+    }
+  }
+}
+
+void FailoverCaller::call(common::VerbId verb, serial::BufferChain body,
+                          Verdict verdict, Transport::Callback done) {
+  auto state = std::make_shared<Call>();
+  state->verb = verb;
+  state->body = std::move(body);
+  state->verdict = std::move(verdict);
+  state->done = std::move(done);
+  state->position = index_of(preferred_);
+  state->start = sim().now();
+  attempt(state);
+}
+
+void FailoverCaller::attempt(const std::shared_ptr<Call>& state) {
+  const common::NodeId target = targets_[state->position];
+  ++state->tried_this_round;
+  CallOptions per_attempt;
+  per_attempt.retry_timeout_us = options_.attempt_timeout_us;
+  per_attempt.max_attempts = options_.attempt_tries;
+  transport_.call(
+      target, state->verb, state->body,
+      [this, state, target](CallResult result) {
+        common::NodeId redirect = common::kNoNode;
+        if (result.ok && state->verdict(target, result, redirect)) {
+          set_preferred(target);
+          if (state->switched) {
+            sim().stats().add("rmi.directory_failover_time_us",
+                              sim().now() - state->start);
+          }
+          state->done(std::move(result));
+          return;
+        }
+        advance(state, redirect);
+      },
+      per_attempt);
+}
+
+void FailoverCaller::advance(const std::shared_ptr<Call>& state,
+                             common::NodeId redirect) {
+  ++*failovers_;
+  state->switched = true;
+  if (!common::is_no_node(redirect) && redirect != targets_[state->position]) {
+    // A member told us who the leader is; jump straight there.  The
+    // redirect still consumes a probe from the round budget, so a lying
+    // quorum cannot loop the sweep forever.
+    state->position = index_of(redirect);
+  } else {
+    state->position = (state->position + 1) % targets_.size();
+  }
+  if (state->tried_this_round < static_cast<int>(targets_.size())) {
+    attempt(state);
+    return;
+  }
+  state->tried_this_round = 0;
+  ++state->round;
+  if (state->round >= options_.rounds) {
+    state->done(CallResult::failure(
+        "no directory member accepted the call after " +
+        std::to_string(options_.rounds) + " rounds"));
+    return;
+  }
+  sim().schedule_after(
+      options_.round_backoff_us, [this, state] { attempt(state); },
+      sim::Wake::No);
+}
+
+}  // namespace mage::rmi

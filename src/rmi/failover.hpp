@@ -1,0 +1,96 @@
+// FailoverCaller: RMI calls against a replicated service group.
+//
+// A plain Transport::call targets one node and gives up when that node's
+// retry budget is exhausted.  Control-plane traffic (directory announce /
+// resolve) instead targets a *quorum*: any member may answer, the leader is
+// preferred, and a crashed or partitioned member should cost a short
+// per-attempt timeout — not the whole call.  FailoverCaller wraps the
+// transport with that policy:
+//
+//   * a fixed target list, swept starting from the last-known-good member
+//     (`set_preferred`, typically the leader learned from a reply);
+//   * a small per-attempt retry budget, so a dead member is abandoned
+//     quickly and deterministically;
+//   * an application Verdict invoked on every transport-successful reply —
+//     it accepts the result (completing the call), or rejects it and may
+//     steer the next attempt at a specific member (a leader redirect);
+//   * bounded rounds over the whole list with a fixed backoff between
+//     rounds, so the call terminates even while no quorum is reachable.
+//
+// Every switch to a different member increments "rmi.directory_failovers";
+// calls that needed at least one switch also accumulate their total
+// duration into "rmi.directory_failover_time_us" — the degraded-mode
+// latency the bench reports.  All timing is simulated, so a failover sweep
+// replays bit-identically at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "rmi/transport.hpp"
+
+namespace mage::rmi {
+
+class FailoverCaller {
+ public:
+  struct Options {
+    // Per-member attempt budget: short timeout, one retransmission.
+    common::SimDuration attempt_timeout_us = 2'000;
+    int attempt_tries = 2;
+    // Full sweeps over the target list before the call fails.
+    int rounds = 8;
+    // Pause between sweeps (lets an election settle before re-probing).
+    common::SimDuration round_backoff_us = 4'000;
+  };
+
+  // Invoked on each transport-successful reply.  Return true to accept
+  // (the callback fires with this result), false to fail over.  On
+  // rejection the verdict may set `redirect` to a member that should be
+  // tried next (e.g. the leader named in a NotLeader reply).
+  using Verdict = std::function<bool(common::NodeId target,
+                                     const CallResult& result,
+                                     common::NodeId& redirect)>;
+
+  // `targets` is the member list in deterministic sweep order.  (Two
+  // overloads rather than a defaulted Options argument: GCC rejects `= {}`
+  // for a nested class with member initializers inside its encloser.)
+  FailoverCaller(Transport& transport, std::vector<common::NodeId> targets);
+  FailoverCaller(Transport& transport, std::vector<common::NodeId> targets,
+                 Options options);
+
+  // Next sweep starts at `node` (ignored when not a member).
+  void set_preferred(common::NodeId node);
+  [[nodiscard]] common::NodeId preferred() const { return preferred_; }
+  [[nodiscard]] const std::vector<common::NodeId>& targets() const {
+    return targets_;
+  }
+  [[nodiscard]] Transport& transport() { return transport_; }
+
+  // Asynchronous group call; `done` fires exactly once — with the accepted
+  // result, or a failure once every round is exhausted.
+  void call(common::VerbId verb, serial::BufferChain body, Verdict verdict,
+            Transport::Callback done);
+  void call(std::string_view verb, serial::BufferChain body, Verdict verdict,
+            Transport::Callback done) {
+    call(common::intern_verb(verb), std::move(body), std::move(verdict),
+         std::move(done));
+  }
+
+ private:
+  struct Call;  // per-call state machine (shared_ptr'd across attempts)
+  void attempt(const std::shared_ptr<Call>& state);
+  void advance(const std::shared_ptr<Call>& state, common::NodeId redirect);
+  [[nodiscard]] sim::Simulation& sim();
+  [[nodiscard]] std::size_t index_of(common::NodeId node) const;
+
+  Transport& transport_;
+  std::vector<common::NodeId> targets_;
+  Options options_;
+  common::NodeId preferred_;
+  std::int64_t* failovers_;  // "rmi.directory_failovers"
+};
+
+}  // namespace mage::rmi

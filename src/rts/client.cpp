@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "rts/director.hpp"
 
 namespace mage::rts {
 
@@ -25,6 +26,33 @@ const net::CostModel& MageClient::model() const {
   return transport_.network().cost_model();
 }
 
+void MageClient::note_epoch(const common::ComponentName& name,
+                            std::uint64_t epoch) {
+  auto& known = known_epochs_[name];
+  if (epoch > known) known = epoch;
+}
+
+std::uint64_t MageClient::known_epoch(const common::ComponentName& name) const {
+  const auto it = known_epochs_.find(name);
+  return it == known_epochs_.end() ? 0 : it->second;
+}
+
+bool MageClient::accept_hint(const common::ComponentName& name,
+                             common::NodeId hint, std::uint64_t hint_epoch) {
+  if (common::is_no_node(hint)) return false;
+  // Unfenced hints (epoch 0) come from servers without epoch knowledge;
+  // they are chased as before.  Fenced hints must be at least as recent as
+  // what this client has already confirmed — an older hint points into a
+  // placement history segment we know is obsolete (e.g. a forwarding loop
+  // left behind by a crashed-and-restarted ex-home).
+  if (hint_epoch != 0 && hint_epoch < known_epoch(name)) {
+    simulation().stats().add("rts.stale_hints_rejected");
+    return false;
+  }
+  note_epoch(name, hint_epoch);
+  return true;
+}
+
 void MageClient::charge(common::SimDuration d) {
   if (d > 0) simulation().run_for(d);
 }
@@ -39,6 +67,11 @@ MageObject& MageClient::create_component(const common::ComponentName& name,
   MageObject& ref = *object;
   local_server_.registry().bind(name, std::move(object));
   directory_.announce(ComponentInfo{name, class_name, self(), is_public});
+  note_epoch(name, 1);
+  if (directory_client_ != nullptr) {
+    directory_client_->announce_sync(
+        proto::PlacementRecord{name, class_name, self(), is_public, 1});
+  }
   return ref;
 }
 
@@ -76,16 +109,45 @@ std::optional<common::NodeId> MageClient::try_find(
     start = directory_.info(name).home;
   }
   if (common::is_no_node(start) || start == self()) {
-    return std::nullopt;  // no local object, no lead to follow
+    // No local object and no lead to follow from static knowledge; the
+    // replicated directory (when configured) may still know the placement.
+    return directory_find(name);
   }
 
   proto::LookupRequest request;
   request.name = name;
-  auto reply = proto::LookupReply::decode(
-      transport_.call_sync(start, proto_verbs::kLookup, request.encode()));
-  if (reply.status != proto::Status::Ok) return std::nullopt;
-  local_server_.registry().update_forward(name, reply.host);
-  return reply.host;
+  request.min_epoch = known_epoch(name);
+  try {
+    auto reply = proto::LookupReply::decode(
+        transport_.call_sync(start, proto_verbs::kLookup, request.encode()));
+    if (reply.status == proto::Status::Ok) {
+      note_epoch(name, reply.epoch);
+      local_server_.registry().update_forward(name, reply.host, reply.epoch);
+      return reply.host;
+    }
+  } catch (const common::TransportError&) {
+    // The chain's first hop is unreachable (crashed or partitioned).  With
+    // a replicated directory we can fail over; without one this is fatal,
+    // exactly as before.
+    if (directory_client_ == nullptr) throw;
+  }
+  return directory_find(name);
+}
+
+std::optional<common::NodeId> MageClient::directory_find(
+    const common::ComponentName& name) {
+  if (directory_client_ == nullptr) return std::nullopt;
+  auto resolved = directory_client_->resolve_sync(name);
+  if (!resolved) return std::nullopt;
+  if (resolved->epoch < known_epoch(name)) {
+    // The quorum lags our own confirmed knowledge (e.g. an announce is
+    // still in flight); treat as not-yet-found and let the caller retry.
+    return std::nullopt;
+  }
+  note_epoch(name, resolved->epoch);
+  local_server_.registry().update_forward(name, resolved->host,
+                                          resolved->epoch);
+  return resolved->host == self() ? self() : resolved->host;
 }
 
 common::NodeId MageClient::find(const common::ComponentName& name) {
@@ -124,10 +186,22 @@ common::NodeId MageClient::move(const common::ComponentName& name,
     }
     switch (reply.status) {
       case proto::Status::Ok:
-        local_server_.registry().update_forward(name, to);
+        // The source's Ok carries the new placement epoch; record it so
+        // stale chains left behind by the old placement are fenced off.
+        note_epoch(name, reply.hint_epoch);
+        local_server_.registry().update_forward(name, to, reply.hint_epoch);
+        if (directory_client_ != nullptr) {
+          directory_client_->announce_sync(proto::PlacementRecord{
+              name, std::string{}, to, is_shared(name), reply.hint_epoch});
+        }
         return to;
       case proto::Status::Moved:
-        at = reply.hint;
+        if (accept_hint(name, reply.hint, reply.hint_epoch)) {
+          at = reply.hint;
+          continue;
+        }
+        charge(kChaseBackoffUs);
+        at = find(name);
         continue;
       case proto::Status::NotFound:
         charge(kChaseBackoffUs);
@@ -285,7 +359,12 @@ serial::Buffer MageClient::invoke_raw(common::NodeId& cloc,
       case proto::Status::Ok:
         return std::move(reply.result);
       case proto::Status::Moved:
-        cloc = reply.hint;
+        if (accept_hint(name, reply.hint, reply.hint_epoch)) {
+          cloc = reply.hint;
+          continue;
+        }
+        charge(kChaseBackoffUs);
+        cloc = find(name);
         continue;
       case proto::Status::NotFound:
         charge(kChaseBackoffUs);
@@ -316,7 +395,12 @@ void MageClient::invoke_oneway_raw(common::NodeId& cloc,
       case proto::Status::Ok:
         return;  // acknowledged; execution continues remotely
       case proto::Status::Moved:
-        cloc = reply.hint;
+        if (accept_hint(name, reply.hint, reply.hint_epoch)) {
+          cloc = reply.hint;
+          continue;
+        }
+        charge(kChaseBackoffUs);
+        cloc = find(name);
         continue;
       case proto::Status::NotFound:
         charge(kChaseBackoffUs);
@@ -472,7 +556,12 @@ LockHandle MageClient::lock(const common::ComponentName& name,
       case proto::Status::Ok:
         return LockHandle{name, at, reply.lock_id, reply.kind};
       case proto::Status::Moved:
-        at = reply.hint;
+        if (accept_hint(name, reply.hint, reply.hint_epoch)) {
+          at = reply.hint;
+          continue;
+        }
+        charge(kChaseBackoffUs);
+        at = find(name);
         continue;
       case proto::Status::NotFound:
         charge(kChaseBackoffUs);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "serial/traits.hpp"
 
 namespace mage::rts {
+
+class DirectoryClient;
 
 // Proof of a granted stay/move lock; needed to unlock.
 struct LockHandle {
@@ -47,6 +50,27 @@ class MageClient {
   [[nodiscard]] common::ActivityId activity() const { return activity_; }
   [[nodiscard]] MageServer& local_server() { return local_server_; }
   [[nodiscard]] Directory& directory() { return directory_; }
+
+  // Opt-in high-availability naming: when set, the client announces new
+  // components to the replicated director quorum and falls back to it when
+  // the static directory's lead (or a forwarding chain) dead-ends — e.g.
+  // when the original home node is crashed.  Null by default (pure
+  // static-directory behavior).  Not owned.
+  void set_directory_client(DirectoryClient* dclient) {
+    directory_client_ = dclient;
+  }
+  [[nodiscard]] DirectoryClient* directory_client() const {
+    return directory_client_;
+  }
+
+  // Epoch-fence bookkeeping: the highest placement epoch this client has
+  // confirmed for `name` (0 = none).  note_epoch records authoritative
+  // knowledge (a directory resolution, a completed move); Moved hints with
+  // an older epoch are rejected instead of chased — a stale chain can
+  // never send this client back to a dead ex-home.
+  void note_epoch(const common::ComponentName& name, std::uint64_t epoch);
+  [[nodiscard]] std::uint64_t known_epoch(
+      const common::ComponentName& name) const;
   [[nodiscard]] sim::Simulation& simulation() {
     return transport_.network().node_sim(transport_.self());
   }
@@ -240,11 +264,25 @@ class MageClient {
   // chase dead-ends (caller may back off and retry).
   std::optional<common::NodeId> try_find(const common::ComponentName& name);
 
+  // Replicated-directory fallback for try_find; nullopt when no
+  // DirectoryClient is configured or the quorum has no (fresh) record.
+  std::optional<common::NodeId> directory_find(
+      const common::ComponentName& name);
+
+  // Applies the epoch fence to a Moved hint: true = chase it (and the
+  // epoch knowledge was recorded), false = stale hint rejected (counted in
+  // "rts.stale_hints_rejected"; caller re-finds instead).
+  bool accept_hint(const common::ComponentName& name, common::NodeId hint,
+                   std::uint64_t hint_epoch);
+
   rmi::Transport& transport_;
   MageServer& local_server_;
   Directory& directory_;
   const ClassWorld& world_;
   common::ActivityId activity_;
+  DirectoryClient* directory_client_ = nullptr;
+  // Highest confirmed placement epoch per name (see note_epoch).
+  std::map<common::ComponentName, std::uint64_t> known_epochs_;
   // (target, class) pairs this client knows are cached remotely — lets a
   // cold push ship the image in one optimistic round trip while warm
   // pushes degrade to a small revalidation call.

@@ -31,6 +31,7 @@ serial::Buffer LookupRequest::encode() const {
   serial::Writer w;
   w.write_string(name);
   w.write_u32(hops);
+  w.write_u64(min_epoch);
   return w.take();
 }
 
@@ -38,6 +39,7 @@ LookupRequest LookupRequest::decode(serial::ChainReader& r) {
   LookupRequest v;
   v.name = r.read_string();
   v.hops = r.read_u32();
+  v.min_epoch = r.read_u64();
   return v;
 }
 
@@ -48,6 +50,7 @@ serial::Buffer LookupReply::encode() const {
   w.write_u8(static_cast<std::uint8_t>(status));
   put_node(w, host);
   w.write_string(error);
+  w.write_u64(epoch);
   return w.take();
 }
 
@@ -56,6 +59,7 @@ LookupReply LookupReply::decode(serial::ChainReader& r) {
   v.status = static_cast<Status>(r.read_u8());
   v.host = get_node(r);
   v.error = r.read_string();
+  v.epoch = r.read_u64();
   return v;
 }
 
@@ -149,6 +153,7 @@ serial::Buffer SimpleReply::encode() const {
   w.write_u8(static_cast<std::uint8_t>(status));
   put_node(w, hint);
   w.write_string(error);
+  w.write_u64(hint_epoch);
   return w.take();
 }
 
@@ -157,6 +162,7 @@ SimpleReply SimpleReply::decode(serial::ChainReader& r) {
   v.status = static_cast<Status>(r.read_u8());
   v.hint = get_node(r);
   v.error = r.read_string();
+  v.hint_epoch = r.read_u64();
   return v;
 }
 
@@ -183,6 +189,7 @@ serial::BufferChain TransferRequest::encode() const {
   w.write_string(name);
   w.write_string(class_name);
   w.write_bool(is_public);
+  w.write_u64(epoch);
   w.append_payload(state);
   return w.take();
 }
@@ -192,6 +199,7 @@ TransferRequest TransferRequest::decode(serial::ChainReader& r) {
   v.name = r.read_string();
   v.class_name = r.read_string();
   v.is_public = r.read_bool();
+  v.epoch = r.read_u64();
   v.state = r.read_bytes();
   return v;
 }
@@ -219,6 +227,7 @@ serial::BufferChain InvokeReply::encode() const {
   w.write_u8(static_cast<std::uint8_t>(status));
   put_node(w, hint);
   w.write_string(error);
+  w.write_u64(hint_epoch);
   w.append_payload(result);
   return w.take();
 }
@@ -228,6 +237,7 @@ InvokeReply InvokeReply::decode(serial::ChainReader& r) {
   v.status = static_cast<Status>(r.read_u8());
   v.hint = get_node(r);
   v.error = r.read_string();
+  v.hint_epoch = r.read_u64();
   v.result = r.read_bytes();
   return v;
 }
@@ -269,6 +279,7 @@ serial::Buffer LockReply::encode() const {
   w.write_u64(lock_id);
   w.write_u8(static_cast<std::uint8_t>(kind));
   w.write_string(error);
+  w.write_u64(hint_epoch);
   return w.take();
 }
 
@@ -279,6 +290,7 @@ LockReply LockReply::decode(serial::ChainReader& r) {
   v.lock_id = r.read_u64();
   v.kind = static_cast<LockKind>(r.read_u8());
   v.error = r.read_string();
+  v.hint_epoch = r.read_u64();
   return v;
 }
 
@@ -373,6 +385,140 @@ DiscoverReply DiscoverReply::decode(serial::ChainReader& r) {
   DiscoverReply v;
   v.offers = r.read_bool();
   v.capacity = r.read_f64();
+  return v;
+}
+
+// --- replicated directory & election ----------------------------------------------------
+
+serial::Buffer VoteRequest::encode() const {
+  serial::Writer w;
+  w.write_u64(term);
+  put_node(w, candidate);
+  return w.take();
+}
+
+VoteRequest VoteRequest::decode(serial::ChainReader& r) {
+  VoteRequest v;
+  v.term = r.read_u64();
+  v.candidate = get_node(r);
+  return v;
+}
+
+serial::Buffer VoteReply::encode() const {
+  serial::Writer w;
+  w.write_u64(term);
+  w.write_bool(granted);
+  return w.take();
+}
+
+VoteReply VoteReply::decode(serial::ChainReader& r) {
+  VoteReply v;
+  v.term = r.read_u64();
+  v.granted = r.read_bool();
+  return v;
+}
+
+serial::Buffer HeartbeatRequest::encode() const {
+  serial::Writer w;
+  w.write_u64(term);
+  put_node(w, leader);
+  return w.take();
+}
+
+HeartbeatRequest HeartbeatRequest::decode(serial::ChainReader& r) {
+  HeartbeatRequest v;
+  v.term = r.read_u64();
+  v.leader = get_node(r);
+  return v;
+}
+
+serial::Buffer HeartbeatReply::encode() const {
+  serial::Writer w;
+  w.write_u64(term);
+  w.write_bool(ok);
+  return w.take();
+}
+
+HeartbeatReply HeartbeatReply::decode(serial::ChainReader& r) {
+  HeartbeatReply v;
+  v.term = r.read_u64();
+  v.ok = r.read_bool();
+  return v;
+}
+
+void put_record(serial::Writer& w, const PlacementRecord& rec) {
+  w.write_string(rec.name);
+  w.write_string(rec.class_name);
+  put_node(w, rec.host);
+  w.write_bool(rec.is_public);
+  w.write_u64(rec.epoch);
+}
+
+PlacementRecord get_record(serial::ChainReader& r) {
+  PlacementRecord rec;
+  rec.name = r.read_string();
+  rec.class_name = r.read_string();
+  rec.host = get_node(r);
+  rec.is_public = r.read_bool();
+  rec.epoch = r.read_u64();
+  return rec;
+}
+
+serial::Buffer DirAnnounceRequest::encode() const {
+  serial::Writer w;
+  put_record(w, record);
+  return w.take();
+}
+
+DirAnnounceRequest DirAnnounceRequest::decode(serial::ChainReader& r) {
+  return DirAnnounceRequest{get_record(r)};
+}
+
+serial::Buffer DirAnnounceReply::encode() const {
+  serial::Writer w;
+  w.write_u8(static_cast<std::uint8_t>(status));
+  put_node(w, leader);
+  w.write_u64(epoch);
+  w.write_string(error);
+  return w.take();
+}
+
+DirAnnounceReply DirAnnounceReply::decode(serial::ChainReader& r) {
+  DirAnnounceReply v;
+  v.status = static_cast<Status>(r.read_u8());
+  v.leader = get_node(r);
+  v.epoch = r.read_u64();
+  v.error = r.read_string();
+  return v;
+}
+
+serial::Buffer DirResolveRequest::encode() const {
+  serial::Writer w;
+  w.write_string(name);
+  return w.take();
+}
+
+DirResolveRequest DirResolveRequest::decode(serial::ChainReader& r) {
+  return DirResolveRequest{r.read_string()};
+}
+
+serial::Buffer DirResolveReply::encode() const {
+  serial::Writer w;
+  w.write_u8(static_cast<std::uint8_t>(status));
+  put_node(w, host);
+  w.write_u64(epoch);
+  put_node(w, leader);
+  w.write_string(error);
+  return w.take();
+}
+
+DirResolveReply DirResolveReply::decode(serial::ChainReader& r) {
+  DirResolveReply v;
+  v.status = static_cast<Status>(r.read_u8());
+  v.host = get_node(r);
+  v.epoch = r.read_u64();
+  v.leader = get_node(r);
+  v.error = r.read_string();
   return v;
 }
 

@@ -63,6 +63,14 @@ inline const common::VerbId kDiscover = common::intern_verb("mage.discover");
 // the number of RMI calls ... by better utilizing the in and out variables
 // of a single Java RMI call".  One exchange carries instantiate + invoke.
 inline const common::VerbId kExec = common::intern_verb("mage.exec");
+// Replicated directory control plane (the Section 7 static-home fix):
+// leader election among the director quorum, plus placement-record
+// announce/resolve/replicate.
+inline const common::VerbId kRequestVote = common::intern_verb("dir.request_vote");
+inline const common::VerbId kHeartbeat = common::intern_verb("dir.heartbeat");
+inline const common::VerbId kDirAnnounce = common::intern_verb("dir.announce");
+inline const common::VerbId kDirResolve = common::intern_verb("dir.resolve");
+inline const common::VerbId kDirReplicate = common::intern_verb("dir.replicate");
 }  // namespace verbs
 
 // Shared status for operations addressed to "the node currently hosting X":
@@ -99,6 +107,11 @@ void put_node(serial::ChainWriter& w, common::NodeId n);
 struct LookupRequest {
   common::ComponentName name;
   std::uint32_t hops = 0;  // cycle guard for the forwarding-chain walk
+  // Epoch fence: the highest placement epoch the caller has confirmed for
+  // this name.  A node whose forwarding knowledge is older answers
+  // NotFound instead of sending the caller down a stale chain.  0 = no
+  // fence (legacy callers).
+  std::uint64_t min_epoch = 0;
 
   [[nodiscard]] serial::Buffer encode() const;
   MAGE_PROTO_DECODE(LookupRequest)
@@ -108,6 +121,8 @@ struct LookupReply {
   Status status = Status::NotFound;
   common::NodeId host = common::kNoNode;  // valid when Ok
   std::string error;
+  // Placement epoch of `host` (see LookupRequest::min_epoch); 0 = unknown.
+  std::uint64_t epoch = 0;
 
   [[nodiscard]] serial::Buffer encode() const;
   MAGE_PROTO_DECODE(LookupReply)
@@ -171,6 +186,10 @@ struct SimpleReply {
   Status status = Status::Ok;
   common::NodeId hint = common::kNoNode;  // valid when Moved
   std::string error;
+  // Placement epoch backing `hint` (Moved), or the new epoch of a
+  // completed operation (e.g. a move's Ok reply carries the migrated
+  // object's epoch).  0 = unfenced.
+  std::uint64_t hint_epoch = 0;
 
   [[nodiscard]] serial::Buffer encode() const;
   MAGE_PROTO_DECODE(SimpleReply)
@@ -190,6 +209,9 @@ struct TransferRequest {
   common::ComponentName name;
   std::string class_name;
   bool is_public = false;
+  // Placement epoch the destination binds the object at (source's epoch +
+  // 1); fences stale Moved hints behind this migration.
+  std::uint64_t epoch = 0;
   serial::Buffer state;  // weakly migrated heap state
 
   // Scatter-gather: `state` rides as its own fragment, uncopied.
@@ -213,6 +235,7 @@ struct InvokeReply {
   Status status = Status::Ok;
   common::NodeId hint = common::kNoNode;  // valid when Moved
   std::string error;                      // valid when Error
+  std::uint64_t hint_epoch = 0;           // placement epoch backing `hint`
   serial::Buffer result;                  // valid when Ok
 
   // Scatter-gather: `result` rides as its own fragment, uncopied.
@@ -244,6 +267,7 @@ struct LockReply {
   std::uint64_t lock_id = 0;              // valid when Ok
   LockKind kind = LockKind::Stay;         // valid when Ok
   std::string error;
+  std::uint64_t hint_epoch = 0;           // placement epoch backing `hint`
 
   [[nodiscard]] serial::Buffer encode() const;
   MAGE_PROTO_DECODE(LockReply)
@@ -307,6 +331,93 @@ struct DiscoverReply {
 
   [[nodiscard]] serial::Buffer encode() const;
   MAGE_PROTO_DECODE(DiscoverReply)
+};
+
+// --- replicated directory & election ----------------------------------------
+//
+// The director quorum's control-plane messages (docs/ARCHITECTURE.md,
+// "Replicated directory & election").  Election messages are term-based;
+// placement records carry the same epoch fence the forwarding chain uses.
+
+struct VoteRequest {
+  std::uint64_t term = 0;
+  common::NodeId candidate = common::kNoNode;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(VoteRequest)
+};
+
+struct VoteReply {
+  std::uint64_t term = 0;
+  bool granted = false;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(VoteReply)
+};
+
+struct HeartbeatRequest {
+  std::uint64_t term = 0;
+  common::NodeId leader = common::kNoNode;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(HeartbeatRequest)
+};
+
+struct HeartbeatReply {
+  std::uint64_t term = 0;
+  bool ok = false;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(HeartbeatReply)
+};
+
+// One replicated placement fact: where `name` lives as of `epoch`.
+struct PlacementRecord {
+  common::ComponentName name;
+  std::string class_name;
+  common::NodeId host = common::kNoNode;
+  bool is_public = false;
+  std::uint64_t epoch = 0;
+};
+
+void put_record(serial::Writer& w, const PlacementRecord& rec);
+[[nodiscard]] PlacementRecord get_record(serial::ChainReader& r);
+
+// kDirAnnounce (leader-only; followers answer Moved + leader hint) and
+// kDirReplicate (leader -> follower fan-out) share this body.
+struct DirAnnounceRequest {
+  PlacementRecord record;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(DirAnnounceRequest)
+};
+
+struct DirAnnounceReply {
+  Status status = Status::Ok;
+  common::NodeId leader = common::kNoNode;  // best-known leader (any status)
+  std::uint64_t epoch = 0;                  // epoch stored, when Ok
+  std::string error;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(DirAnnounceReply)
+};
+
+struct DirResolveRequest {
+  common::ComponentName name;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(DirResolveRequest)
+};
+
+struct DirResolveReply {
+  Status status = Status::NotFound;
+  common::NodeId host = common::kNoNode;    // valid when Ok
+  std::uint64_t epoch = 0;                  // valid when Ok
+  common::NodeId leader = common::kNoNode;  // best-known leader (any status)
+  std::string error;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(DirResolveReply)
 };
 
 // --- misc ------------------------------------------------------------------

@@ -1,13 +1,17 @@
 #include "rts/registry.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace mage::rts {
 
 void Registry::bind(const common::ComponentName& name,
-                    std::unique_ptr<MageObject> object) {
+                    std::unique_ptr<MageObject> object, std::uint64_t epoch) {
   objects_[name] = std::move(object);
   forwards_.erase(name);
+  auto& known = epochs_[name];
+  known = std::max({known, epoch, std::uint64_t{1}});
 }
 
 std::unique_ptr<MageObject> Registry::unbind(
@@ -43,6 +47,20 @@ void Registry::update_forward(const common::ComponentName& name,
     return;
   }
   forwards_[name] = to;
+}
+
+bool Registry::update_forward(const common::ComponentName& name,
+                              common::NodeId to, std::uint64_t epoch) {
+  auto& known = epochs_[name];
+  if (epoch < known) return false;  // stale placement knowledge — ignored
+  known = epoch;
+  update_forward(name, to);
+  return true;
+}
+
+std::uint64_t Registry::epoch_of(const common::ComponentName& name) const {
+  const auto it = epochs_.find(name);
+  return it == epochs_.end() ? 0 : it->second;
 }
 
 std::optional<common::NodeId> Registry::forward(

@@ -33,9 +33,12 @@ class Registry {
   // --- local bindings -----------------------------------------------------
 
   // Binds `object` under `name` in this namespace; clears any forwarding
-  // entry (the object is back).
+  // entry (the object is back).  `epoch` is the placement epoch the object
+  // arrives at (a migration destination binds at the source's epoch + 1);
+  // 0 keeps the highest epoch this registry has seen, floored at 1 — a
+  // first bind starts every object's history at epoch 1.
   void bind(const common::ComponentName& name,
-            std::unique_ptr<MageObject> object);
+            std::unique_ptr<MageObject> object, std::uint64_t epoch = 0);
 
   // Removes and returns the local object (it is about to migrate).
   [[nodiscard]] std::unique_ptr<MageObject> unbind(
@@ -53,11 +56,22 @@ class Registry {
   // --- forwarding chain -----------------------------------------------------
 
   // Records "the object left this namespace toward `to`" or collapses the
-  // chain after a successful lookup.
+  // chain after a successful lookup.  The unfenced overload keeps the
+  // current epoch knowledge; the fenced overload applies only when `epoch`
+  // is at least what this registry already knows (and records it) —
+  // returns false when the update was stale and ignored.  Epoch-fenced
+  // forwards are what stop a stale chain from resurrecting a dead home:
+  // knowledge can only move forward in placement history.
   void update_forward(const common::ComponentName& name, common::NodeId to);
+  bool update_forward(const common::ComponentName& name, common::NodeId to,
+                      std::uint64_t epoch);
 
   [[nodiscard]] std::optional<common::NodeId> forward(
       const common::ComponentName& name) const;
+
+  // Highest placement epoch this registry has seen for `name` (local bind
+  // or fenced forward); 0 = no epoch knowledge.
+  [[nodiscard]] std::uint64_t epoch_of(const common::ComponentName& name) const;
 
   // --- MA result store ------------------------------------------------------
 
@@ -73,6 +87,9 @@ class Registry {
   common::NodeId self_;
   std::map<common::ComponentName, std::unique_ptr<MageObject>> objects_;
   std::map<common::ComponentName, common::NodeId> forwards_;
+  // Placement-epoch knowledge per name; outlives both the binding and the
+  // forward (an erased forward must not forget how recent it was).
+  std::map<common::ComponentName, std::uint64_t> epochs_;
   std::map<common::ComponentName, serial::Buffer> results_;
 };
 

@@ -121,15 +121,16 @@ bool MageServer::check_access(Operation op, common::NodeId caller,
   return false;
 }
 
-std::pair<proto::Status, common::NodeId> MageServer::locate_hint(
+MageServer::Hint MageServer::locate_hint(
     const common::ComponentName& name) const {
   if (auto it = in_transit_.find(name); it != in_transit_.end()) {
-    return {proto::Status::Moved, it->second};
+    // The in-flight transfer will bind at our epoch + 1 on arrival.
+    return {proto::Status::Moved, it->second, registry_.epoch_of(name) + 1};
   }
   if (auto fwd = registry_.forward(name)) {
-    return {proto::Status::Moved, *fwd};
+    return {proto::Status::Moved, *fwd, registry_.epoch_of(name)};
   }
-  return {proto::Status::NotFound, common::kNoNode};
+  return {proto::Status::NotFound, common::kNoNode, 0};
 }
 
 // --- registry lookup (forwarding chain + path collapsing) --------------------
@@ -146,6 +147,7 @@ void MageServer::handle_lookup(common::NodeId caller, const Body& body,
     proto::LookupReply reply;
     reply.status = proto::Status::Ok;
     reply.host = self();
+    reply.epoch = registry_.epoch_of(request.name);
     replier.ok(reply.encode());
     return;
   }
@@ -159,11 +161,19 @@ void MageServer::handle_lookup(common::NodeId caller, const Body& body,
     return;
   }
 
-  auto [status, next] = locate_hint(request.name);
-  if (status != proto::Status::Moved) {
+  auto hint = locate_hint(request.name);
+  if (hint.status != proto::Status::Moved ||
+      (request.min_epoch != 0 && hint.epoch != 0 &&
+       hint.epoch < request.min_epoch)) {
+    // Either we know nothing, or what we know predates what the caller has
+    // already confirmed — walking our chain could only lead somewhere the
+    // object left (epoch fence: never hand out placement history that runs
+    // backwards, e.g. toward a crashed ex-home).
     proto::LookupReply reply;
     reply.status = proto::Status::NotFound;
-    reply.error = "no binding and no forwarding address";
+    reply.error = hint.status == proto::Status::Moved
+                      ? "forwarding knowledge is staler than the caller's"
+                      : "no binding and no forwarding address";
     replier.ok(reply.encode());
     return;
   }
@@ -174,9 +184,10 @@ void MageServer::handle_lookup(common::NodeId caller, const Body& body,
   proto::LookupRequest forwarded;
   forwarded.name = request.name;
   forwarded.hops = request.hops + 1;
+  forwarded.min_epoch = request.min_epoch;
   sim().stats().add("rts.lookup_hops");
   transport_.call(
-      next, proto_verbs::kLookup, forwarded.encode(),
+      hint.node, proto_verbs::kLookup, forwarded.encode(),
       [this, name = request.name,
        replier = std::move(replier)](rmi::CallResult result) mutable {
         if (!result.ok) {
@@ -188,7 +199,9 @@ void MageServer::handle_lookup(common::NodeId caller, const Body& body,
         }
         auto reply = proto::LookupReply::decode(result.body);
         if (reply.status == proto::Status::Ok) {
-          registry_.update_forward(name, reply.host);  // collapse the path
+          // Collapse the path, fenced: a reply that raced a newer migration
+          // must not roll our knowledge back.
+          registry_.update_forward(name, reply.host, reply.epoch);
         }
         replier.ok(reply.encode());
       });
@@ -374,10 +387,11 @@ void MageServer::handle_move(common::NodeId caller, const Body& body,
   auto request = proto::MoveRequest::decode(body);
 
   if (!registry_.has_local(request.name) || in_transit(request.name)) {
-    auto [status, hint] = locate_hint(request.name);
+    auto hint = locate_hint(request.name);
     proto::SimpleReply reply;
-    reply.status = status;
-    reply.hint = hint;
+    reply.status = hint.status;
+    reply.hint = hint.node;
+    reply.hint_epoch = hint.epoch;
     reply.error = "object is not at this node";
     replier.ok(reply.encode());
     return;
@@ -385,6 +399,8 @@ void MageServer::handle_move(common::NodeId caller, const Body& body,
 
   if (request.to == self()) {
     proto::SimpleReply reply;  // already at the target: nothing to move
+    reply.hint = self();
+    reply.hint_epoch = registry_.epoch_of(request.name);
     replier.ok(reply.encode());
     return;
   }
@@ -399,18 +415,24 @@ void MageServer::handle_move(common::NodeId caller, const Body& body,
   serial::Writer state_writer;
   object.serialize(state_writer);
 
+  // This migration advances the object's placement history by one epoch;
+  // the destination binds at new_epoch, every hint we leave behind carries
+  // it, and anything older is fenced out downstream.
+  const std::uint64_t new_epoch = registry_.epoch_of(request.name) + 1;
+
   proto::TransferRequest transfer;
   transfer.name = request.name;
   transfer.class_name = object.class_name();
   transfer.is_public = directory_.contains(request.name)
                            ? directory_.info(request.name).is_public
                            : false;
+  transfer.epoch = new_epoch;
   transfer.state = state_writer.take();
 
   in_transit_[request.name] = request.to;
   transport_.call(
       request.to, proto_verbs::kTransfer, transfer.encode(),
-      [this, name = request.name, to = request.to,
+      [this, name = request.name, to = request.to, new_epoch,
        replier = std::move(replier)](rmi::CallResult result) mutable {
         in_transit_.erase(name);
         proto::SimpleReply reply;
@@ -428,12 +450,16 @@ void MageServer::handle_move(common::NodeId caller, const Body& body,
           return;
         }
         // Destination has the object: retire the local copy and leave a
-        // forwarding address behind.
+        // forwarding address behind, fenced at the migration's epoch.
         auto departed = registry_.unbind(name);
         departed.reset();
-        registry_.update_forward(name, to);
+        registry_.update_forward(name, to, new_epoch);
         locks_.on_object_departed(name, to);
         sim().stats().add("rts.migrations");
+        // The Ok reply tells the mover where the object now is and at
+        // which epoch (so it can announce the move to the directory).
+        reply.hint = to;
+        reply.hint_epoch = new_epoch;
         replier.ok(reply.encode());
       });
 }
@@ -467,7 +493,8 @@ void MageServer::handle_transfer(common::NodeId caller, const Body& body,
             [this, request, replier = std::move(replier)]() mutable {
           serial::Reader state(request.state);
           registry_.bind(request.name,
-                         world_.deserialize(request.class_name, state));
+                         world_.deserialize(request.class_name, state),
+                         request.epoch);
           sim().stats().add("rts.transfers_in");
           proto::SimpleReply reply;
           replier.ok(reply.encode());
@@ -497,10 +524,11 @@ void MageServer::handle_invoke(common::NodeId caller, const Body& body,
   if (!check_access(Operation::Invoke, caller, replier)) return;
   auto request = proto::InvokeRequest::decode(body);
   if (!registry_.has_local(request.name) || in_transit(request.name)) {
-    auto [status, hint] = locate_hint(request.name);
+    auto hint = locate_hint(request.name);
     proto::InvokeReply reply;
-    reply.status = status;
-    reply.hint = hint;
+    reply.status = hint.status;
+    reply.hint = hint.node;
+    reply.hint_epoch = hint.epoch;
     reply.error = "object is not at this node";
     replier.ok(reply.encode());
     return;
@@ -525,10 +553,11 @@ void MageServer::handle_invoke_oneway(common::NodeId caller, const Body& body,
   if (!check_access(Operation::Invoke, caller, replier)) return;
   auto request = proto::InvokeRequest::decode(body);
   if (!registry_.has_local(request.name) || in_transit(request.name)) {
-    auto [status, hint] = locate_hint(request.name);
+    auto hint = locate_hint(request.name);
     proto::InvokeReply reply;
-    reply.status = status;
-    reply.hint = hint;
+    reply.status = hint.status;
+    reply.hint = hint.node;
+    reply.hint_epoch = hint.epoch;
     reply.error = "object is not at this node";
     replier.ok(reply.encode());
     return;
@@ -578,10 +607,11 @@ void MageServer::handle_lock(common::NodeId caller, const Body& body,
   if (!check_access(Operation::Lock, caller, replier)) return;
   auto request = proto::LockRequest::decode(body);
   if (!registry_.has_local(request.name) || in_transit(request.name)) {
-    auto [status, hint] = locate_hint(request.name);
+    auto hint = locate_hint(request.name);
     proto::LockReply reply;
-    reply.status = status;
-    reply.hint = hint;
+    reply.status = hint.status;
+    reply.hint = hint.node;
+    reply.hint_epoch = hint.epoch;
     reply.error = "object is not at this node";
     replier.ok(reply.encode());
     return;

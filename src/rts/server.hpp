@@ -139,9 +139,16 @@ class MageServer {
   proto::InvokeReply run_method(const proto::InvokeRequest& request);
 
   // Answers "where should the caller look next" for a non-local component:
-  // Moved + hint when we know where it went, NotFound otherwise.
-  [[nodiscard]] std::pair<proto::Status, common::NodeId> locate_hint(
-      const common::ComponentName& name) const;
+  // Moved + hint when we know where it went, NotFound otherwise.  `epoch`
+  // is the placement epoch backing the hint, so callers can fence stale
+  // forwarding knowledge (an in-transit hint is one epoch ahead of the
+  // local binding — the destination binds at epoch + 1).
+  struct Hint {
+    proto::Status status = proto::Status::NotFound;
+    common::NodeId node = common::kNoNode;
+    std::uint64_t epoch = 0;
+  };
+  [[nodiscard]] Hint locate_hint(const common::ComponentName& name) const;
 
   sim::Simulation& sim();
   [[nodiscard]] const net::CostModel& model() const {
