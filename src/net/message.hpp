@@ -28,8 +28,16 @@ namespace mage::net {
 inline constexpr std::size_t kHeaderBytes = 96;
 
 // What a message is, for trace labels: requests print the verb, replies
-// "<verb>.reply", duplicate-suppression re-sends "<verb>.re".
-enum class MsgKind : std::uint8_t { Request = 0, Reply = 1, ReplyDup = 2 };
+// "<verb>.reply", duplicate-suppression re-sends "<verb>.re", one-way
+// (no-reply) requests "<verb>.oneway", and batch frames the batch verb
+// itself (the sub-envelope verbs live inside the frame).
+enum class MsgKind : std::uint8_t {
+  Request = 0,
+  Reply = 1,
+  ReplyDup = 2,
+  OneWay = 3,
+  Batch = 4,
+};
 
 struct Message {
   common::NodeId from;

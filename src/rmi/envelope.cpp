@@ -18,6 +18,17 @@ constexpr std::size_t kHeaderReserve = 64;
 std::atomic<std::uint64_t> g_fast_headers{0};
 std::atomic<std::uint64_t> g_list_headers{0};
 
+// Exact framing-byte count write_header() will emit for `e`.
+std::size_t header_size(const Envelope& e) {
+  std::size_t n = 1 + 8 + 4;  // tag + request_id + verb
+  if (e.kind == EnvelopeKind::Reply) {
+    n += 1;                             // ok
+    if (!e.ok) n += 4 + e.error.size();  // str error
+  }
+  n += e.body.fragments() == 1 ? 4 : 1 + 4 * e.body.fragments();
+  return n;
+}
+
 void write_header(serial::Writer& w, const Envelope& e) {
   if (e.body.size() > std::numeric_limits<std::uint32_t>::max()) {
     throw common::SerializationError(
@@ -60,7 +71,12 @@ FragmentList read_header(serial::Reader& r, Envelope& e) {
   const std::uint8_t tag = r.read_u8();
   const bool single = (tag & kSingleFragmentFlag) != 0;
   const std::uint8_t kind = tag & static_cast<std::uint8_t>(~kSingleFragmentFlag);
-  if (kind > 1) {
+  if (kind == kBatchTag) {
+    throw common::SerializationError(
+        "batch frame where a single envelope was expected; use "
+        "Envelope::decode_batch");
+  }
+  if (kind > static_cast<std::uint8_t>(EnvelopeKind::OneWay)) {
     throw common::SerializationError("bad envelope tag " +
                                      std::to_string(tag));
   }
@@ -106,13 +122,18 @@ serial::Buffer Envelope::encode_header() const {
 }
 
 serial::Buffer Envelope::encode() const {
-  serial::Writer w(kHeaderReserve + body.size());
-  write_header(w, *this);
-  for (std::size_t i = 0; i < body.fragments(); ++i) {
-    const serial::Buffer& frag = body.fragment(i);
-    w.write_raw(frag.data(), frag.size());
-  }
+  serial::Writer w(encoded_size());
+  encode_into(w);
   return w.take();
+}
+
+std::size_t Envelope::encoded_size() const {
+  return header_size(*this) + body.size();
+}
+
+void Envelope::encode_into(serial::Writer& w) const {
+  write_header(w, *this);
+  body.write_to(w);
 }
 
 Envelope Envelope::decode(const serial::Buffer& header,
@@ -146,6 +167,55 @@ std::uint64_t Envelope::list_path_headers() {
 void Envelope::reset_header_counters() {
   g_fast_headers.store(0, std::memory_order_relaxed);
   g_list_headers.store(0, std::memory_order_relaxed);
+}
+
+bool Envelope::is_batch(const serial::Buffer& wire) {
+  return wire.size() >= 1 &&
+         (wire.data()[0] & static_cast<std::uint8_t>(~kSingleFragmentFlag)) ==
+             kBatchTag;
+}
+
+serial::Buffer Envelope::encode_batch(const std::vector<Envelope>& envelopes) {
+  std::size_t total = 1 + 4;  // tag + count
+  for (const Envelope& e : envelopes) total += 4 + e.encoded_size();
+  serial::Writer w(total);
+  w.write_u8(kBatchTag);
+  w.write_u32(static_cast<std::uint32_t>(envelopes.size()));
+  for (const Envelope& e : envelopes) {
+    w.write_u32(static_cast<std::uint32_t>(e.encoded_size()));
+    e.encode_into(w);
+  }
+  return w.take();
+}
+
+std::vector<Envelope> Envelope::decode_batch(const serial::Buffer& wire) {
+  serial::Reader r(wire);
+  const std::uint8_t tag = r.read_u8();
+  if (tag != kBatchTag) {
+    throw common::SerializationError("not a batch frame: tag " +
+                                     std::to_string(tag));
+  }
+  const std::uint32_t count = r.read_u32();
+  std::vector<Envelope> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t size = r.read_u32();
+    if (size > r.remaining()) {
+      throw common::SerializationError(
+          "batch sub-envelope " + std::to_string(i) + " declares " +
+          std::to_string(size) + " bytes, " + std::to_string(r.remaining()) +
+          " remain");
+    }
+    const std::size_t at = r.offset();
+    (void)r.read_span(size);
+    out.push_back(decode(wire.slice(at, size)));
+  }
+  if (!r.at_end()) {
+    throw common::SerializationError(
+        "batch frame has " + std::to_string(r.remaining()) +
+        " trailing bytes after " + std::to_string(count) + " sub-envelopes");
+  }
+  return out;
 }
 
 Envelope Envelope::decode(const serial::Buffer& flat) {

@@ -1,11 +1,13 @@
 #include "rmi/transport.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <optional>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "serial/writer.hpp"
 
 namespace mage::rmi {
 
@@ -42,6 +44,21 @@ Transport::Transport(net::Network& network, common::NodeId self,
           sim_.stats().counter_handle("rmi.reply_cache_evictions")),
       evicted_reexecutions_(
           sim_.stats().counter_handle("rmi.evicted_reexecutions")),
+      oneway_calls_(sim_.stats().counter_handle("rmi.oneway_calls")),
+      oneway_executions_(sim_.stats().counter_handle("rmi.oneway_executions")),
+      oneway_no_service_(sim_.stats().counter_handle("rmi.oneway_no_service")),
+      batches_sent_(sim_.stats().counter_handle("rmi.batches_sent")),
+      batched_invokes_(sim_.stats().counter_handle("rmi.batched_invokes")),
+      batch_singletons_(sim_.stats().counter_handle("rmi.batch_singletons")),
+      reply_cache_grows_(
+          sim_.stats().counter_handle("rmi.reply_cache_grows")),
+      reply_cache_shrinks_(
+          sim_.stats().counter_handle("rmi.reply_cache_shrinks")),
+      reply_cache_capacity_stat_(
+          sim_.stats().counter_handle("rmi.reply_cache_capacity")),
+      reply_cache_capacity_high_water_(
+          sim_.stats().counter_handle("rmi.reply_cache_capacity_highwater")),
+      batch_verb_(common::intern_verb("rmi.batch")),
       reply_cache_capacity_(reply_cache_capacity) {
   if (reply_cache_capacity_ == 0) {
     throw common::MageError(
@@ -54,8 +71,39 @@ Transport::Transport(net::Network& network, common::NodeId self,
   // capacity * sizeof(ReplyCacheEntry) bytes — once the ring has wrapped,
   // the receive path is allocation-free.
   reply_cache_index_.reserve(reply_cache_capacity_);
+  *reply_cache_capacity_stat_ = static_cast<std::int64_t>(reply_cache_capacity_);
+  *reply_cache_capacity_high_water_ =
+      static_cast<std::int64_t>(reply_cache_capacity_);
   network_.set_handler(self_,
                        [this](net::Message msg) { on_message(std::move(msg)); });
+}
+
+void Transport::set_batching(BatchOptions options) {
+  if (options.enabled &&
+      (options.flush_quantum_us < 1 || options.max_batch_invokes < 1)) {
+    throw common::MageError(
+        "batching needs a flush quantum and invoke budget of at least 1");
+  }
+  // Never strand queued envelopes under the old policy.
+  flush_all();
+  batch_options_ = options;
+}
+
+void Transport::set_adaptive_reply_cache(AdaptiveCacheOptions options) {
+  if (options.enabled &&
+      (options.floor < 1 || options.ceiling < options.floor ||
+       options.grow_threshold < 1 || options.idle_shrink_us < 1)) {
+    throw common::MageError(
+        "adaptive reply cache needs 1 <= floor <= ceiling, a positive grow "
+        "threshold, and a positive idle-shrink period");
+  }
+  adaptive_cache_ = options;
+  if (options.enabled) {
+    const std::size_t clamped = std::clamp(reply_cache_capacity_,
+                                           options.floor, options.ceiling);
+    if (clamped != reply_cache_capacity_) resize_reply_cache(clamped);
+    last_eviction_us_ = sim_.now();
+  }
 }
 
 void Transport::register_service(common::VerbId verb, Service service) {
@@ -104,7 +152,40 @@ void Transport::call(common::NodeId dest, common::VerbId verb,
   const auto& model = network_.cost_model();
   const common::SimDuration prep =
       model.rmi_client_overhead_us + model.marshal_time(body_size);
+  // Always an event (never inline, even at zero cost): call() runs in
+  // driver context, and the driver must keep its window to mutate faults
+  // before the request reaches the wire — the seed's contract.
   sim_.schedule_after(prep, [this, id] { transmit(id); }, sim::Wake::No);
+}
+
+void Transport::call_oneway(common::NodeId dest, common::VerbId verb,
+                            serial::BufferChain body) {
+  if (!verb.valid() || verb.value() >= common::interned_verb_count()) {
+    throw common::MageError("call_oneway on an uninterned verb id");
+  }
+  ++*oneway_calls_;
+  ++*verb_calls_counter(verb);
+
+  Envelope env;
+  env.kind = EnvelopeKind::OneWay;
+  // Ids keep the global sequence so traces stay unambiguous; one-way ids
+  // never enter the pending table or the at-most-once key space.
+  env.request_id = common::RequestId{next_request_++};
+  env.verb = verb;
+  const std::size_t body_size = body.size();
+  env.body = std::move(body);
+
+  const auto& model = network_.cost_model();
+  const common::SimDuration prep =
+      model.rmi_client_overhead_us + model.marshal_time(body_size);
+  // An event for the same reason as call(): keep the driver's window to
+  // mutate faults before the send reaches the wire.
+  sim_.schedule_after(
+      prep,
+      [this, dest, env = std::move(env)]() mutable {
+        route(dest, std::move(env), net::MsgKind::OneWay);
+      },
+      sim::Wake::No);
 }
 
 void Transport::transmit(common::RequestId id) {
@@ -132,9 +213,87 @@ void Transport::transmit(common::RequestId id) {
   env.request_id = id;
   env.verb = pc->verb;
   env.body = pc->body;  // fragment refcounts, not a copy
-  network_.send(net::Message{self_, pc->dest, pc->verb, net::MsgKind::Request,
-                             env.encode_header(), std::move(env.body)});
+  route(pc->dest, std::move(env), net::MsgKind::Request);
   arm_retry_timer(id);
+}
+
+void Transport::send_now(common::NodeId dest, Envelope env,
+                         net::MsgKind kind) {
+  network_.send(net::Message{self_, dest, env.verb, kind, env.encode_header(),
+                             std::move(env.body)});
+}
+
+void Transport::route(common::NodeId dest, Envelope env, net::MsgKind kind) {
+  if (!batch_options_.enabled || dest.value() == self_.value() ||
+      env.body.size() > batch_options_.max_inline_body) {
+    // Loopback and oversized bodies keep the scatter-gather direct path.
+    send_now(dest, std::move(env), kind);
+    return;
+  }
+  if (batch_queues_.size() <= dest.value()) {
+    batch_queues_.resize(dest.value() + 1);
+  }
+  LinkQueue& queue = batch_queues_[dest.value()];
+  const std::size_t encoded = env.encoded_size();
+  queue.bytes += encoded;
+  queue.items.push_back(BatchItem{std::move(env), kind, encoded});
+  if (queue.items.size() >= batch_options_.max_batch_invokes ||
+      queue.bytes >= batch_options_.max_batch_bytes) {
+    flush_link(dest.value());
+    return;
+  }
+  schedule_flush();
+}
+
+void Transport::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  // Absolute quantum boundaries, not now()+quantum: every node's flushes
+  // land on the same global grid, so a request batch and the batch of its
+  // replies pipeline one quantum apart instead of drifting.
+  const common::SimDuration quantum = batch_options_.flush_quantum_us;
+  const common::SimTime at = (sim_.now() / quantum + 1) * quantum;
+  sim_.schedule_at(at, [this] { flush_all(); }, sim::Wake::No);
+}
+
+void Transport::flush_all() {
+  flush_scheduled_ = false;
+  for (std::size_t dest = 0; dest < batch_queues_.size(); ++dest) {
+    flush_link(dest);
+  }
+}
+
+void Transport::flush_link(std::size_t dest_index) {
+  LinkQueue& queue = batch_queues_[dest_index];
+  if (queue.items.empty()) return;
+  const common::NodeId dest{static_cast<std::uint32_t>(dest_index)};
+  if (queue.items.size() == 1) {
+    // Single-invoke degenerate case: collapse to the plain envelope so the
+    // single-fragment fast path (and its header counter) still applies.
+    BatchItem item = std::move(queue.items.front());
+    queue.items.clear();
+    queue.bytes = 0;
+    ++*batch_singletons_;
+    send_now(dest, std::move(item.env), item.kind);
+    return;
+  }
+  // Gather every queued envelope into ONE flat frame: a single pre-sized
+  // Writer allocation, then one net::Message (one mailbox push, one
+  // wire_seq) for the whole batch.
+  std::size_t total = 1 + 4 + 4 * queue.items.size() + queue.bytes;
+  serial::Writer w(total);
+  w.write_u8(kBatchTag);
+  w.write_u32(static_cast<std::uint32_t>(queue.items.size()));
+  for (const BatchItem& item : queue.items) {
+    w.write_u32(static_cast<std::uint32_t>(item.encoded_size));
+    item.env.encode_into(w);
+  }
+  ++*batches_sent_;
+  *batched_invokes_ += static_cast<std::int64_t>(queue.items.size());
+  queue.items.clear();
+  queue.bytes = 0;
+  network_.send(net::Message{self_, dest, batch_verb_, net::MsgKind::Batch,
+                             w.take(), {}});
 }
 
 void Transport::arm_retry_timer(common::RequestId id) {
@@ -184,12 +343,52 @@ serial::BufferChain Transport::call_sync(common::NodeId dest,
 }
 
 void Transport::on_message(net::Message msg) {
-  Envelope env = Envelope::decode(msg.header, std::move(msg.body));
-  if (env.kind == EnvelopeKind::Request) {
-    on_request(msg.from, env);
-  } else {
-    on_reply(env);
+  if (Envelope::is_batch(msg.header)) {
+    // One mailbox push carried the whole flush; unpack (zero-copy slices)
+    // and dispatch the sub-envelopes in their sent order.
+    std::vector<Envelope> envelopes = Envelope::decode_batch(msg.header);
+    for (Envelope& env : envelopes) {
+      dispatch_envelope(msg.from, env);
+    }
+    return;
   }
+  Envelope env = Envelope::decode(msg.header, std::move(msg.body));
+  dispatch_envelope(msg.from, env);
+}
+
+void Transport::dispatch_envelope(common::NodeId from, Envelope& env) {
+  switch (env.kind) {
+    case EnvelopeKind::Request:
+      on_request(from, env);
+      break;
+    case EnvelopeKind::OneWay:
+      on_oneway(from, env);
+      break;
+    case EnvelopeKind::Reply:
+      on_reply(env);
+      break;
+  }
+}
+
+void Transport::on_oneway(common::NodeId from, Envelope& env) {
+  // One-way requests never touch the at-most-once state: nothing ever
+  // retransmits them, so a duplicate cannot exist; and with no Replier to
+  // arm there is no reply to cache.
+  const std::uint32_t verb_index = env.verb.value();
+  if (verb_index >= services_.size() || !services_[verb_index]) {
+    // No reply channel to carry the error — count and drop.
+    ++*oneway_no_service_;
+    return;
+  }
+  ++*oneway_executions_;
+  const auto& model = network_.cost_model();
+  const common::SimDuration prep =
+      model.rmi_server_dispatch_us + model.marshal_time(env.body.size());
+  after_cpu(prep, [this, verb_index, from,
+                   body = std::move(env.body)]() mutable {
+    sim_.wake();  // user code runs here (see on_request)
+    services_[verb_index](from, body, Replier{});
+  });
 }
 
 void Transport::mark_evicted(std::uint64_t key, common::RequestId id) {
@@ -197,7 +396,70 @@ void Transport::mark_evicted(std::uint64_t key, common::RequestId id) {
   marks->evicted_max = std::max(marks->evicted_max, id.value());
 }
 
+void Transport::resize_reply_cache(std::size_t new_capacity) {
+  assert(new_capacity >= 1);
+  if (new_capacity == reply_cache_capacity_) return;
+  const std::size_t live = reply_cache_entries_.size();
+  const std::size_t keep = std::min(live, new_capacity);
+  const std::size_t drop = live - keep;
+  // Walk the ring oldest-first so the rebuilt vector is exact FIFO order;
+  // a shrink evicts the oldest entries with the same accounting as a ring
+  // wrap (their at-most-once protection is genuinely gone).
+  const std::size_t start =
+      live == reply_cache_capacity_ ? reply_cache_head_ : 0;
+  std::vector<ReplyCacheEntry> rebuilt;
+  rebuilt.reserve(keep);
+  for (std::size_t i = 0; i < live; ++i) {
+    ReplyCacheEntry& entry =
+        reply_cache_entries_[(start + i) % reply_cache_capacity_];
+    if (i < drop) {
+      ++*reply_cache_evictions_;
+      mark_evicted(entry.key, entry.request_id);
+      continue;
+    }
+    rebuilt.push_back(std::move(entry));
+  }
+  reply_cache_entries_ = std::move(rebuilt);
+  reply_cache_head_ = 0;
+  if (new_capacity > reply_cache_capacity_) {
+    ++*reply_cache_grows_;
+  } else {
+    ++*reply_cache_shrinks_;
+  }
+  reply_cache_capacity_ = new_capacity;
+  // Rebuild the slim index over the survivors (pre-sized, no rehash).
+  reply_cache_index_ = common::FlatMap64<std::uint32_t>();
+  reply_cache_index_.reserve(new_capacity);
+  for (std::size_t i = 0; i < reply_cache_entries_.size(); ++i) {
+    *reply_cache_index_.try_emplace(reply_cache_entries_[i].key).first =
+        static_cast<std::uint32_t>(i);
+  }
+  evictions_since_resize_ = 0;
+  *reply_cache_capacity_stat_ = static_cast<std::int64_t>(new_capacity);
+  *reply_cache_capacity_high_water_ =
+      std::max(*reply_cache_capacity_high_water_,
+               static_cast<std::int64_t>(new_capacity));
+}
+
 Transport::ReplyCacheEntry* Transport::reply_cache_insert(std::uint64_t key) {
+  if (adaptive_cache_.enabled) {
+    if (reply_cache_entries_.size() == reply_cache_capacity_ &&
+        reply_cache_capacity_ < adaptive_cache_.ceiling &&
+        evictions_since_resize_ >= adaptive_cache_.grow_threshold) {
+      // Sustained eviction pressure: double before this insert evicts yet
+      // another live entry.
+      resize_reply_cache(
+          std::min(adaptive_cache_.ceiling, reply_cache_capacity_ * 2));
+    } else if (reply_cache_capacity_ > adaptive_cache_.floor &&
+               sim_.now() - last_eviction_us_ >=
+                   adaptive_cache_.idle_shrink_us) {
+      // Idle: no eviction for a full shrink period — halve toward the
+      // floor, one step per period.
+      resize_reply_cache(
+          std::max(adaptive_cache_.floor, reply_cache_capacity_ / 2));
+      last_eviction_us_ = sim_.now();
+    }
+  }
   std::uint32_t slot;
   if (reply_cache_entries_.size() < reply_cache_capacity_) {
     slot = static_cast<std::uint32_t>(reply_cache_entries_.size());
@@ -208,6 +470,8 @@ Transport::ReplyCacheEntry* Transport::reply_cache_insert(std::uint64_t key) {
     reply_cache_head_ = (reply_cache_head_ + 1) % reply_cache_capacity_;
     reply_cache_index_.erase(reply_cache_entries_[slot].key);
     ++*reply_cache_evictions_;
+    ++evictions_since_resize_;
+    last_eviction_us_ = sim_.now();
     mark_evicted(reply_cache_entries_[slot].key,
                  reply_cache_entries_[slot].request_id);
   }
@@ -227,10 +491,8 @@ void Transport::on_request(common::NodeId from, Envelope& env) {
     // from the cache; if the service is still working, stay silent.
     ++*duplicates_suppressed_;
     if (cached->completed) {
-      const Envelope& reply = cached->reply;
-      network_.send(net::Message{self_, from, reply.verb,
-                                 net::MsgKind::ReplyDup,
-                                 reply.encode_header(), reply.body});
+      Envelope reply = cached->reply;  // fragment refcounts, not a copy
+      route(from, std::move(reply), net::MsgKind::ReplyDup);
     }
     return;
   }
@@ -259,6 +521,12 @@ void Transport::on_request(common::NodeId from, Envelope& env) {
       marks->high_water = env.request_id.value();
     } else if (env.request_id.value() <= marks->evicted_max) {
       ++*evicted_reexecutions_;
+      if (adaptive_cache_.enabled) {
+        // An at-most-once violation is the strongest pressure signal there
+        // is: trip the grow threshold immediately.
+        evictions_since_resize_ =
+            std::max(evictions_since_resize_, adaptive_cache_.grow_threshold);
+      }
     }
   }
 
@@ -284,19 +552,16 @@ void Transport::on_request(common::NodeId from, Envelope& env) {
   const common::SimDuration prep =
       model.rmi_server_dispatch_us + model.marshal_time(env.body.size());
   Replier replier(this, from, env.request_id, env.verb);
-  sim_.schedule_after(
-      prep,
-      [this, verb_index, from, body = std::move(env.body),
-       replier = std::move(replier)]() mutable {
-        // User code runs here: wake so enclosing run_until predicates see
-        // whatever the service mutates (parked repliers, flags, ...).
-        sim_.wake();
-        // Re-resolve the service at fire time: the table may have grown
-        // between dispatch and execution (deque growth leaves the entry in
-        // place even if the handler itself registers new verbs).
-        services_[verb_index](from, body, std::move(replier));
-      },
-      sim::Wake::No);
+  after_cpu(prep, [this, verb_index, from, body = std::move(env.body),
+                   replier = std::move(replier)]() mutable {
+    // User code runs here: wake so enclosing run_until predicates see
+    // whatever the service mutates (parked repliers, flags, ...).
+    sim_.wake();
+    // Re-resolve the service at fire time: the table may have grown
+    // between dispatch and execution (deque growth leaves the entry in
+    // place even if the handler itself registers new verbs).
+    services_[verb_index](from, body, std::move(replier));
+  });
 }
 
 void Transport::send_reply(common::NodeId to, common::RequestId id,
@@ -320,13 +585,18 @@ void Transport::send_reply(common::NodeId to, common::RequestId id,
   }
 
   // Result marshalling charged on the serving side before the wire.
+  // Always an event, even at zero cost: a reply may be sent from user code
+  // (service dispatch or a parked Replier), after which the driver regains
+  // control at the wake — and drivers legitimately mutate faults in that
+  // window expecting the not-yet-sent reply to be affected (rmi_test
+  // partitions a link between execution and reply to force a
+  // retransmission storm).  Inlining here would leak the reply onto the
+  // wire before the driver runs.
   const auto& model = network_.cost_model();
   sim_.schedule_after(
       model.marshal_time(reply.body.size()),
       [this, to, reply = std::move(reply)]() mutable {
-        network_.send(net::Message{self_, to, reply.verb, net::MsgKind::Reply,
-                                   reply.encode_header(),
-                                   std::move(reply.body)});
+        route(to, std::move(reply), net::MsgKind::Reply);
       },
       sim::Wake::No);
 }

@@ -116,6 +116,45 @@ struct CallOptions {
   int max_attempts = 24;
 };
 
+// Per-link invoke coalescing (docs/ARCHITECTURE.md "Flush quanta").  When
+// enabled, every outgoing envelope (requests, replies, one-ways) bound for
+// a remote node is queued per destination and flushed as ONE batch frame
+// (Envelope::encode_batch) at the next flush-quantum boundary — so a burst
+// of invokes toward one link and the burst of their replies each ride a
+// single net::Message (one mailbox push, one wire_seq).  Quantum boundaries
+// are absolute multiples of `flush_quantum_us`, which lines batch flushes
+// up with the sharded engine's conservative-lookahead windows when the
+// quantum equals the lookahead.
+struct BatchOptions {
+  bool enabled = false;
+  // Flush at the next absolute multiple of this quantum (>= 1).
+  common::SimDuration flush_quantum_us = 500;
+  // Flush immediately once a link's queue holds this many envelopes...
+  std::size_t max_batch_invokes = 1024;
+  // ...or this many encoded bytes, whichever trips first.
+  std::size_t max_batch_bytes = 256 * 1024;
+  // Bodies larger than this bypass batching and keep the scatter-gather
+  // zero-copy send path (batch frames gather payload bytes by copy).
+  std::size_t max_inline_body = 4096;
+};
+
+// Adaptive at-most-once reply-cache sizing (ROADMAP item 1).  Opt-in: the
+// ring doubles when eviction pressure accumulates (or instantly on an
+// observed eviction-caused re-execution) up to `ceiling`, and halves back
+// toward `floor` after an idle period with no evictions.  Growth/shrink
+// both preserve exact FIFO eviction order.
+struct AdaptiveCacheOptions {
+  bool enabled = false;
+  std::size_t floor = 512;
+  std::size_t ceiling = 8192;
+  // Evictions accumulated since the last resize that trigger a doubling.
+  // Kept low: every eviction below the ceiling risks a duplicate
+  // re-execution, so the ring should double after minimal evidence.
+  std::int64_t grow_threshold = 2;
+  // Halve (toward floor) when no eviction happened for this long.
+  common::SimDuration idle_shrink_us = 250'000;
+};
+
 class Transport {
  public:
   // Move-only: callbacks routinely capture Buffers and Repliers.
@@ -155,6 +194,29 @@ class Transport {
          std::move(callback), options);
   }
 
+  // True one-way invoke: no pending-table entry, no retry timer, no reply
+  // — and on the receiving side no reply-cache or caller-marks traffic.
+  // The service runs with an unarmed Replier (replier.armed() == false);
+  // delivery is at-most-once (0 under loss, never 2: nothing retransmits).
+  void call_oneway(common::NodeId dest, common::VerbId verb,
+                   serial::BufferChain body);
+  void call_oneway(common::NodeId dest, std::string_view verb,
+                   serial::BufferChain body) {
+    call_oneway(dest, common::intern_verb(verb), std::move(body));
+  }
+
+  // Enables/disables per-link batching (see BatchOptions).  Any queued
+  // envelopes are flushed before the new options take effect.
+  void set_batching(BatchOptions options);
+  [[nodiscard]] const BatchOptions& batching() const { return batch_options_; }
+
+  // Enables/disables adaptive reply-cache sizing (see AdaptiveCacheOptions).
+  // The current capacity is clamped into [floor, ceiling] immediately.
+  void set_adaptive_reply_cache(AdaptiveCacheOptions options);
+  [[nodiscard]] std::size_t reply_cache_capacity() const {
+    return reply_cache_capacity_;
+  }
+
   // Synchronous call usable only from driver code (runs the event loop
   // until the reply arrives).  Throws RemoteInvocationError on remote
   // error, TransportError when retries are exhausted.
@@ -184,7 +246,9 @@ class Transport {
 
   void on_message(net::Message msg);
   // The envelope is consumed (its body moved out) by the handlers.
+  void dispatch_envelope(common::NodeId from, Envelope& env);
   void on_request(common::NodeId from, Envelope& env);
+  void on_oneway(common::NodeId from, Envelope& env);
   void on_reply(Envelope& env);
   void transmit(common::RequestId id);
   void arm_retry_timer(common::RequestId id);
@@ -192,6 +256,36 @@ class Transport {
                   common::VerbId verb, bool ok, const std::string& error,
                   serial::BufferChain body);
   std::int64_t* verb_calls_counter(common::VerbId verb);
+
+  // Runs `fn` after `cost` simulated CPU microseconds — inline when the
+  // cost model charges nothing (zero-cost benches otherwise pay an event
+  // round-trip per call), a Wake::No event otherwise.  RECEIVER SIDE ONLY:
+  // inlining is safe only where no driver code can interleave at the same
+  // timestamp (message delivery -> service dispatch).  Sender-side steps
+  // (call prep, reply marshalling) must stay events even at zero cost, so
+  // drivers keep their window to mutate faults before a send reaches the
+  // wire.
+  template <typename Fn>
+  void after_cpu(common::SimDuration cost, Fn&& fn) {
+    if (cost == 0) {
+      fn();
+    } else {
+      sim_.schedule_after(cost, std::forward<Fn>(fn), sim::Wake::No);
+    }
+  }
+
+  // All outgoing envelopes funnel through here: batched links queue the
+  // envelope for the next flush boundary, everything else sends now.
+  void route(common::NodeId dest, Envelope env, net::MsgKind kind);
+  void send_now(common::NodeId dest, Envelope env, net::MsgKind kind);
+  void schedule_flush();
+  void flush_all();
+  void flush_link(std::size_t dest_index);
+
+  // Rebuilds the at-most-once ring at `new_capacity`, keeping the newest
+  // entries in exact FIFO order (shrink evicts oldest-first, with the same
+  // accounting as a ring wrap).
+  void resize_reply_cache(std::size_t new_capacity);
 
   net::Network& network_;
   sim::Simulation& sim_;
@@ -213,8 +307,38 @@ class Transport {
   std::int64_t* stale_replies_;
   std::int64_t* reply_cache_evictions_;
   std::int64_t* evicted_reexecutions_;
+  std::int64_t* oneway_calls_;
+  std::int64_t* oneway_executions_;
+  std::int64_t* oneway_no_service_;
+  std::int64_t* batches_sent_;
+  std::int64_t* batched_invokes_;
+  std::int64_t* batch_singletons_;
+  std::int64_t* reply_cache_grows_;
+  std::int64_t* reply_cache_shrinks_;
+  std::int64_t* reply_cache_capacity_stat_;
+  std::int64_t* reply_cache_capacity_high_water_;
   // Per-verb "rmi.calls.<verb>" counters, indexed by VerbId.
   std::vector<std::int64_t*> per_verb_calls_;
+
+  // --- per-link batching state (see BatchOptions) --------------------------
+  struct BatchItem {
+    Envelope env;
+    net::MsgKind kind;
+    std::size_t encoded_size;  // env.encoded_size(), computed once on queue
+  };
+  struct LinkQueue {
+    std::vector<BatchItem> items;  // FIFO; capacity reused across flushes
+    std::size_t bytes = 0;         // encoded_size() sum of `items`
+  };
+  BatchOptions batch_options_;
+  common::VerbId batch_verb_;            // interned "rmi.batch", for traces
+  std::vector<LinkQueue> batch_queues_;  // indexed by dest NodeId value
+  bool flush_scheduled_ = false;         // one flush event serves all links
+
+  // --- adaptive reply-cache state (see AdaptiveCacheOptions) ---------------
+  AdaptiveCacheOptions adaptive_cache_;
+  std::int64_t evictions_since_resize_ = 0;
+  common::SimTime last_eviction_us_ = 0;
 
   // At-most-once receiver state, keyed by (caller, request id) packed into
   // one 64-bit word (caller in the high bits, request id in the low 32).

@@ -61,17 +61,17 @@ std::uint64_t Director::apply(const proto::PlacementRecord& record) {
 void Director::replicate(const proto::PlacementRecord& record) {
   proto::DirAnnounceRequest request;
   request.record = record;
-  rmi::CallOptions options;
-  options.retry_timeout_us = 2'000;
-  options.max_attempts = 2;
   for (auto member : election_.members()) {
     if (member == self()) continue;
     ++*replications_;
-    // Fire-and-forget: a member that misses this update catches up on the
-    // next announce of the name (higher epoch) or stays one epoch behind,
-    // which readers detect via their own fence.
-    transport_.call(member, proto_verbs::kDirReplicate, request.encode(),
-                    [](rmi::CallResult) {}, options);
+    // Fire-and-forget as a true transport-level one-way: no pending-table
+    // entry, no retry timer, no reply-cache slot on the follower.  A member
+    // that misses this update catches up on the next announce of the name
+    // (higher epoch) or stays one epoch behind, which readers detect via
+    // their own fence — exactly the semantics a replied call with an
+    // ignored result was simulating, minus the bookkeeping.
+    transport_.call_oneway(member, proto_verbs::kDirReplicate,
+                           request.encode());
   }
 }
 
@@ -117,10 +117,15 @@ void Director::handle_replicate(common::NodeId /*caller*/,
                                 const serial::BufferChain& body,
                                 rmi::Replier replier) {
   const auto request = proto::DirAnnounceRequest::decode(body);
+  const std::uint64_t epoch = apply(request.record);
+  // The leader sends replication as a one-way (unarmed Replier).  Answer
+  // only replied callers — older peers still invoking dir.replicate as a
+  // regular call get the ack they expect.
+  if (!replier.armed()) return;
   proto::DirAnnounceReply reply;
   reply.status = proto::Status::Ok;
   reply.leader = election_.leader_hint();
-  reply.epoch = apply(request.record);
+  reply.epoch = epoch;
   replier.ok(reply.encode());
 }
 

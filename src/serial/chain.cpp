@@ -33,6 +33,12 @@ Buffer BufferChain::flatten() const {
   return w.take();
 }
 
+void BufferChain::write_to(Writer& w) const {
+  for (std::size_t i = 0; i < count_; ++i) {
+    w.write_raw(fragment(i).data(), fragment(i).size());
+  }
+}
+
 namespace {
 
 // Lexicographic walk over a chain's logical bytes.

@@ -94,6 +94,10 @@ class BufferChain {
   // otherwise — test/tool convenience, not the hot path.
   [[nodiscard]] Buffer flatten() const;
 
+  // Appends the logical stream to `w` (the gather half of batch framing:
+  // a pre-reserved Writer takes many chains with one allocation total).
+  void write_to(Writer& w) const;
+
   // Byte-wise equality over the logical stream (tests compare payloads).
   friend bool operator==(const BufferChain& a, const BufferChain& b);
   friend bool operator==(const BufferChain& a, const Buffer& b);

@@ -60,6 +60,16 @@ struct ChaosParams {
   common::SimDuration fault_span_us = 6'000;
   rmi::CallOptions call_options{/*retry_timeout_us=*/3'000,
                                 /*max_attempts=*/64};
+  // Per-link invoke coalescing (rmi::BatchOptions) on every transport.
+  // Exactly-once, FIFO, and digest determinism must all hold unchanged —
+  // a dropped batch frame is retried per-request and re-executes as a
+  // unit with zero duplicate side effects.
+  bool batching = false;
+  common::SimDuration flush_quantum_us = 250;
+  // Fire a one-way "chaos.note" alongside every echo call.  One-ways have
+  // no retransmission, so under loss their per-(caller, seq) execution
+  // count is 0 or 1 — never 2 (at-most-once by construction).
+  bool oneway_notes = false;
 };
 
 inline net::CostModel chaos_model() {
@@ -142,6 +152,26 @@ struct ChaosRun {
   std::int64_t messages_dropped_by_schedule = 0;
   std::int64_t fifo_violations = 0;
   std::int64_t windows = 0;  // sharded engine only
+  std::int64_t messages_sent = 0;
+  std::int64_t batches_sent = 0;
+  std::int64_t batched_invokes = 0;
+  std::int64_t batch_singletons = 0;
+  std::int64_t oneway_calls = 0;
+  std::int64_t oneway_executions = 0;
+  // Per receiving node, per (caller index * calls_per_link + seq): one-way
+  // note execution count (empty unless params.oneway_notes).
+  std::vector<std::vector<std::int32_t>> note_exec_counts;
+
+  // One-ways never retransmit, so a count of 2+ means a duplicate
+  // execution — at-most-once broken.  0 is legal (lost to the schedule).
+  [[nodiscard]] bool every_note_at_most_once() const {
+    for (const auto& per_node : note_exec_counts) {
+      for (std::int32_t c : per_node) {
+        if (c > 1) return false;
+      }
+    }
+    return true;
+  }
 
   [[nodiscard]] bool every_invoke_exactly_once() const {
     const std::size_t nodes = exec_counts.size() - 1;
@@ -196,6 +226,12 @@ inline ChaosRun run_chaos_storm(std::uint64_t seed, int threads,
   for (int i = 0; i < n; ++i) {
     transports.push_back(std::make_unique<rmi::Transport>(
         net, ids[i], params.reply_cache_capacity));
+    if (params.batching) {
+      rmi::BatchOptions batch;
+      batch.enabled = true;
+      batch.flush_quantum_us = params.flush_quantum_us;
+      transports.back()->set_batching(batch);
+    }
   }
 
   ChaosRun run;
@@ -228,6 +264,41 @@ inline ChaosRun run_chaos_storm(std::uint64_t seed, int threads,
         });
   }
 
+  // One-way note service: a pure side effect (no Replier to arm).  Counts
+  // fold into the same per-node digests, so a duplicate or misordered
+  // one-way execution breaks worker-count determinism too.
+  const common::VerbId note = common::intern_verb("chaos.note");
+  if (params.oneway_notes) {
+    run.note_exec_counts.assign(
+        static_cast<std::size_t>(n) + 1,
+        std::vector<std::int32_t>(
+            static_cast<std::size_t>(n) * params.calls_per_link, 0));
+    for (int i = 0; i < n; ++i) {
+      auto* digest = &run.node_digests[ids[i].value()];
+      auto* counts = &run.note_exec_counts[ids[i].value()];
+      auto& sim = net.node_sim(ids[i]);
+      const int calls_per_link = params.calls_per_link;
+      transports[i]->register_service(
+          note, [digest, counts, &sim, calls_per_link](
+                    common::NodeId caller, const serial::BufferChain& body,
+                    rmi::Replier replier) {
+            if (replier.armed()) {
+              // The harness only ever sends notes one-way; an armed
+              // Replier here would mean the transport misrouted.
+              replier.error("chaos.note must arrive one-way");
+              return;
+            }
+            serial::ChainReader r(body);
+            const std::uint64_t seq = r.read_u64();
+            ++(*counts)[(caller.value() - 1) * calls_per_link + seq];
+            using chaos_detail::fold;
+            *digest =
+                fold(fold(fold(*digest, caller.value() ^ 0xFFFFFFFFull), seq),
+                     static_cast<std::uint64_t>(sim.now()));
+          });
+    }
+  }
+
   // One windowed pipeline per directed link; completions (ok or failed)
   // are counted per SOURCE node so each slot has exactly one writing
   // shard.
@@ -252,10 +323,15 @@ inline ChaosRun run_chaos_storm(std::uint64_t seed, int threads,
   }
   std::function<void(Link&)> launch = [&](Link& link) {
     if (link.next_seq >= params.calls_per_link) return;
+    const auto seq = static_cast<std::uint64_t>(link.next_seq++);
     serial::Writer w(8);
-    w.write_u64(static_cast<std::uint64_t>(link.next_seq++));
+    w.write_u64(seq);
+    serial::Buffer body = w.take();
+    if (params.oneway_notes) {
+      link.transport->call_oneway(link.dst, note, body);
+    }
     link.transport->call(
-        link.dst, echo, w.take(),
+        link.dst, echo, std::move(body),
         [&launch, &link](rmi::CallResult r) {
           if (!r.ok) ++*link.failed;
           ++*link.completed;
@@ -304,6 +380,12 @@ inline ChaosRun run_chaos_storm(std::uint64_t seed, int threads,
     run.messages_dropped_by_schedule =
         ssim->counter("net.messages_dropped_by_schedule");
     run.fifo_violations = ssim->counter("net.fifo_violations");
+    run.messages_sent = ssim->counter("net.messages_sent");
+    run.batches_sent = ssim->counter("rmi.batches_sent");
+    run.batched_invokes = ssim->counter("rmi.batched_invokes");
+    run.batch_singletons = ssim->counter("rmi.batch_singletons");
+    run.oneway_calls = ssim->counter("rmi.oneway_calls");
+    run.oneway_executions = ssim->counter("rmi.oneway_executions");
   } else {
     run.completed = dsim->run_until(done, deadline);
     auto& stats = dsim->stats();
@@ -316,6 +398,12 @@ inline ChaosRun run_chaos_storm(std::uint64_t seed, int threads,
     run.messages_dropped_by_schedule =
         stats.counter("net.messages_dropped_by_schedule");
     run.fifo_violations = stats.counter("net.fifo_violations");
+    run.messages_sent = stats.counter("net.messages_sent");
+    run.batches_sent = stats.counter("rmi.batches_sent");
+    run.batched_invokes = stats.counter("rmi.batched_invokes");
+    run.batch_singletons = stats.counter("rmi.batch_singletons");
+    run.oneway_calls = stats.counter("rmi.oneway_calls");
+    run.oneway_executions = stats.counter("rmi.oneway_executions");
   }
   for (std::int64_t f : failed) run.failed_calls += f;
   run.pending_fault_events =
