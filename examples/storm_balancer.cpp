@@ -1,52 +1,51 @@
 // Many-client load balancer on the MULTI-CORE storm mesh — the rts-layer
-// workload for the sharded simulation (ROADMAP: "a many-client
-// load-balancer scenario driving the storm mesh through the rts layer
-// (invoke + migration under load), not just raw transport echoes").
+// workload for the sharded simulation, now written entirely against the
+// rts::AsyncClient facade (docs/API.md): no raw protocol structs, no
+// hand-rolled Moved-hint chasing, no nested CallResult callbacks.
 //
 // Topology: N namespaces on a sim::ShardedSim (one event-queue shard per
 // node, worker threads, conservative lookahead), each running a full
 // rts::MageServer.  K "Session" components all start crammed onto two
 // nodes.  Every node runs a generator that keeps a window of asynchronous
-// `mage.invoke` calls in flight against randomly chosen sessions, chasing
-// Moved hints along forwarding chains exactly like a MAGE client stub.  A
-// rebalancer on node 0 periodically polls every node's load over
-// `mage.get_load` and issues `mage.move` to migrate one session from the
-// hottest node to the coolest — the paper's Section 3.1 policy, now
-// running *inside* the simulated federation (all protocol, no driver
-// shortcuts), while invocations keep hammering the mesh.
+// invokes in flight against randomly chosen sessions — each invoke is one
+// `client.invoke<int64>(name, "work").then(issue next)` chain; the facade
+// chases Moved hints, honors epoch fences, and re-locates on its own.  A
+// rebalancer on node 0 polls every node's load with `when_all` over
+// hedged `load_of` probes and `move()`s one session from the hottest node
+// to the coolest — the paper's Section 3.1 policy, running *inside* the
+// simulated federation.
 //
-// What this exercises that bench_storm cannot: full rts protocol stacks
-// (invoke dispatch, weak migration with in-transit redirection, forwarding
-// chains, class shipping, engine warmup) running concurrently on separate
-// shards, with object migrations crossing shard boundaries mid-storm.
+// The hedged/retriable channel stats the probe client exports
+// (rmi.hedged_calls, rmi.hedge_wins, rmi.cancelled_calls, rmi.retries,
+// rmi.deadline_exceeded) are printed with the run summary.
 //
-// The run executes twice — 1 worker thread, then several — and asserts
-// both produce identical per-node service counts and final object
-// placement: the sharded determinism contract, observed from the
-// application layer.
+// The run executes three times — 1, 2, and 8 worker threads — and asserts
+// all three produce identical per-node service counts, final placement,
+// and migration counts: the sharded determinism contract, observed from
+// the application layer through the async facade.
 //
 // Build & run:  ./build/example_storm_balancer
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "net/cost_model.hpp"
 #include "net/network.hpp"
+#include "rmi/channel.hpp"
 #include "rmi/transport.hpp"
+#include "rts/async_client.hpp"
 #include "rts/directory.hpp"
-#include "rts/protocol.hpp"
+#include "rts/future.hpp"
 #include "rts/server.hpp"
-#include "serial/writer.hpp"
 #include "sim/sharded.hpp"
 
 namespace {
 
 using namespace mage;
-namespace proto = mage::rts::proto;
 
 constexpr int kNodes = 8;
 constexpr int kSessions = 24;
@@ -80,12 +79,32 @@ net::CostModel balancer_model() {
   return m;
 }
 
+// The probe client's policy: load probes are idempotent, so they may hedge
+// (duplicate) and retry freely — the cookbook's "impatient read" recipe.
+rmi::CallPolicy probe_policy() {
+  rmi::CallPolicy policy;
+  policy.attempt_timeout_us = 3'000;
+  policy.attempt_transmissions = 8;
+  policy.max_retries = 2;
+  policy.backoff_base_us = 2'000;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_jitter = 0.25;  // seeded from node 0's shard RNG
+  policy.hedge_after_us = 550;
+  return policy;
+}
+
 struct RunResult {
-  std::vector<std::int64_t> served_per_node;     // generator completions
-  std::vector<std::size_t> final_placement;      // sessions hosted per node
+  std::vector<std::int64_t> served_per_node;  // generator completions
+  std::vector<std::size_t> final_placement;   // sessions hosted per node
   std::int64_t migrations = 0;
   std::int64_t redirects = 0;
+  std::int64_t relocates = 0;
   std::int64_t invocations = 0;
+  std::int64_t hedged = 0;
+  std::int64_t hedge_wins = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t retries = 0;
+  std::int64_t deadline_exceeded = 0;
   std::int64_t windows = 0;
   double wall_sec = 0;
 };
@@ -102,15 +121,25 @@ RunResult run(int threads) {
   rts::Directory directory;
 
   std::vector<common::NodeId> ids;
-  for (int i = 0; i < kNodes; ++i) ids.push_back(net.add_node("n" + std::to_string(i)));
+  for (int i = 0; i < kNodes; ++i) {
+    ids.push_back(net.add_node("n" + std::to_string(i)));
+  }
   std::vector<std::unique_ptr<rmi::Transport>> transports;
   std::vector<std::unique_ptr<rts::MageServer>> servers;
+  std::vector<std::unique_ptr<rts::AsyncClient>> clients;
   for (int i = 0; i < kNodes; ++i) {
     transports.push_back(std::make_unique<rmi::Transport>(net, ids[i]));
     servers.push_back(
         std::make_unique<rts::MageServer>(*transports[i], world, directory));
     servers[i]->class_cache().install("Session");
+    // Default policy: no channel retries/hedges — mage.invoke is not
+    // idempotent; only transport retransmission is at-most-once safe.
+    clients.push_back(std::make_unique<rts::AsyncClient>(*servers[i]));
   }
+  // Node 0 additionally runs the balancer: a hedged+retriable probe client
+  // for the idempotent load polls, and a mover for the convergent moves.
+  rts::AsyncClient prober(*servers[0], probe_policy());
+  rts::AsyncClient& mover = *clients[0];
 
   // Deliberately imbalanced deployment: every session starts on node 0 or
   // 1, so the load policy has real work to do.
@@ -125,63 +154,31 @@ RunResult run(int threads) {
     servers[home]->registry().bind(info.name, world.instantiate("Session"));
   }
 
-  // --- generators: one per node, window of async invokes ------------------
+  // --- generators: one per node, window of async invoke chains -------------
   struct Generator {
-    int node = 0;
-    std::int64_t issued = 0;     // sessions drawn so far
-    std::int64_t completed = 0;  // Ok replies received
-    std::int64_t redirects = 0;  // Moved hints chased
-    std::vector<common::NodeId> believed;  // session -> last known host
+    std::int64_t issued = 0;
+    std::int64_t completed = 0;
   };
   std::vector<Generator> gens(kNodes);
+  std::int64_t failures = 0;
 
-  // One invoke, chasing Moved hints until it lands.  Runs entirely on the
-  // generator node's shard (calls and callbacks stay on the caller).
-  std::function<void(int, int)> invoke_session = [&](int g, int s) {
-    proto::InvokeRequest request;
-    request.name = session_name(s);
-    request.method = "work";
-    transports[g]->call(
-        gens[g].believed[s], proto::verbs::kInvoke, request.encode(),
-        [&, g, s](rmi::CallResult result) {
-          Generator& gen = gens[g];
-          if (!result.ok) {
-            throw common::MageError("invoke transport failure: " +
-                                    result.error);
-          }
-          auto reply = proto::InvokeReply::decode(result.body);
-          if (reply.status == proto::Status::Moved &&
-              reply.hint != common::kNoNode) {
-            ++gen.redirects;
-            gen.believed[s] = reply.hint;  // collapse the chain client-side
-            invoke_session(g, s);
-            return;
-          }
-          if (reply.status != proto::Status::Ok) {
-            // Chain lost (mid-transfer race): restart at the origin server.
-            ++gen.redirects;
-            gen.believed[s] = directory.info(session_name(s)).home;
-            invoke_session(g, s);
-            return;
-          }
-          ++gen.completed;
-          // Next client request, freshly drawn from this shard's RNG.
-          if (gen.issued < kInvokesPerNode) {
-            const int next =
-                static_cast<int>(net.node_sim(ids[g]).rng().next_below(kSessions));
-            ++gen.issued;
-            invoke_session(g, next);
-          }
-        });
+  // Issue the next invoke for generator g: one future chain per in-flight
+  // request; completions re-issue on the generator node's own shard, with
+  // the next session drawn from that shard's RNG.
+  std::function<void(int)> issue = [&](int g) {
+    Generator& gen = gens[g];
+    if (gen.issued >= kInvokesPerNode) return;
+    ++gen.issued;
+    const int s =
+        static_cast<int>(net.node_sim(ids[g]).rng().next_below(kSessions));
+    clients[g]
+        ->invoke<std::int64_t>(session_name(s), "work")
+        .then([&, g](std::int64_t&) {
+          ++gens[g].completed;
+          issue(g);
+        })
+        .on_error([&](const std::string&) { ++failures; });
   };
-
-  for (int g = 0; g < kNodes; ++g) {
-    gens[g].node = g;
-    gens[g].believed.resize(kSessions);
-    for (int s = 0; s < kSessions; ++s) {
-      gens[g].believed[s] = directory.info(session_name(s)).home;
-    }
-  }
 
   // --- per-node load metric: invocations served per tick -------------------
   // Each node samples its own shard-local "rts.invocations" counter and
@@ -205,57 +202,43 @@ RunResult run(int threads) {
 
   // --- rebalancer on node 0: poll loads, migrate hot -> cool ---------------
   std::int64_t moves_requested = 0;
-  std::vector<double> poll_results(kNodes, 0.0);
-  int poll_pending = 0;
   std::function<void()> rebalance = [&] {
-    poll_pending = kNodes;
-    for (int i = 0; i < kNodes; ++i) {
-      transports[0]->call(
-          ids[i], proto::verbs::kGetLoad, {}, [&, i](rmi::CallResult r) {
-            if (r.ok) {
-              poll_results[i] = proto::LoadReply::decode(r.body).load;
+    std::vector<rts::MageFuture<double>> probes;
+    probes.reserve(kNodes);
+    for (int i = 0; i < kNodes; ++i) probes.push_back(prober.load_of(ids[i]));
+    rts::when_all(probes)
+        .then([&](std::vector<double>& loads) {
+          int hot = 0, cool = 0;
+          for (int j = 1; j < kNodes; ++j) {
+            if (loads[j] > loads[hot]) hot = j;
+            if (loads[j] < loads[cool]) cool = j;
+          }
+          if (hot != cool && loads[hot] > 0) {
+            // Migrate one session node 0 believes lives on `hot`.
+            for (int s = 0; s < kSessions; ++s) {
+              if (mover.believed_host(session_name(s)) != ids[hot]) continue;
+              ++moves_requested;
+              // Best-effort: a move that raced another is just skipped.
+              mover.move(session_name(s), ids[cool])
+                  .on_error([](const std::string&) {});
+              break;
             }
-            if (--poll_pending > 0) return;
-            // All loads in: pick hottest and coolest.
-            int hot = 0, cool = 0;
-            for (int j = 1; j < kNodes; ++j) {
-              if (poll_results[j] > poll_results[hot]) hot = j;
-              if (poll_results[j] < poll_results[cool]) cool = j;
-            }
-            if (hot != cool && poll_results[hot] > 0) {
-              // Migrate one session node 0 believes lives on `hot`.
-              for (int s = 0; s < kSessions; ++s) {
-                if (gens[0].believed[s] != ids[hot]) continue;
-                proto::MoveRequest move_req;
-                move_req.name = session_name(s);
-                move_req.to = ids[cool];
-                ++moves_requested;
-                transports[0]->call(ids[hot], proto::verbs::kMove,
-                                    move_req.encode(), [](rmi::CallResult) {
-                                      // Best-effort: a failed move (raced
-                                      // with another) is just skipped.
-                                    });
-                break;
-              }
-            }
-            net.node_sim(ids[0]).schedule_after(
-                kRebalanceTickUs, [&rebalance] { rebalance(); },
-                sim::Wake::No);
-          });
-    }
+          }
+        })
+        .on_error([](const std::string&) {
+          // A probe round that lost a node is skipped; the next tick polls
+          // again.
+        });
+    net.node_sim(ids[0]).schedule_after(kRebalanceTickUs,
+                                        [&rebalance] { rebalance(); },
+                                        sim::Wake::No);
   };
   net.node_sim(ids[0]).schedule_at(0, [&rebalance] { rebalance(); },
                                    sim::Wake::No);
 
   // Prime every generator's window (driver-side, before workers start).
   for (int g = 0; g < kNodes; ++g) {
-    for (int w = 0; w < kGeneratorWindow && gens[g].issued < kInvokesPerNode;
-         ++w) {
-      const int s =
-          static_cast<int>(net.node_sim(ids[g]).rng().next_below(kSessions));
-      ++gens[g].issued;
-      invoke_session(g, s);
-    }
+    for (int w = 0; w < kGeneratorWindow; ++w) issue(g);
   }
 
   const std::int64_t total =
@@ -263,7 +246,7 @@ RunResult run(int threads) {
   const auto start = std::chrono::steady_clock::now();
   const bool done = ssim.run_until(
       [&] {
-        std::int64_t sum = 0;
+        std::int64_t sum = failures;
         for (const auto& g : gens) sum += g.completed;
         return sum == total;
       },
@@ -275,70 +258,88 @@ RunResult run(int threads) {
     std::cerr << "storm_balancer drained before all invokes completed\n";
     std::exit(1);
   }
+  if (failures != 0) {
+    std::cerr << "storm_balancer: " << failures << " invokes failed\n";
+    std::exit(1);
+  }
 
   RunResult result;
   result.wall_sec = wall;
   result.windows = ssim.windows();
   result.migrations = ssim.counter("rts.migrations");
   result.invocations = ssim.counter("rts.invocations");
-  for (const auto& g : gens) {
-    result.served_per_node.push_back(g.completed);
-    result.redirects += g.redirects;
-  }
+  result.redirects = ssim.counter("rts.async_redirects");
+  result.relocates = ssim.counter("rts.async_relocates");
+  result.hedged = ssim.counter("rmi.hedged_calls");
+  result.hedge_wins = ssim.counter("rmi.hedge_wins");
+  result.cancelled = ssim.counter("rmi.cancelled_calls");
+  result.retries = ssim.counter("rmi.retries");
+  result.deadline_exceeded = ssim.counter("rmi.deadline_exceeded");
+  for (const auto& g : gens) result.served_per_node.push_back(g.completed);
   for (int i = 0; i < kNodes; ++i) {
-    result.final_placement.push_back(servers[i]->registry().local_names().size());
+    result.final_placement.push_back(
+        servers[i]->registry().local_names().size());
   }
+  (void)moves_requested;
   return result;
 }
 
 }  // namespace
 
 int main() {
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  // At least 2 workers even on 1 core: the determinism comparison against
-  // the 1-worker run is the point, speedup is not.
-  const int threads = hw >= 4 ? 4 : 2;
-
   std::cout << "storm_balancer: " << kNodes << " namespaces, " << kSessions
             << " sessions (all starting on 2 nodes), " << kInvokesPerNode
-            << " invokes/node through the rts layer\n\n";
+            << " invokes/node through the AsyncClient facade\n\n";
 
-  const RunResult single = run(1);
-  const RunResult multi = run(threads);
-
-  for (const auto* r : {&single, &multi}) {
-    std::cout << (r == &single ? "1 worker:  " : "N workers: ")
-              << r->invocations << " invocations, " << r->migrations
-              << " migrations, " << r->redirects << " redirects chased, "
-              << r->windows << " windows, " << r->wall_sec << " s\n";
+  const int worker_counts[] = {1, 2, 8};
+  std::vector<RunResult> results;
+  for (int threads : worker_counts) {
+    results.push_back(run(threads));
+    const RunResult& r = results.back();
+    std::cout << threads << " worker" << (threads == 1 ? ":  " : "s: ")
+              << r.invocations << " invocations, " << r.migrations
+              << " migrations, " << r.redirects << " redirects chased, "
+              << r.relocates << " relocates, " << r.windows << " windows, "
+              << r.wall_sec << " s\n";
   }
+  const RunResult& base = results.front();
+  const RunResult& last = results.back();
 
-  std::cout << "\nfinal placement (sessions per node): ";
-  for (auto c : multi.final_placement) std::cout << c << " ";
+  std::cout << "\nchannel stats (8-worker run): " << last.hedged
+            << " hedged calls (" << last.hedge_wins << " hedge wins), "
+            << last.cancelled << " losers cancelled, " << last.retries
+            << " channel retries, " << last.deadline_exceeded
+            << " deadline expiries\n";
+  std::cout << "final placement (sessions per node): ";
+  for (auto c : last.final_placement) std::cout << c << " ";
   std::cout << "\nserved per node: ";
-  for (auto c : multi.served_per_node) std::cout << c << " ";
+  for (auto c : last.served_per_node) std::cout << c << " ";
   std::cout << "\n\n";
 
-  if (single.served_per_node != multi.served_per_node ||
-      single.final_placement != multi.final_placement ||
-      single.migrations != multi.migrations) {
-    std::cerr << "FAIL: thread counts diverged — sharded determinism "
-                 "contract broken at the rts layer\n";
-    return 1;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    if (r.served_per_node != base.served_per_node ||
+        r.final_placement != base.final_placement ||
+        r.migrations != base.migrations || r.redirects != base.redirects ||
+        r.invocations != base.invocations) {
+      std::cerr << "FAIL: " << worker_counts[i] << "-worker run diverged "
+                << "from the 1-worker run — sharded determinism contract "
+                << "broken at the rts layer\n";
+      return 1;
+    }
   }
-  if (multi.migrations == 0) {
+  if (last.migrations == 0) {
     std::cerr << "FAIL: load policy never migrated a session\n";
     return 1;
   }
   // The policy must actually have spread the cluster: the two seed nodes
   // cannot still hold everything.
-  if (multi.final_placement[0] + multi.final_placement[1] ==
+  if (last.final_placement[0] + last.final_placement[1] ==
       static_cast<std::size_t>(kSessions)) {
     std::cerr << "FAIL: all sessions still on the two seed nodes\n";
     return 1;
   }
-  std::cout << "OK: identical per-node service counts and placement at 1 and "
-            << threads << " workers; " << multi.migrations
-            << " migrations under load\n";
+  std::cout << "OK: identical per-node service counts and placement at 1/2/8 "
+            << "workers; " << last.migrations << " migrations under load\n";
   return 0;
 }

@@ -1,21 +1,12 @@
 // FailoverCaller: RMI calls against a replicated service group.
 //
-// A plain Transport::call targets one node and gives up when that node's
-// retry budget is exhausted.  Control-plane traffic (directory announce /
-// resolve) instead targets a *quorum*: any member may answer, the leader is
-// preferred, and a crashed or partitioned member should cost a short
-// per-attempt timeout — not the whole call.  FailoverCaller wraps the
-// transport with that policy:
-//
-//   * a fixed target list, swept starting from the last-known-good member
-//     (`set_preferred`, typically the leader learned from a reply);
-//   * a small per-attempt retry budget, so a dead member is abandoned
-//     quickly and deterministically;
-//   * an application Verdict invoked on every transport-successful reply —
-//     it accepts the result (completing the call), or rejects it and may
-//     steer the next attempt at a specific member (a leader redirect);
-//   * bounded rounds over the whole list with a fixed backoff between
-//     rounds, so the call terminates even while no quorum is reachable.
+// DEPRECATED (kept as a thin shim for one PR): the sweep state machine now
+// lives in rmi::FailoverChannel (rmi/channel.hpp), configured by the
+// unified rmi::CallPolicy instead of this class's private timeout/tries
+// knobs.  New code should construct a FailoverChannel (or let
+// rts::DirectoryClient build one from a CallPolicy) directly; this wrapper
+// only translates its legacy Options into CallPolicy::quorum()-shaped
+// policies and forwards.
 //
 // Every switch to a different member increments "rmi.directory_failovers";
 // calls that needed at least one switch also accumulate their total
@@ -24,18 +15,18 @@
 // replays bit-identically at any worker count.
 #pragma once
 
-#include <cstdint>
-#include <functional>
 #include <string_view>
 #include <vector>
 
 #include "common/ids.hpp"
+#include "rmi/channel.hpp"
 #include "rmi/transport.hpp"
 
 namespace mage::rmi {
 
 class FailoverCaller {
  public:
+  // Legacy knobs, superseded by rmi::CallPolicy (see to_policy()).
   struct Options {
     // Per-member attempt budget: short timeout, one retransmission.
     common::SimDuration attempt_timeout_us = 2'000;
@@ -44,35 +35,52 @@ class FailoverCaller {
     int rounds = 8;
     // Pause between sweeps (lets an election settle before re-probing).
     common::SimDuration round_backoff_us = 4'000;
+
+    [[nodiscard]] CallPolicy to_policy() const {
+      CallPolicy policy;
+      policy.attempt_timeout_us = attempt_timeout_us;
+      policy.attempt_transmissions = attempt_tries;
+      policy.max_retries = rounds - 1;  // rounds = retries + 1
+      policy.backoff_base_us = round_backoff_us;
+      policy.backoff_multiplier = 1.0;
+      policy.backoff_jitter = 0.0;
+      return policy;
+    }
   };
 
-  // Invoked on each transport-successful reply.  Return true to accept
-  // (the callback fires with this result), false to fail over.  On
-  // rejection the verdict may set `redirect` to a member that should be
-  // tried next (e.g. the leader named in a NotLeader reply).
-  using Verdict = std::function<bool(common::NodeId target,
-                                     const CallResult& result,
-                                     common::NodeId& redirect)>;
+  using Verdict = FailoverChannel::Verdict;
 
   // `targets` is the member list in deterministic sweep order.  (Two
   // overloads rather than a defaulted Options argument: GCC rejects `= {}`
   // for a nested class with member initializers inside its encloser.)
-  FailoverCaller(Transport& transport, std::vector<common::NodeId> targets);
+  FailoverCaller(Transport& transport, std::vector<common::NodeId> targets)
+      : channel_(transport, std::move(targets), CallPolicy::quorum()) {}
+  [[deprecated("configure with rmi::CallPolicy via FailoverChannel")]]
   FailoverCaller(Transport& transport, std::vector<common::NodeId> targets,
-                 Options options);
+                 Options options)
+      : channel_(transport, std::move(targets), options.to_policy()) {}
+  FailoverCaller(Transport& transport, std::vector<common::NodeId> targets,
+                 CallPolicy policy)
+      : channel_(transport, std::move(targets), policy) {}
 
   // Next sweep starts at `node` (ignored when not a member).
-  void set_preferred(common::NodeId node);
-  [[nodiscard]] common::NodeId preferred() const { return preferred_; }
-  [[nodiscard]] const std::vector<common::NodeId>& targets() const {
-    return targets_;
+  void set_preferred(common::NodeId node) { channel_.set_preferred(node); }
+  [[nodiscard]] common::NodeId preferred() const {
+    return channel_.preferred();
   }
-  [[nodiscard]] Transport& transport() { return transport_; }
+  [[nodiscard]] const std::vector<common::NodeId>& targets() const {
+    return channel_.targets();
+  }
+  [[nodiscard]] Transport& transport() { return channel_.transport(); }
+  [[nodiscard]] FailoverChannel& channel() { return channel_; }
 
   // Asynchronous group call; `done` fires exactly once — with the accepted
   // result, or a failure once every round is exhausted.
   void call(common::VerbId verb, serial::BufferChain body, Verdict verdict,
-            Transport::Callback done);
+            Transport::Callback done) {
+    channel_.call_with_verdict(verb, std::move(body), std::move(verdict),
+                               std::move(done));
+  }
   void call(std::string_view verb, serial::BufferChain body, Verdict verdict,
             Transport::Callback done) {
     call(common::intern_verb(verb), std::move(body), std::move(verdict),
@@ -80,17 +88,7 @@ class FailoverCaller {
   }
 
  private:
-  struct Call;  // per-call state machine (shared_ptr'd across attempts)
-  void attempt(const std::shared_ptr<Call>& state);
-  void advance(const std::shared_ptr<Call>& state, common::NodeId redirect);
-  [[nodiscard]] sim::Simulation& sim();
-  [[nodiscard]] std::size_t index_of(common::NodeId node) const;
-
-  Transport& transport_;
-  std::vector<common::NodeId> targets_;
-  Options options_;
-  common::NodeId preferred_;
-  std::int64_t* failovers_;  // "rmi.directory_failovers"
+  FailoverChannel channel_;
 };
 
 }  // namespace mage::rmi

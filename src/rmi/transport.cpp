@@ -44,6 +44,7 @@ Transport::Transport(net::Network& network, common::NodeId self,
           sim_.stats().counter_handle("rmi.reply_cache_evictions")),
       evicted_reexecutions_(
           sim_.stats().counter_handle("rmi.evicted_reexecutions")),
+      cancelled_calls_(sim_.stats().counter_handle("rmi.cancelled_calls")),
       oneway_calls_(sim_.stats().counter_handle("rmi.oneway_calls")),
       oneway_executions_(sim_.stats().counter_handle("rmi.oneway_executions")),
       oneway_no_service_(sim_.stats().counter_handle("rmi.oneway_no_service")),
@@ -127,9 +128,9 @@ std::int64_t* Transport::verb_calls_counter(common::VerbId verb) {
   return handle;
 }
 
-void Transport::call(common::NodeId dest, common::VerbId verb,
-                     serial::BufferChain body, Callback callback,
-                     CallOptions options) {
+common::RequestId Transport::call(common::NodeId dest, common::VerbId verb,
+                                  serial::BufferChain body, Callback callback,
+                                  CallOptions options) {
   if (!verb.valid() || verb.value() >= common::interned_verb_count()) {
     throw common::MageError("call on an uninterned verb id");
   }
@@ -156,6 +157,18 @@ void Transport::call(common::NodeId dest, common::VerbId verb,
   // driver context, and the driver must keep its window to mutate faults
   // before the request reaches the wire — the seed's contract.
   sim_.schedule_after(prep, [this, id] { transmit(id); }, sim::Wake::No);
+  return id;
+}
+
+void Transport::cancel(common::RequestId id) {
+  PendingCall* pc = pending_.find(id.value());
+  if (pc == nullptr || pc->done) return;
+  // The initial prep event (and any armed retry timer) may still reference
+  // this id; transmit() tolerates a missing entry, and the timer is
+  // cancelled outright so the queue does not keep a dead closure alive.
+  sim_.cancel(pc->retry_timer);
+  pending_.erase(id.value());
+  ++*cancelled_calls_;
 }
 
 void Transport::call_oneway(common::NodeId dest, common::VerbId verb,

@@ -184,15 +184,25 @@ class Transport {
     register_service(common::intern_verb(verb), std::move(service));
   }
 
-  // Asynchronous call; `callback` fires exactly once.
-  void call(common::NodeId dest, common::VerbId verb, serial::BufferChain body,
-            Callback callback, CallOptions options = {});
-  void call(common::NodeId dest, std::string_view verb,
-            serial::BufferChain body, Callback callback,
-            CallOptions options = {}) {
-    call(dest, common::intern_verb(verb), std::move(body),
-         std::move(callback), options);
+  // Asynchronous call; `callback` fires exactly once — unless the call is
+  // cancel()ed first, in which case it never fires.  The returned id is the
+  // cancellation handle (channels use it; plain callers may ignore it).
+  common::RequestId call(common::NodeId dest, common::VerbId verb,
+                         serial::BufferChain body, Callback callback,
+                         CallOptions options = {});
+  common::RequestId call(common::NodeId dest, std::string_view verb,
+                         serial::BufferChain body, Callback callback,
+                         CallOptions options = {}) {
+    return call(dest, common::intern_verb(verb), std::move(body),
+                std::move(callback), options);
   }
+
+  // Abandons an in-flight call: the retry timer is cancelled, the pending
+  // entry (and its callback, unfired) is destroyed, and a reply arriving
+  // later is dropped as stale.  No-op when the call already completed.
+  // This is how a hedged channel silences the losing branch.  Counted in
+  // "rmi.cancelled_calls".
+  void cancel(common::RequestId id);
 
   // True one-way invoke: no pending-table entry, no retry timer, no reply
   // — and on the receiving side no reply-cache or caller-marks traffic.
@@ -307,6 +317,7 @@ class Transport {
   std::int64_t* stale_replies_;
   std::int64_t* reply_cache_evictions_;
   std::int64_t* evicted_reexecutions_;
+  std::int64_t* cancelled_calls_;
   std::int64_t* oneway_calls_;
   std::int64_t* oneway_executions_;
   std::int64_t* oneway_no_service_;

@@ -1,0 +1,461 @@
+#include "rts/async_client.hpp"
+
+#include <utility>
+
+#include "rts/director.hpp"
+
+namespace mage::rts {
+
+namespace proto_verbs = proto::verbs;
+
+// Chase/retry pacing for operations addressed to a moving object — the
+// same budget MageClient uses, so the two facades converge identically.
+constexpr int kMaxChaseAttempts = 12;
+constexpr common::SimDuration kChaseBackoffUs = 10'000;
+
+// One in-flight invoke/move: the chase state machine, shared by the
+// channel callbacks and the relocation events that advance it.
+struct AsyncClient::ChaseOp {
+  enum class Kind { Invoke, InvokeOneway, Move };
+
+  Kind kind = Kind::Invoke;
+  common::ComponentName name;
+  std::string method;       // Invoke/InvokeOneway
+  serial::Buffer args;      // Invoke/InvokeOneway
+  common::NodeId to;        // Move
+  common::NodeId at = common::kNoNode;
+  int attempts = 0;
+
+  MagePromise<serial::Buffer> result;  // Invoke
+  MagePromise<Unit> ack;               // InvokeOneway
+  MagePromise<common::NodeId> moved;   // Move
+};
+
+AsyncClient::AsyncClient(MageServer& server)
+    : AsyncClient(server, rmi::CallPolicy{}) {}
+
+AsyncClient::AsyncClient(MageServer& server, rmi::CallPolicy policy)
+    : server_(server),
+      transport_(server.transport()),
+      sim_(transport_.network().node_sim(transport_.self())),
+      policy_(policy),
+      async_invokes_(sim_.stats().counter_handle("rts.async_invokes")),
+      async_redirects_(sim_.stats().counter_handle("rts.async_redirects")),
+      async_relocates_(sim_.stats().counter_handle("rts.async_relocates")),
+      async_moves_(sim_.stats().counter_handle("rts.async_moves")) {
+  rebuild_stack();
+}
+
+void AsyncClient::rebuild_stack() {
+  // Destroy outer layers before the channels they wrap.
+  retriable_.reset();
+  hedged_.reset();
+  direct_ = std::make_unique<rmi::DirectChannel>(transport_, policy_);
+  top_ = direct_.get();
+  if (policy_.hedge_after_us > 0) {
+    hedged_ = std::make_unique<rmi::HedgedChannel>(*top_, policy_);
+    top_ = hedged_.get();
+  }
+  if (policy_.max_retries > 0 || policy_.deadline_us > 0) {
+    retriable_ = std::make_unique<rmi::RetriableChannel>(*top_, policy_);
+    top_ = retriable_.get();
+  }
+}
+
+void AsyncClient::set_policy(rmi::CallPolicy policy) {
+  if (outstanding_ != 0) {
+    throw common::MageError(
+        "AsyncClient::set_policy with " + std::to_string(outstanding_) +
+        " calls in flight: the channel stack cannot be replaced under them");
+  }
+  policy_ = policy;
+  rebuild_stack();
+}
+
+// --- epoch fences -----------------------------------------------------------
+
+void AsyncClient::note_epoch(const common::ComponentName& name,
+                             std::uint64_t epoch) {
+  auto& known = known_epochs_[name];
+  if (epoch > known) known = epoch;
+}
+
+std::uint64_t AsyncClient::known_epoch(
+    const common::ComponentName& name) const {
+  const auto it = known_epochs_.find(name);
+  return it == known_epochs_.end() ? 0 : it->second;
+}
+
+bool AsyncClient::accept_hint(const common::ComponentName& name,
+                              common::NodeId hint, std::uint64_t hint_epoch) {
+  if (common::is_no_node(hint)) return false;
+  // Same fence as MageClient::accept_hint: unfenced hints (epoch 0) are
+  // chased; fenced hints older than confirmed knowledge are rejected — a
+  // stale chain can never send this client back to a dead ex-home.
+  if (hint_epoch != 0 && hint_epoch < known_epoch(name)) {
+    sim_.stats().add("rts.stale_hints_rejected");
+    return false;
+  }
+  note_epoch(name, hint_epoch);
+  return true;
+}
+
+common::NodeId AsyncClient::believed_host(
+    const common::ComponentName& name) const {
+  if (server_.registry().has_local(name) && !server_.in_transit(name)) {
+    return transport_.self();
+  }
+  if (auto fwd = server_.registry().forward(name)) return *fwd;
+  if (server_.directory().contains(name)) {
+    return server_.directory().info(name).home;
+  }
+  return common::kNoNode;
+}
+
+// --- locate -----------------------------------------------------------------
+
+MageFuture<common::NodeId> AsyncClient::directory_fallback(
+    const common::ComponentName& name) {
+  MagePromise<common::NodeId> promise;
+  if (directory_client_ == nullptr) {
+    promise.set_error("'" + name + "' is not known here (no forwarding "
+                      "address, no static-directory entry, no replicated "
+                      "directory configured)");
+    return promise.future();
+  }
+  directory_client_->resolve(
+      name, [this, name, promise](
+                std::optional<DirectoryClient::Resolution> resolution) {
+        if (!resolution) {
+          promise.set_error("directory has no record of '" + name + "'");
+          return;
+        }
+        if (resolution->epoch < known_epoch(name)) {
+          // The quorum lags our own confirmed knowledge (an announce is
+          // still in flight); treat as not-yet-found so the chase retries.
+          promise.set_error("directory record of '" + name + "' is stale");
+          return;
+        }
+        note_epoch(name, resolution->epoch);
+        server_.registry().update_forward(name, resolution->host,
+                                          resolution->epoch);
+        promise.set_value(resolution->host);
+      });
+  return promise.future();
+}
+
+MageFuture<common::NodeId> AsyncClient::locate(
+    const common::ComponentName& name) {
+  if (server_.registry().has_local(name) && !server_.in_transit(name)) {
+    MagePromise<common::NodeId> promise;
+    promise.set_value(transport_.self());
+    return promise.future();
+  }
+
+  const bool shared = server_.directory().contains(name) &&
+                      server_.directory().info(name).is_public;
+  common::NodeId start = common::kNoNode;
+  if (auto fwd = server_.registry().forward(name)) {
+    // Private objects move only through their owner, so the forwarding
+    // address is authoritative; shared ones verify by walking the chain.
+    if (!shared) {
+      MagePromise<common::NodeId> promise;
+      promise.set_value(*fwd);
+      return promise.future();
+    }
+    start = *fwd;
+  } else if (server_.directory().contains(name)) {
+    start = server_.directory().info(name).home;
+  }
+  if (common::is_no_node(start) || start == transport_.self()) {
+    return directory_fallback(name);
+  }
+
+  proto::LookupRequest request;
+  request.name = name;
+  request.min_epoch = known_epoch(name);
+  MagePromise<common::NodeId> promise;
+  ++outstanding_;
+  channel().call(
+      start, proto_verbs::kLookup, request.encode(),
+      [this, name, promise](rmi::CallResult result) {
+        --outstanding_;
+        if (result.ok) {
+          const auto reply = proto::LookupReply::decode(result.body);
+          if (reply.status == proto::Status::Ok) {
+            note_epoch(name, reply.epoch);
+            server_.registry().update_forward(name, reply.host, reply.epoch);
+            promise.set_value(reply.host);
+            return;
+          }
+        }
+        // Chain start unreachable or the walk dead-ended; the replicated
+        // directory (when configured) may still know the placement.
+        directory_fallback(name)
+            .then([promise](common::NodeId host) mutable {
+              promise.set_value(host);
+            })
+            .on_error([promise](const std::string& error) mutable {
+              promise.set_error(error);
+            });
+      });
+  return promise.future();
+}
+
+// --- the chase --------------------------------------------------------------
+
+void AsyncClient::start_chase(const std::shared_ptr<ChaseOp>& op) {
+  op->at = believed_host(op->name);
+  if (common::is_no_node(op->at)) {
+    relocate_and_resume(op, "no local knowledge of '" + op->name + "'");
+    return;
+  }
+  send_op(op);
+}
+
+void AsyncClient::send_op(const std::shared_ptr<ChaseOp>& op) {
+  ++outstanding_;
+  switch (op->kind) {
+    case ChaseOp::Kind::Invoke: {
+      proto::InvokeRequest request{op->name, op->method, op->args};
+      channel().call(op->at, proto_verbs::kInvoke, request.encode(),
+                     [this, op](rmi::CallResult result) {
+                       --outstanding_;
+                       on_invoke_reply(op, std::move(result));
+                     });
+      return;
+    }
+    case ChaseOp::Kind::InvokeOneway: {
+      proto::InvokeRequest request{op->name, op->method, op->args};
+      // Direct channel unconditionally: one-way verbs are never
+      // channel-retried (a duplicate would re-run the agent method).
+      direct_->call(op->at, proto_verbs::kInvokeOneway, request.encode(),
+                    [this, op](rmi::CallResult result) {
+                      --outstanding_;
+                      on_invoke_reply(op, std::move(result));
+                    });
+      return;
+    }
+    case ChaseOp::Kind::Move: {
+      proto::MoveRequest request;
+      request.name = op->name;
+      request.to = op->to;
+      channel().call(op->at, proto_verbs::kMove, request.encode(),
+                     [this, op](rmi::CallResult result) {
+                       --outstanding_;
+                       on_move_reply(op, std::move(result));
+                     });
+      return;
+    }
+  }
+}
+
+void AsyncClient::on_invoke_reply(const std::shared_ptr<ChaseOp>& op,
+                                  rmi::CallResult result) {
+  if (!result.ok) {
+    relocate_and_resume(op, std::move(result.error));
+    return;
+  }
+  auto reply = proto::InvokeReply::decode(result.body);
+  switch (reply.status) {
+    case proto::Status::Ok:
+      ++*async_invokes_;
+      if (op->kind == ChaseOp::Kind::InvokeOneway) {
+        op->ack.set_value(Unit{});
+      } else {
+        op->result.set_value(std::move(reply.result));
+      }
+      return;
+    case proto::Status::Moved:
+      if (accept_hint(op->name, reply.hint, reply.hint_epoch)) {
+        ++*async_redirects_;
+        if (++op->attempts >= kMaxChaseAttempts) {
+          fail_op(op, "redirect chain exceeded the chase budget");
+          return;
+        }
+        op->at = reply.hint;
+        send_op(op);  // fresh hint: follow immediately, no backoff
+        return;
+      }
+      relocate_and_resume(op, "stale Moved hint rejected");
+      return;
+    case proto::Status::NotFound:
+      relocate_and_resume(op, "object is mid-flight or unknown at " +
+                                  std::to_string(op->at.value()));
+      return;
+    case proto::Status::Error:
+      fail_op(op, reply.error);
+      return;
+  }
+}
+
+void AsyncClient::on_move_reply(const std::shared_ptr<ChaseOp>& op,
+                                rmi::CallResult result) {
+  if (!result.ok) {
+    // Idempotent from here: if the move actually completed, the retry at
+    // the stale host is answered with a Moved hint and the chase converges
+    // at the target (where to == self is a no-op).
+    relocate_and_resume(op, std::move(result.error));
+    return;
+  }
+  auto reply = proto::SimpleReply::decode(result.body);
+  switch (reply.status) {
+    case proto::Status::Ok:
+      ++*async_moves_;
+      // The source's Ok carries the new placement epoch; record it so
+      // stale chains left behind by the old placement are fenced off.
+      note_epoch(op->name, reply.hint_epoch);
+      server_.registry().update_forward(op->name, op->to, reply.hint_epoch);
+      if (directory_client_ != nullptr) {
+        // Asynchronous announce (fire-and-forget): readers that race it
+        // are protected by the epoch fence, exactly like the sync path.
+        directory_client_->announce(
+            proto::PlacementRecord{op->name, std::string{}, op->to,
+                                   server_.directory().contains(op->name) &&
+                                       server_.directory()
+                                           .info(op->name)
+                                           .is_public,
+                                   reply.hint_epoch},
+            [](bool) {});
+      }
+      op->moved.set_value(op->to);
+      return;
+    case proto::Status::Moved:
+      if (accept_hint(op->name, reply.hint, reply.hint_epoch)) {
+        ++*async_redirects_;
+        if (++op->attempts >= kMaxChaseAttempts) {
+          fail_op(op, "redirect chain exceeded the chase budget");
+          return;
+        }
+        op->at = reply.hint;
+        send_op(op);
+        return;
+      }
+      relocate_and_resume(op, "stale Moved hint rejected");
+      return;
+    case proto::Status::NotFound:
+      relocate_and_resume(op, "object is mid-flight or unknown at " +
+                                  std::to_string(op->at.value()));
+      return;
+    case proto::Status::Error:
+      fail_op(op, reply.error);
+      return;
+  }
+}
+
+void AsyncClient::relocate_and_resume(const std::shared_ptr<ChaseOp>& op,
+                                      std::string why) {
+  if (++op->attempts >= kMaxChaseAttempts) {
+    fail_op(op, why);
+    return;
+  }
+  ++*async_relocates_;
+  // The object may be mid-flight between namespaces; back off, re-locate
+  // from fresh knowledge, then resume the chase.
+  sim_.schedule_after(
+      kChaseBackoffUs,
+      [this, op, why = std::move(why)]() mutable {
+        locate(op->name)
+            .then([this, op](common::NodeId host) {
+              op->at = host;
+              send_op(op);
+            })
+            .on_error([this, op, why = std::move(why)](
+                          const std::string& locate_error) mutable {
+              relocate_and_resume(op, why + "; then " + locate_error);
+            });
+      },
+      sim::Wake::No);
+}
+
+void AsyncClient::fail_op(const std::shared_ptr<ChaseOp>& op,
+                          const std::string& why) {
+  const char* what = op->kind == ChaseOp::Kind::Move ? "move" : "invoke";
+  const std::string message = std::string(what) + " of '" + op->name +
+                              "' did not converge after " +
+                              std::to_string(op->attempts) +
+                              " attempts: " + why;
+  // Failure can surface from a channel/backoff timer event; wake so an
+  // enclosing run_until re-checks its predicate.
+  sim_.wake();
+  switch (op->kind) {
+    case ChaseOp::Kind::Invoke:
+      op->result.set_error(message);
+      return;
+    case ChaseOp::Kind::InvokeOneway:
+      op->ack.set_error(message);
+      return;
+    case ChaseOp::Kind::Move:
+      op->moved.set_error(message);
+      return;
+  }
+}
+
+// --- public operations ------------------------------------------------------
+
+MageFuture<serial::Buffer> AsyncClient::invoke_raw(
+    const common::ComponentName& name, const std::string& method,
+    serial::Buffer args) {
+  auto op = std::make_shared<ChaseOp>();
+  op->kind = ChaseOp::Kind::Invoke;
+  op->name = name;
+  op->method = method;
+  op->args = std::move(args);
+  start_chase(op);
+  return op->result.future();
+}
+
+MageFuture<Unit> AsyncClient::invoke_oneway_raw(
+    const common::ComponentName& name, const std::string& method,
+    serial::Buffer args) {
+  auto op = std::make_shared<ChaseOp>();
+  op->kind = ChaseOp::Kind::InvokeOneway;
+  op->name = name;
+  op->method = method;
+  op->args = std::move(args);
+  start_chase(op);
+  return op->ack.future();
+}
+
+MageFuture<common::NodeId> AsyncClient::move(const common::ComponentName& name,
+                                             common::NodeId to) {
+  auto op = std::make_shared<ChaseOp>();
+  op->kind = ChaseOp::Kind::Move;
+  op->name = name;
+  op->to = to;
+  start_chase(op);
+  return op->moved.future();
+}
+
+MageFuture<double> AsyncClient::load_of(common::NodeId node) {
+  MagePromise<double> promise;
+  ++outstanding_;
+  channel().call(node, proto_verbs::kGetLoad, {},
+                 [this, promise](rmi::CallResult result) {
+                   --outstanding_;
+                   if (!result.ok) {
+                     promise.set_error(std::move(result.error));
+                     return;
+                   }
+                   promise.set_value(
+                       proto::LoadReply::decode(result.body).load);
+                 });
+  return promise.future();
+}
+
+MageFuture<Unit> AsyncClient::ping(common::NodeId node) {
+  MagePromise<Unit> promise;
+  ++outstanding_;
+  channel().call(node, proto_verbs::kPing, {},
+                 [this, promise](rmi::CallResult result) {
+                   --outstanding_;
+                   if (!result.ok) {
+                     promise.set_error(std::move(result.error));
+                     return;
+                   }
+                   promise.set_value(Unit{});
+                 });
+  return promise.future();
+}
+
+}  // namespace mage::rts

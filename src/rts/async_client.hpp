@@ -1,0 +1,181 @@
+// AsyncClient: the asynchronous MageClient facade — THE way to program
+// MAGE (docs/API.md).
+//
+// Where MageClient blocks the driver's event loop per call, AsyncClient
+// returns a MageFuture and delivers the completion on the calling node's
+// own shard, so application logic written as future chains runs unchanged
+// (and bit-identically) on the driver engine and on the sharded engine at
+// any worker count.  Internally each operation is the same protocol the
+// sync client speaks:
+//
+//   * invoke<R>/invoke_raw chase the object: try the best-known host,
+//     follow Moved hints (epoch-fenced — a stale hint is rejected and
+//     counted in "rts.stale_hints_rejected"), re-locate on NotFound or
+//     transport failure via an async lookup walk with a replicated-
+//     directory fallback, all bounded and paced like MageClient's chase.
+//   * move() converges the same way and records the new placement epoch.
+//   * load_of()/ping() are plain single-host calls.
+//
+// Calls travel through a channel stack built from this client's
+// rmi::CallPolicy (rmi/channel.hpp): Retriable(Hedged(Direct)) with layers
+// elided when their policy fields are off.  The default policy adds NO
+// channel-level retries or hedges — mage.invoke is not idempotent, and
+// only transport-level retransmission is at-most-once safe.  Give a
+// *separate* AsyncClient a retrying/hedging policy for idempotent traffic
+// (load probes, lookups, convergent moves) — see docs/API.md's cookbook.
+//
+// invoke_oneway() always uses the bare direct channel, whatever the
+// policy: a one-way verb must never be channel-retried (zero-retry by
+// construction; asserted in tests/async_client_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "rmi/channel.hpp"
+#include "rts/future.hpp"
+#include "rts/protocol.hpp"
+#include "rts/server.hpp"
+#include "serial/traits.hpp"
+
+namespace mage::rts {
+
+class DirectoryClient;
+
+class AsyncClient {
+ public:
+  // `server` provides the transport, registry, and static directory of the
+  // node this client runs on.  The default policy is a bare transport call
+  // (no channel retries/hedges — see the header comment).
+  explicit AsyncClient(MageServer& server);
+  AsyncClient(MageServer& server, rmi::CallPolicy policy);
+
+  AsyncClient(const AsyncClient&) = delete;
+  AsyncClient& operator=(const AsyncClient&) = delete;
+
+  [[nodiscard]] common::NodeId self() const { return transport_.self(); }
+  [[nodiscard]] const rmi::CallPolicy& policy() const { return policy_; }
+
+  // Replaces the channel stack.  Setup/driver context only: throws
+  // MageError while any call issued through this client is outstanding
+  // (an in-flight call's channel would be destroyed under it).
+  void set_policy(rmi::CallPolicy policy);
+
+  // Opt-in replicated-directory fallback (see MageClient::
+  // set_directory_client).  Not owned.
+  void set_directory_client(DirectoryClient* dclient) {
+    directory_client_ = dclient;
+  }
+
+  // --- invocation ---------------------------------------------------------
+
+  template <typename R, typename... Args>
+  MageFuture<R> invoke(const common::ComponentName& name,
+                       const std::string& method, const Args&... args) {
+    serial::Writer w;
+    (serial::put(w, args), ...);
+    return invoke_raw(name, method, w.take()).then([](serial::Buffer& b) {
+      serial::Reader r(b);
+      return serial::get<R>(r);
+    });
+  }
+
+  MageFuture<serial::Buffer> invoke_raw(const common::ComponentName& name,
+                                        const std::string& method,
+                                        serial::Buffer args);
+
+  // Mobile-agent one-way invoke: the future completes on the host's
+  // acknowledgement (the result stays parked at the host).  Always rides
+  // the direct channel — zero channel retries regardless of policy.
+  template <typename... Args>
+  MageFuture<Unit> invoke_oneway(const common::ComponentName& name,
+                                 const std::string& method,
+                                 const Args&... args) {
+    serial::Writer w;
+    (serial::put(w, args), ...);
+    return invoke_oneway_raw(name, method, w.take());
+  }
+
+  MageFuture<Unit> invoke_oneway_raw(const common::ComponentName& name,
+                                     const std::string& method,
+                                     serial::Buffer args);
+
+  // --- placement ----------------------------------------------------------
+
+  // Moves the component to `to`; completes with the new host once the
+  // migration converged.  Records the new placement epoch and (when a
+  // DirectoryClient is set) announces the placement asynchronously.
+  MageFuture<common::NodeId> move(const common::ComponentName& name,
+                                  common::NodeId to);
+
+  // Async resolve: where is `name` now?  (Lookup walk + directory
+  // fallback; does not chase invocations anywhere.)
+  MageFuture<common::NodeId> locate(const common::ComponentName& name);
+
+  // --- probes -------------------------------------------------------------
+
+  MageFuture<double> load_of(common::NodeId node);
+  MageFuture<Unit> ping(common::NodeId node);
+
+  // --- epoch fences (same bookkeeping as MageClient) ----------------------
+
+  void note_epoch(const common::ComponentName& name, std::uint64_t epoch);
+  [[nodiscard]] std::uint64_t known_epoch(
+      const common::ComponentName& name) const;
+
+  // Best local knowledge of the component's host (no network traffic):
+  // local object, forwarding address, or static-directory home — kNoNode
+  // when nothing is known.
+  [[nodiscard]] common::NodeId believed_host(
+      const common::ComponentName& name) const;
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+ private:
+  struct ChaseOp;
+
+  void rebuild_stack();
+  [[nodiscard]] rmi::Channel& channel() { return *top_; }
+
+  bool accept_hint(const common::ComponentName& name, common::NodeId hint,
+                   std::uint64_t hint_epoch);
+
+  void start_chase(const std::shared_ptr<ChaseOp>& op);
+  void send_op(const std::shared_ptr<ChaseOp>& op);
+  void on_invoke_reply(const std::shared_ptr<ChaseOp>& op,
+                       rmi::CallResult result);
+  void on_move_reply(const std::shared_ptr<ChaseOp>& op,
+                     rmi::CallResult result);
+  // Backoff, re-locate, resume — or fail the op once the chase budget is
+  // spent.  `why` explains the last setback in the final error.
+  void relocate_and_resume(const std::shared_ptr<ChaseOp>& op,
+                           std::string why);
+  void fail_op(const std::shared_ptr<ChaseOp>& op, const std::string& why);
+
+  MageFuture<common::NodeId> directory_fallback(
+      const common::ComponentName& name);
+
+  MageServer& server_;
+  rmi::Transport& transport_;
+  sim::Simulation& sim_;
+  DirectoryClient* directory_client_ = nullptr;
+
+  rmi::CallPolicy policy_;
+  std::unique_ptr<rmi::DirectChannel> direct_;
+  std::unique_ptr<rmi::HedgedChannel> hedged_;
+  std::unique_ptr<rmi::RetriableChannel> retriable_;
+  rmi::Channel* top_ = nullptr;
+  std::int64_t outstanding_ = 0;  // set_policy guard
+
+  std::map<common::ComponentName, std::uint64_t> known_epochs_;
+
+  std::int64_t* async_invokes_;    // "rts.async_invokes"
+  std::int64_t* async_redirects_;  // "rts.async_redirects"
+  std::int64_t* async_relocates_;  // "rts.async_relocates"
+  std::int64_t* async_moves_;      // "rts.async_moves"
+};
+
+}  // namespace mage::rts

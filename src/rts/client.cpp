@@ -589,7 +589,8 @@ void MageClient::unlock(const LockHandle& handle) {
 void MageClient::lock_async(common::NodeId host,
                             const common::ComponentName& name,
                             common::NodeId target,
-                            std::function<void(proto::LockReply)> on_reply) {
+                            common::UniqueFunction<void(proto::LockReply)>
+                                on_reply) {
   proto::LockRequest request;
   request.name = name;
   request.target = target;
@@ -598,7 +599,7 @@ void MageClient::lock_async(common::NodeId host,
   options.max_attempts = 64;
   transport_.call(
       host, proto_verbs::kLock, request.encode(),
-      [on_reply = std::move(on_reply)](rmi::CallResult result) {
+      [on_reply = std::move(on_reply)](rmi::CallResult result) mutable {
         if (!result.ok) {
           proto::LockReply reply;
           reply.status = proto::Status::Error;
@@ -614,12 +615,12 @@ void MageClient::lock_async(common::NodeId host,
 void MageClient::unlock_async(common::NodeId host,
                               const common::ComponentName& name,
                               std::uint64_t lock_id,
-                              std::function<void()> on_reply) {
+                              common::UniqueFunction<void()> on_reply) {
   proto::UnlockRequest request;
   request.name = name;
   request.lock_id = lock_id;
   transport_.call(host, proto_verbs::kUnlock, request.encode(),
-                  [on_reply = std::move(on_reply)](rmi::CallResult) {
+                  [on_reply = std::move(on_reply)](rmi::CallResult) mutable {
                     on_reply();
                   });
 }

@@ -242,12 +242,16 @@ class MageClient {
   LockHandle lock(const common::ComponentName& name, common::NodeId target);
   void unlock(const LockHandle& handle);
 
-  // Async variants for multi-activity interleaving tests.
+  // Async variants for multi-activity interleaving tests.  Move-only
+  // callbacks (the spine's convention): captures routinely hold Buffers
+  // and handles, and a UniqueFunction small enough for the inline SBO
+  // never heap-allocates.
   void lock_async(common::NodeId host, const common::ComponentName& name,
                   common::NodeId target,
-                  std::function<void(proto::LockReply)> on_reply);
+                  common::UniqueFunction<void(proto::LockReply)> on_reply);
   void unlock_async(common::NodeId host, const common::ComponentName& name,
-                    std::uint64_t lock_id, std::function<void()> on_reply);
+                    std::uint64_t lock_id,
+                    common::UniqueFunction<void()> on_reply);
 
   // --- misc --------------------------------------------------------------------
 

@@ -133,9 +133,14 @@ void Director::handle_replicate(common::NodeId /*caller*/,
 
 DirectoryClient::DirectoryClient(rmi::Transport& transport,
                                  std::vector<common::NodeId> directors,
-                                 rmi::FailoverCaller::Options options)
+                                 rmi::CallPolicy policy)
     : transport_(transport),
-      caller_(transport, std::move(directors), options) {}
+      channel_(transport, std::move(directors), policy) {}
+
+DirectoryClient::DirectoryClient(rmi::Transport& transport,
+                                 std::vector<common::NodeId> directors,
+                                 rmi::FailoverCaller::Options options)
+    : DirectoryClient(transport, std::move(directors), options.to_policy()) {}
 
 sim::Simulation& DirectoryClient::sim() {
   return transport_.network().node_sim(transport_.self());
@@ -146,7 +151,7 @@ void DirectoryClient::resolve(
     std::function<void(std::optional<Resolution>)> done) {
   proto::DirResolveRequest request;
   request.name = name;
-  caller_.call(
+  channel_.call_with_verdict(
       proto_verbs::kDirResolve, request.encode(),
       [](common::NodeId target, const rmi::CallResult& result,
          common::NodeId& redirect) {
@@ -179,7 +184,7 @@ void DirectoryClient::announce(const proto::PlacementRecord& record,
                                std::function<void(bool)> done) {
   proto::DirAnnounceRequest request;
   request.record = record;
-  caller_.call(
+  channel_.call_with_verdict(
       proto_verbs::kDirAnnounce, request.encode(),
       [](common::NodeId /*target*/, const rmi::CallResult& result,
          common::NodeId& redirect) {

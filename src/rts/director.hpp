@@ -95,9 +95,17 @@ class DirectoryClient {
     std::uint64_t epoch = 0;
   };
 
+  // The sweep is driven by one rmi::CallPolicy (attempt timeout /
+  // transmissions, rounds = max_retries + 1, inter-round backoff); the
+  // default is the quorum preset that matches the legacy knobs exactly.
   DirectoryClient(rmi::Transport& transport,
                   std::vector<common::NodeId> directors,
-                  rmi::FailoverCaller::Options options = {});
+                  rmi::CallPolicy policy = rmi::CallPolicy::quorum());
+  // DEPRECATED shim for the pre-CallPolicy knob struct (one PR of grace).
+  [[deprecated("configure with rmi::CallPolicy")]]
+  DirectoryClient(rmi::Transport& transport,
+                  std::vector<common::NodeId> directors,
+                  rmi::FailoverCaller::Options options);
 
   // Asynchronous resolve: `done(resolution)` fires exactly once; nullopt
   // when no reachable member has a record (or the quorum is unreachable).
@@ -114,17 +122,20 @@ class DirectoryClient {
   bool announce_sync(const proto::PlacementRecord& record);
 
   [[nodiscard]] common::NodeId known_leader() const {
-    return caller_.preferred();
+    return channel_.preferred();
   }
   // Steers the next sweep (tests use this to start at a known-dead member;
   // normal operation learns the leader from replies).
-  void set_preferred(common::NodeId node) { caller_.set_preferred(node); }
+  void set_preferred(common::NodeId node) { channel_.set_preferred(node); }
+  [[nodiscard]] const rmi::CallPolicy& policy() const {
+    return channel_.policy();
+  }
 
  private:
   [[nodiscard]] sim::Simulation& sim();
 
   rmi::Transport& transport_;
-  rmi::FailoverCaller caller_;
+  rmi::FailoverChannel channel_;
 };
 
 }  // namespace mage::rts
