@@ -62,6 +62,19 @@
 //                                  check saw zero violations, and the
 //                                  control plane demonstrably failed over
 //                                  (elections held, client failovers).
+//   ... --glb                      additionally runs the lifeline GLB
+//                                  workload (bench/support/glb_harness.hpp:
+//                                  unbalanced tree expansion over an
+//                                  rts::DistMap whose partitions all start
+//                                  on two nodes, per-node lifeline
+//                                  rebalancers stealing them apart, loss +
+//                                  partition chaos racing the migrations)
+//                                  per seed at 1 and 8 workers.  The JSON
+//                                  gains a "glb" block; FAILS unless every
+//                                  run drains exactly-once (per-key exec
+//                                  counters), digests are identical across
+//                                  worker counts, and at least one load-
+//                                  driven partition migration happened.
 //
 // Results are written to BENCH_storm.json.
 #include <atomic>
@@ -84,6 +97,7 @@
 #include "serial/writer.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
+#include "support/glb_harness.hpp"
 
 namespace {
 
@@ -783,6 +797,7 @@ int main(int argc, char** argv) {
   std::vector<int> sizes{4, 8, 16};
   int threads = 0;
   bool chaos = false;
+  bool glb = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
@@ -792,6 +807,8 @@ int main(int argc, char** argv) {
       threads = parse_positive("thread count", argv[++i]);
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
+    } else if (std::strcmp(argv[i], "--glb") == 0) {
+      glb = true;
     } else {
       sizes = {parse_positive("node count", argv[i])};
     }
@@ -889,6 +906,67 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- lifeline GLB over DistMap (chaos schedule always on) -----------------
+  struct GlbSeed {
+    std::uint64_t seed = 0;
+    mage::glb::GlbRun single;
+    mage::glb::GlbRun multi;
+    double single_sec = 0.0;
+    double multi_sec = 0.0;
+  };
+  std::vector<GlbSeed> glb_seeds;
+  bool glb_ok = true;
+  bool glb_deterministic = true;
+  bool glb_exactly_once = true;
+  bool glb_migrated = true;
+  if (glb) {
+    for (const std::uint64_t seed : {11ull, 23ull, 47ull}) {
+      mage::glb::GlbParams params;
+      params.seed = seed;
+      params.chaos = true;
+      GlbSeed result;
+      result.seed = seed;
+      auto t0 = Clock::now();
+      result.single = mage::glb::run_glb(params, 1);
+      auto t1 = Clock::now();
+      result.multi = mage::glb::run_glb(params, 8);
+      auto t2 = Clock::now();
+      result.single_sec = std::chrono::duration<double>(t1 - t0).count();
+      result.multi_sec = std::chrono::duration<double>(t2 - t1).count();
+
+      const bool completed = result.single.completed && result.multi.completed;
+      const bool deterministic =
+          result.single.digest == result.multi.digest &&
+          result.single.processed == result.multi.processed &&
+          result.single.migrations == result.multi.migrations &&
+          result.single.lifeline_steals == result.multi.lifeline_steals;
+      const bool exactly_once =
+          result.single.exactly_once() && result.multi.exactly_once();
+      const bool migrated =
+          result.single.migrations >= 1 && result.multi.migrations >= 1;
+      glb_deterministic = glb_deterministic && deterministic;
+      glb_exactly_once = glb_exactly_once && exactly_once;
+      glb_migrated = glb_migrated && migrated;
+      glb_ok = glb_ok && completed && deterministic && exactly_once && migrated;
+
+      std::cout << "glb seed " << seed << ": tree=" << result.single.tree_size
+                << ", " << result.single.migrations << " migrations, "
+                << result.single.lifeline_steals << " lifeline steals, "
+                << result.single.faults_applied << " faults, "
+                << result.single.requeues << " requeues; 1w "
+                << result.single_sec << "s, 8w " << result.multi_sec << "s; "
+                << (deterministic ? "digests identical" : "DIGESTS DIVERGED")
+                << ", "
+                << (exactly_once ? "exactly-once" : "EXACTLY-ONCE VIOLATED")
+                << "\n";
+      if (!completed) {
+        std::cerr << "FAIL: glb seed " << seed
+                  << " did not drain within the virtual-time deadline\n";
+      }
+      glb_seeds.push_back(std::move(result));
+    }
+  }
+
   std::ofstream json("BENCH_storm.json");
   json << "{\n"
        << "  \"bench\": \"storm\",\n"
@@ -958,7 +1036,49 @@ int main(int argc, char** argv) {
     write_json_run(json, chaos_multi, "      ");
     json << "\n  }";
   }
+  if (glb) {
+    mage::glb::GlbParams defaults;
+    json << ",\n  \"glb\": {\n"
+         << "    \"nodes\": " << defaults.nodes << ",\n"
+         << "    \"partitions\": " << defaults.partitions << ",\n"
+         << "    \"threads\": 8,\n"
+         << "    \"deterministic\": " << (glb_deterministic ? "true" : "false")
+         << ",\n"
+         << "    \"exactly_once\": " << (glb_exactly_once ? "true" : "false")
+         << ",\n"
+         << "    \"migrated\": " << (glb_migrated ? "true" : "false") << ",\n"
+         << "    \"runs\": [\n";
+    for (std::size_t i = 0; i < glb_seeds.size(); ++i) {
+      const GlbSeed& s = glb_seeds[i];
+      json << "      {\n"
+           << "        \"seed\": " << s.seed << ",\n"
+           << "        \"tree_size\": " << s.single.tree_size << ",\n"
+           << "        \"digest\": " << s.single.digest << ",\n"
+           << "        \"processed\": " << s.single.processed << ",\n"
+           << "        \"migrations\": " << s.single.migrations << ",\n"
+           << "        \"lifeline_steals\": " << s.single.lifeline_steals
+           << ",\n"
+           << "        \"rebalance_moves\": " << s.single.rebalance_moves
+           << ",\n"
+           << "        \"table_repairs\": " << s.single.table_repairs << ",\n"
+           << "        \"dup_hits\": " << s.single.dup_hits << ",\n"
+           << "        \"requeues\": " << s.single.requeues << ",\n"
+           << "        \"exec_violations\": " << s.single.exec_violations
+           << ",\n"
+           << "        \"faults_applied\": " << s.single.faults_applied
+           << ",\n"
+           << "        \"wall_sec_single\": " << s.single_sec << ",\n"
+           << "        \"wall_sec_multi\": " << s.multi_sec << "\n"
+           << "      }" << (i + 1 < glb_seeds.size() ? "," : "") << "\n";
+    }
+    json << "    ]\n  }";
+  }
   json << "\n}\n";
   std::cout << "wrote BENCH_storm.json\n";
+  if (glb && !glb_ok) {
+    std::cerr << "FAIL: glb workload violated its contract (see above); "
+                 "BENCH_storm.json records the actual flags\n";
+    return 1;
+  }
   return 0;
 }

@@ -12,6 +12,10 @@ gate fails the build when:
   * a file under src/rts/ outside the protocol/facade allowlist
     constructs or names those structs (new runtime code must route
     invocations through AsyncClient/MageClient, not hand-roll them).
+    The allowlist is matched by path relative to src/rts/, so the
+    distributed-collections layer (src/rts/dist/) can never opt out —
+    partitions and rebalancers are applications of the facade, not
+    extensions of the protocol.
 
 Usage: python3 ci/check_facade_lint.py [repo-root]
 """
@@ -23,7 +27,9 @@ TOKENS = re.compile(r"\b(InvokeRequest|LookupRequest)\b")
 
 # The protocol definition itself, the server that serves the verbs, and
 # the two client facades that implement the chase.  Everything else in
-# src/rts/ is "application-side" runtime code and must use the facades.
+# src/rts/ — including all of src/rts/dist/ — is "application-side"
+# runtime code and must use the facades.  Entries are paths relative to
+# src/rts/ (not basenames) so a nested file can never shadow its way in.
 RTS_ALLOWLIST = {
     "protocol.hpp",
     "protocol.cpp",
@@ -58,8 +64,11 @@ def main() -> int:
                     f"in an example (use rts::AsyncClient): {line}"
                 )
 
-    for path in sorted((root / "src" / "rts").glob("**/*")):
-        if path.suffix not in (".cpp", ".hpp") or path.name in RTS_ALLOWLIST:
+    rts_root = root / "src" / "rts"
+    for path in sorted(rts_root.glob("**/*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        if path.relative_to(rts_root).as_posix() in RTS_ALLOWLIST:
             continue
         for lineno, line in scan(path):
             failures.append(

@@ -32,8 +32,17 @@ ladder: 1M calls/sec needs real hardware parallelism; a 1-core container
 is held to the determinism and structural checks plus a lower floor.
 Pass --require-batch to fail when the block is missing.
 
+GLB runs (ISSUE 9: relocatable distributed collections) emit a `glb`
+block when bench_storm runs with --glb: three seeded lifeline
+global-load-balancing workloads over migrating DistMap partitions, each
+run chaotic at 1 and 8 workers.  This script validates it: digests (and
+every structural counter) identical across worker counts, every tree
+node expanded exactly once, at least one load-driven partition
+migration per seed, and the fault schedule genuinely applied.
+Pass --require-glb to fail when the block is missing.
+
 Usage: check_storm_scaling.py <BENCH_storm.json> [--require-chaos]
-                              [--require-batch]
+                              [--require-batch] [--require-glb]
 """
 import json
 import os
@@ -121,6 +130,49 @@ def check_batch(data, require_batch):
     return 0
 
 
+def check_glb(data, require_glb):
+    glb = data.get("glb")
+    if not glb:
+        if require_glb:
+            print("no glb block in BENCH_storm.json — run with --glb",
+                  file=sys.stderr)
+            return 1
+        return 0
+    failures = []
+    if not glb.get("deterministic", False):
+        failures.append("glb digests/counters diverged across worker counts")
+    if not glb.get("exactly_once", False):
+        failures.append("some glb tree node was not expanded exactly once")
+    if not glb.get("migrated", False):
+        failures.append("a glb run finished without any partition migration")
+    runs = glb.get("runs", [])
+    if len(runs) < 3:
+        failures.append(f"glb ran only {len(runs)} seeds (need >= 3)")
+    for run in runs:
+        tag = f"glb seed {run.get('seed')}"
+        if run.get("exec_violations", -1) != 0:
+            failures.append(f"{tag}: per-key exec-count violations")
+        if run.get("processed", 0) != run.get("tree_size", -1):
+            failures.append(f"{tag}: processed {run.get('processed')} of "
+                            f"{run.get('tree_size')} tree nodes")
+        if run.get("migrations", 0) < 1:
+            failures.append(f"{tag}: no load-driven partition migrations")
+        if run.get("faults_applied", 0) < 1:
+            failures.append(f"{tag}: chaos schedule did not apply")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    total_nodes = sum(r["tree_size"] for r in runs)
+    total_migrations = sum(r["migrations"] for r in runs)
+    total_steals = sum(r["lifeline_steals"] for r in runs)
+    print(f"glb: {len(runs)} seeds, {total_nodes} tree nodes expanded "
+          f"exactly once under chaos; {total_migrations} migrations "
+          f"({total_steals} lifeline steals); digests identical across "
+          f"worker counts")
+    return 0
+
+
 def check_chaos(data, require_chaos):
     chaos = data.get("chaos")
     if not chaos:
@@ -177,10 +229,11 @@ def check_chaos(data, require_chaos):
 
 
 def main():
-    flags = {"--require-chaos", "--require-batch"}
+    flags = {"--require-chaos", "--require-batch", "--require-glb"}
     args = [a for a in sys.argv[1:] if a not in flags]
     require_chaos = "--require-chaos" in sys.argv[1:]
     require_batch = "--require-batch" in sys.argv[1:]
+    require_glb = "--require-glb" in sys.argv[1:]
     with open(args[0]) as f:
         data = json.load(f)
     threaded = data.get("threaded")
@@ -196,6 +249,8 @@ def main():
     if check_chaos(data, require_chaos) != 0:
         return 1
     if check_batch(data, require_batch) != 0:
+        return 1
+    if check_glb(data, require_glb) != 0:
         return 1
 
     hw = data.get("hardware_threads", 1)

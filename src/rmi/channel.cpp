@@ -25,7 +25,7 @@ CallPolicy CallPolicy::quorum() {
   CallPolicy policy;
   policy.attempt_timeout_us = 2'000;
   policy.attempt_transmissions = 2;
-  policy.max_retries = 7;  // 8 full sweeps, as FailoverCaller's rounds=8
+  policy.max_retries = 7;  // 8 full sweeps, as the legacy caller's rounds=8
   policy.backoff_base_us = 4'000;
   policy.backoff_multiplier = 1.0;  // flat pause between sweeps
   policy.backoff_jitter = 0.0;

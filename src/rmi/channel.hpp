@@ -5,7 +5,7 @@
 // (RetriableChannel, HedgedChannel) wrap an inner channel with policy —
 // retries with backoff, an overall deadline, a hedge request after a
 // latency threshold.  Every knob lives in ONE struct, rmi::CallPolicy,
-// instead of being spread across CallOptions, FailoverCaller's private
+// instead of being spread across CallOptions, per-caller private
 // timeout/tries, and ad-hoc driver loops.  Stacks compose bottom-up:
 //
 //   RetriableChannel(HedgedChannel(DirectChannel(transport, policy)))
@@ -77,9 +77,10 @@ struct CallPolicy {
   [[nodiscard]] common::SimDuration backoff_us(int retry,
                                                common::Rng& rng) const;
 
-  // The control-plane quorum preset: the exact timing FailoverCaller
-  // shipped with (2ms attempts, one retransmission, 8 sweeps, flat 4ms
-  // pause between sweeps) so directory chaos runs replay unchanged.
+  // The control-plane quorum preset: the exact timing the original
+  // directory failover caller shipped with (2ms attempts, one
+  // retransmission, 8 sweeps, flat 4ms pause between sweeps) so directory
+  // chaos runs replay unchanged.
   [[nodiscard]] static CallPolicy quorum();
 };
 
@@ -209,8 +210,8 @@ class HedgedChannel final : public Channel {
   std::map<Token, Call> live_;
 };
 
-// Leaf: RMI against a replicated service group (the FailoverCaller sweep,
-// absorbed).  Any member may answer; an application Verdict accepts a reply
+// Leaf: RMI against a replicated service group (the directory failover
+// sweep).  Any member may answer; an application Verdict accepts a reply
 // or steers the next attempt (leader redirect); the list is swept starting
 // from the last-known-good member, max_retries+1 full rounds with the
 // policy backoff between rounds.  Channel::call ignores `dest` and uses an

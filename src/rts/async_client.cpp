@@ -144,6 +144,35 @@ MageFuture<common::NodeId> AsyncClient::directory_fallback(
   return promise.future();
 }
 
+MageFuture<common::NodeId> AsyncClient::unfenced_walk(
+    const common::ComponentName& name, common::NodeId start) {
+  proto::LookupRequest request;
+  request.name = name;
+  request.min_epoch = 0;
+  MagePromise<common::NodeId> promise;
+  ++outstanding_;
+  sim_.stats().add("rts.unfenced_walks");
+  channel().call(start, proto_verbs::kLookup, request.encode(),
+                 [this, name, promise](rmi::CallResult result) {
+                   --outstanding_;
+                   if (result.ok) {
+                     const auto reply = proto::LookupReply::decode(result.body);
+                     if (reply.status == proto::Status::Ok) {
+                       note_epoch(name, reply.epoch);
+                       server_.registry().update_forward(name, reply.host,
+                                                         reply.epoch);
+                       promise.set_value(reply.host);
+                       return;
+                     }
+                     promise.set_error("unfenced walk for '" + name +
+                                       "' dead-ended: " + reply.error);
+                     return;
+                   }
+                   promise.set_error(result.error);
+                 });
+  return promise.future();
+}
+
 MageFuture<common::NodeId> AsyncClient::locate(
     const common::ComponentName& name) {
   if (server_.registry().has_local(name) && !server_.in_transit(name)) {
@@ -178,7 +207,7 @@ MageFuture<common::NodeId> AsyncClient::locate(
   ++outstanding_;
   channel().call(
       start, proto_verbs::kLookup, request.encode(),
-      [this, name, promise](rmi::CallResult result) {
+      [this, name, start, promise](rmi::CallResult result) {
         --outstanding_;
         if (result.ok) {
           const auto reply = proto::LookupReply::decode(result.body);
@@ -190,13 +219,23 @@ MageFuture<common::NodeId> AsyncClient::locate(
           }
         }
         // Chain start unreachable or the walk dead-ended; the replicated
-        // directory (when configured) may still know the placement.
+        // directory (when configured) may still know the placement, and an
+        // unfenced walk is the final fallback — a fenced walk refuses any
+        // chain entry older than this client's own fence, which can strand
+        // a client whose fence outran every reachable entry (e.g. after a
+        // partition bounced between nodes several times).
         directory_fallback(name)
             .then([promise](common::NodeId host) mutable {
               promise.set_value(host);
             })
-            .on_error([promise](const std::string& error) mutable {
-              promise.set_error(error);
+            .on_error([this, name, start, promise](const std::string&) {
+              unfenced_walk(name, start)
+                  .then([promise](common::NodeId host) mutable {
+                    promise.set_value(host);
+                  })
+                  .on_error([promise](const std::string& error) mutable {
+                    promise.set_error(error);
+                  });
             });
       });
   return promise.future();
@@ -439,6 +478,25 @@ MageFuture<double> AsyncClient::load_of(common::NodeId node) {
                    }
                    promise.set_value(
                        proto::LoadReply::decode(result.body).load);
+                 });
+  return promise.future();
+}
+
+MageFuture<std::vector<std::pair<std::string, std::uint64_t>>>
+AsyncClient::manifest(common::NodeId node, const std::string& prefix) {
+  MagePromise<std::vector<std::pair<std::string, std::uint64_t>>> promise;
+  proto::ManifestRequest request;
+  request.prefix = prefix;
+  ++outstanding_;
+  channel().call(node, proto_verbs::kManifest, request.encode(),
+                 [this, promise](rmi::CallResult result) {
+                   --outstanding_;
+                   if (!result.ok) {
+                     promise.set_error(std::move(result.error));
+                     return;
+                   }
+                   promise.set_value(
+                       proto::ManifestReply::decode(result.body).entries);
                  });
   return promise.future();
 }

@@ -33,6 +33,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "rmi/channel.hpp"
@@ -111,14 +113,22 @@ class AsyncClient {
   MageFuture<common::NodeId> move(const common::ComponentName& name,
                                   common::NodeId to);
 
-  // Async resolve: where is `name` now?  (Lookup walk + directory
-  // fallback; does not chase invocations anywhere.)
+  // Async resolve: where is `name` now?  (Epoch-fenced lookup walk, then
+  // directory fallback, then one unfenced walk; does not chase
+  // invocations anywhere.)
   MageFuture<common::NodeId> locate(const common::ComponentName& name);
 
   // --- probes -------------------------------------------------------------
 
   MageFuture<double> load_of(common::NodeId node);
   MageFuture<Unit> ping(common::NodeId node);
+
+  // Lists the components bound on `node` whose names start with `prefix`,
+  // as (name, placement epoch) pairs — the partition-ops probe a
+  // rebalancer uses to pick a migration victim from the host's
+  // authoritative registry instead of a possibly-stale client table.
+  MageFuture<std::vector<std::pair<std::string, std::uint64_t>>> manifest(
+      common::NodeId node, const std::string& prefix);
 
   // --- epoch fences (same bookkeeping as MageClient) ----------------------
 
@@ -157,6 +167,16 @@ class AsyncClient {
 
   MageFuture<common::NodeId> directory_fallback(
       const common::ComponentName& name);
+  // Last-resort unfenced chain walk (min_epoch 0) from `start`.  A fenced
+  // walk can dead-end when every reachable chain entry is older than this
+  // client's own fence even though the chain still leads to the live
+  // binding (epochs rise strictly along a forwarding chain, so following
+  // a stale link converges; only a node's LOCAL binding ever serves, so
+  // the worst case is a wasted hop, never a wrong execution).  This is
+  // exactly the walk a fresh client (fence 0) is always allowed, and the
+  // caller re-verifies placement on the next invoke anyway.
+  MageFuture<common::NodeId> unfenced_walk(const common::ComponentName& name,
+                                           common::NodeId start);
 
   MageServer& server_;
   rmi::Transport& transport_;

@@ -137,11 +137,6 @@ DirectoryClient::DirectoryClient(rmi::Transport& transport,
     : transport_(transport),
       channel_(transport, std::move(directors), policy) {}
 
-DirectoryClient::DirectoryClient(rmi::Transport& transport,
-                                 std::vector<common::NodeId> directors,
-                                 rmi::FailoverCaller::Options options)
-    : DirectoryClient(transport, std::move(directors), options.to_policy()) {}
-
 sim::Simulation& DirectoryClient::sim() {
   return transport_.network().node_sim(transport_.self());
 }

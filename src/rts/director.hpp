@@ -19,7 +19,7 @@
 //     resolutions older than what it has already confirmed).
 //
 // A non-leader answers an announce with Moved + its leader hint, which
-// DirectoryClient/FailoverCaller chase.  The whole subsystem is opt-in:
+// DirectoryClient's failover sweep chases.  The whole subsystem is opt-in:
 // nothing instantiates a Director unless the test/bench builds one, so
 // existing deployments keep their pure static-directory behavior.
 #pragma once
@@ -31,7 +31,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
-#include "rmi/failover.hpp"
+#include "rmi/channel.hpp"
 #include "rmi/transport.hpp"
 #include "rts/election.hpp"
 #include "rts/protocol.hpp"
@@ -101,11 +101,6 @@ class DirectoryClient {
   DirectoryClient(rmi::Transport& transport,
                   std::vector<common::NodeId> directors,
                   rmi::CallPolicy policy = rmi::CallPolicy::quorum());
-  // DEPRECATED shim for the pre-CallPolicy knob struct (one PR of grace).
-  [[deprecated("configure with rmi::CallPolicy")]]
-  DirectoryClient(rmi::Transport& transport,
-                  std::vector<common::NodeId> directors,
-                  rmi::FailoverCaller::Options options);
 
   // Asynchronous resolve: `done(resolution)` fires exactly once; nullopt
   // when no reachable member has a record (or the quorum is unreachable).

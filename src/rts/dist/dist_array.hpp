@@ -1,0 +1,235 @@
+// rts::DistArray<T>: a relocatable distributed array.
+//
+// A fixed-length array split into P contiguous blocks; each block is an
+// ordinary mage component (ArrayPartition<T>) and migrates like any other
+// object.  Block partitioning is static arithmetic — element i lives in
+// partition i / ceil(n / P) forever — so routing is pure client-side math
+// and a relocation never remaps indices, only hosts.  All remote traffic
+// rides the AsyncClient facade; fan-outs fold in partition-index order so
+// reductions and digests are placement-independent.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rts/async_client.hpp"
+#include "rts/class_world.hpp"
+#include "rts/component.hpp"
+#include "rts/directory.hpp"
+#include "rts/dist/layout.hpp"
+#include "rts/dist/partition_table.hpp"
+#include "rts/future.hpp"
+#include "rts/server.hpp"
+#include "serial/traits.hpp"
+
+namespace mage::rts::dist {
+
+template <serial::WireType T>
+class ArrayPartition : public MageObject {
+ public:
+  static inline std::string registered_name = "ArrayPartition";
+
+  [[nodiscard]] std::string class_name() const override {
+    return registered_name;
+  }
+
+  void serialize(serial::Writer& w) const override {
+    w.write_u64(offset_);
+    serial::put(w, items_);
+  }
+
+  void deserialize(serial::Reader& r) override {
+    offset_ = r.read_u64();
+    items_ = serial::get<std::vector<T>>(r);
+  }
+
+  // Deployment-time shaping (driver-side, before the first bind).
+  void reset(std::uint64_t offset, std::uint64_t count) {
+    offset_ = offset;
+    items_.assign(count, T{});
+  }
+
+  // --- remotely invocable methods ----------------------------------------
+
+  [[nodiscard]] T at(std::uint64_t local) const {
+    check(local);
+    return items_[local];
+  }
+
+  // Returns the previous value.
+  T set(std::uint64_t local, T value) {
+    check(local);
+    T old = std::move(items_[local]);
+    items_[local] = std::move(value);
+    return old;
+  }
+
+  bool fill(T value) {
+    for (auto& item : items_) item = value;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return items_.size(); }
+
+  [[nodiscard]] T reduce_plus() const {
+    T acc{};
+    for (const auto& item : items_) acc += item;
+    return acc;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const {
+    serial::Writer w;
+    w.write_u64(offset_);
+    serial::put(w, items_);
+    const serial::Buffer bytes = w.take();
+    return hash_bytes(bytes.data(), bytes.size());
+  }
+
+ private:
+  void check(std::uint64_t local) const {
+    if (local >= items_.size()) {
+      throw common::RemoteInvocationError(
+          "DistArray index out of partition bounds");
+    }
+  }
+
+  std::uint64_t offset_ = 0;
+  std::vector<T> items_;
+};
+
+template <serial::WireType T>
+class DistArray {
+ public:
+  using Partition = ArrayPartition<T>;
+
+  DistArray(AsyncClient& client, std::string base, std::size_t partitions,
+            std::uint64_t length)
+      : client_(client),
+        table_(client, std::move(base), partitions),
+        length_(length),
+        block_((length + partitions - 1) / partitions) {}
+
+  DistArray(const DistArray&) = delete;
+  DistArray& operator=(const DistArray&) = delete;
+
+  static void register_class(ClassWorld& world, const std::string& class_name,
+                             std::int64_t op_cost_us = 0) {
+    Partition::registered_name = class_name;
+    ClassBuilder<Partition>(world, class_name)
+        .method("at", &Partition::at)
+        .method("set", &Partition::set, op_cost_us)
+        .method("fill", &Partition::fill, op_cost_us)
+        .method("size", &Partition::size)
+        .method("reduce_plus", &Partition::reduce_plus)
+        .method("digest", &Partition::digest);
+  }
+
+  // Deployment-time: binds block `index` (pre-sized to its slice of
+  // `length`) on `server` and announces it in the static directory.
+  static void bind_partition(MageServer& server, Directory& directory,
+                             const std::string& class_name,
+                             const std::string& base, std::size_t index,
+                             std::size_t partitions, std::uint64_t length) {
+    const std::uint64_t block = (length + partitions - 1) / partitions;
+    const std::uint64_t start = index * block;
+    const std::uint64_t count = start >= length ? 0 : std::min(block, length - start);
+    auto object = std::make_unique<Partition>();
+    object->reset(start, count);
+    ComponentInfo info;
+    info.name = partition_name(base, index);
+    info.class_name = class_name;
+    info.home = server.self();
+    info.is_public = true;
+    directory.announce(info);
+    server.registry().bind(info.name, std::move(object));
+  }
+
+  [[nodiscard]] std::uint64_t length() const { return length_; }
+
+  MageFuture<T> get(std::uint64_t index) {
+    return client_.invoke<T>(owner(index), "at", local(index));
+  }
+
+  // Completes with the previous value.
+  MageFuture<T> set(std::uint64_t index, const T& value) {
+    return client_.invoke<T>(owner(index), "set", local(index), value);
+  }
+
+  MageFuture<bool> fill(const T& value) {
+    std::vector<MageFuture<bool>> calls;
+    calls.reserve(table_.partitions());
+    for (std::size_t i = 0; i < table_.partitions(); ++i) {
+      table_.route(i);
+      calls.push_back(client_.invoke<bool>(table_.name_of(i), "fill", value));
+    }
+    return when_all(calls).then([](std::vector<bool>&) { return true; });
+  }
+
+  MageFuture<T> reduce_plus() {
+    return fan_in<T>("reduce_plus", T{}, [](T acc, const T& part) {
+      acc += part;
+      return acc;
+    });
+  }
+
+  MageFuture<std::uint64_t> size() {
+    return fan_in<std::uint64_t>(
+        "size", 0,
+        [](std::uint64_t acc, const std::uint64_t& part) { return acc + part; });
+  }
+
+  MageFuture<std::uint64_t> digest() {
+    return fan_in<std::uint64_t>(
+        "digest", kFnvOffset,
+        [](std::uint64_t acc, const std::uint64_t& part) {
+          return fold_hash(acc, part);
+        });
+  }
+
+  [[nodiscard]] PartitionTable& table() { return table_; }
+
+ private:
+  [[nodiscard]] std::size_t partition_index(std::uint64_t index) const {
+    if (index >= length_) {
+      throw common::MageError("DistArray index out of bounds");
+    }
+    return static_cast<std::size_t>(index / block_);
+  }
+
+  const std::string& owner(std::uint64_t index) {
+    const std::size_t p = partition_index(index);
+    table_.route(p);
+    return table_.name_of(p);
+  }
+
+  [[nodiscard]] std::uint64_t local(std::uint64_t index) const {
+    return index % block_;
+  }
+
+  template <typename R, typename Fold>
+  MageFuture<R> fan_in(const std::string& method, R init, Fold fold) {
+    std::vector<MageFuture<R>> calls;
+    calls.reserve(table_.partitions());
+    for (std::size_t i = 0; i < table_.partitions(); ++i) {
+      table_.route(i);
+      calls.push_back(client_.invoke<R>(table_.name_of(i), method));
+    }
+    return when_all(calls).then([init, fold](std::vector<R>& parts) {
+      R acc = init;
+      for (const auto& part : parts) acc = fold(acc, part);
+      return acc;
+    });
+  }
+
+  AsyncClient& client_;
+  PartitionTable table_;
+  std::uint64_t length_;
+  std::uint64_t block_;
+};
+
+}  // namespace mage::rts::dist

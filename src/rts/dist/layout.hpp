@@ -1,0 +1,66 @@
+// Partition layout for the distributed collections (docs/API.md,
+// "Distributed collections").
+//
+// A collection named `base` with P partitions binds P ordinary mage
+// components "<base>.p0" .. "<base>.p<P-1>" — each one a normal
+// Registry::bind'd, epoch-fenced, mage.move-able object.  Keys map to
+// partitions by hashing the key's *wire encoding* (the serial::Codec
+// bytes), so any WireType can be a key and every node — at any worker
+// count — computes the same placement without coordination.  The layout is
+// static: rebalancing moves partitions between nodes, never keys between
+// partitions, so a relocation changes WHERE a key is served but never
+// WHICH component serves it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serial/buffer.hpp"
+#include "serial/traits.hpp"
+#include "serial/writer.hpp"
+
+namespace mage::rts::dist {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+[[nodiscard]] inline std::uint64_t fold_hash(std::uint64_t h,
+                                             std::uint64_t v) {
+  return (h ^ v) * kFnvPrime;
+}
+
+[[nodiscard]] inline std::uint64_t hash_bytes(const std::uint8_t* data,
+                                              std::size_t size) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < size; ++i) h = fold_hash(h, data[i]);
+  return h;
+}
+
+// FNV-1a over the key's codec encoding: deterministic across nodes,
+// engines, and worker counts (the wire bytes are the canonical form).
+template <serial::WireType K>
+[[nodiscard]] std::uint64_t key_hash(const K& key) {
+  serial::Writer w;
+  serial::put(w, key);
+  const serial::Buffer bytes = w.take();
+  return hash_bytes(bytes.data(), bytes.size());
+}
+
+[[nodiscard]] inline std::string partition_name(const std::string& base,
+                                                std::size_t index) {
+  return base + ".p" + std::to_string(index);
+}
+
+// The prefix every partition of `base` shares — what a Rebalancer hands to
+// the manifest probe so it only sees this collection's partitions.
+[[nodiscard]] inline std::string partition_prefix(const std::string& base) {
+  return base + ".p";
+}
+
+template <serial::WireType K>
+[[nodiscard]] std::size_t partition_of(const K& key, std::size_t partitions) {
+  return static_cast<std::size_t>(key_hash(key) % partitions);
+}
+
+}  // namespace mage::rts::dist

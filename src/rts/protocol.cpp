@@ -522,6 +522,40 @@ DirResolveReply DirResolveReply::decode(serial::ChainReader& r) {
   return v;
 }
 
+// --- ManifestRequest / ManifestReply ------------------------------------------------
+
+serial::Buffer ManifestRequest::encode() const {
+  serial::Writer w;
+  w.write_string(prefix);
+  return w.take();
+}
+
+ManifestRequest ManifestRequest::decode(serial::ChainReader& r) {
+  return ManifestRequest{r.read_string()};
+}
+
+serial::Buffer ManifestReply::encode() const {
+  serial::Writer w;
+  w.write_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [name, epoch] : entries) {
+    w.write_string(name);
+    w.write_u64(epoch);
+  }
+  return w.take();
+}
+
+ManifestReply ManifestReply::decode(serial::ChainReader& r) {
+  ManifestReply v;
+  const std::uint32_t n = r.read_u32();
+  v.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = r.read_string();
+    const std::uint64_t epoch = r.read_u64();
+    v.entries.emplace_back(std::move(name), epoch);
+  }
+  return v;
+}
+
 // --- LoadReply ------------------------------------------------------------------------
 
 serial::Buffer LoadReply::encode() const {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -63,6 +64,10 @@ inline const common::VerbId kDiscover = common::intern_verb("mage.discover");
 // the number of RMI calls ... by better utilizing the in and out variables
 // of a single Java RMI call".  One exchange carries instantiate + invoke.
 inline const common::VerbId kExec = common::intern_verb("mage.exec");
+// Partition ops for the distributed collections (src/rts/dist/): list
+// the components bound on a node, so a rebalancer can pick a migration
+// victim from the hot node's authoritative local view.
+inline const common::VerbId kManifest = common::intern_verb("mage.manifest");
 // Replicated directory control plane (the Section 7 static-home fix):
 // leader election among the director quorum, plus placement-record
 // announce/resolve/replicate.
@@ -418,6 +423,27 @@ struct DirResolveReply {
 
   [[nodiscard]] serial::Buffer encode() const;
   MAGE_PROTO_DECODE(DirResolveReply)
+};
+
+// --- partition manifests (distributed collections) ---------------------------
+
+// "Which components live on you right now?"  The queried node answers from
+// its registry — names filtered by prefix, each with its placement epoch —
+// which is how rts::Rebalancer picks a partition to migrate off a hot node
+// without trusting a possibly-stale client-side table.
+struct ManifestRequest {
+  std::string prefix;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(ManifestRequest)
+};
+
+struct ManifestReply {
+  // (component name, placement epoch), in registry (lexicographic) order.
+  std::vector<std::pair<common::ComponentName, std::uint64_t>> entries;
+
+  [[nodiscard]] serial::Buffer encode() const;
+  MAGE_PROTO_DECODE(ManifestReply)
 };
 
 // --- misc ------------------------------------------------------------------

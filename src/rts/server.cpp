@@ -52,6 +52,8 @@ void MageServer::register_services() {
                               bind_to(&MageServer::handle_unlock));
   transport_.register_service(proto_verbs::kGetLoad,
                               bind_to(&MageServer::handle_get_load));
+  transport_.register_service(proto_verbs::kManifest,
+                              bind_to(&MageServer::handle_manifest));
   transport_.register_service(
       proto_verbs::kPing,
       [](common::NodeId, const Body& body, rmi::Replier replier) {
@@ -544,6 +546,22 @@ void MageServer::handle_invoke(common::NodeId caller, const Body& body,
   }
   sim().schedule_after(cost, [this, request = std::move(request),
                               replier = std::move(replier)]() mutable {
+    // Re-validate at execution time: a migration that started while this
+    // invocation waited its CPU turn has already serialized the object's
+    // state, so executing now would mutate a doomed local copy and the
+    // update would silently vanish at the new host.  Redirect instead —
+    // the method has not run, so the caller's retry at the destination is
+    // still exactly-once.
+    if (!registry_.has_local(request.name) || in_transit(request.name)) {
+      auto hint = locate_hint(request.name);
+      proto::InvokeReply reply;
+      reply.status = hint.status;
+      reply.hint = hint.node;
+      reply.hint_epoch = hint.epoch;
+      reply.error = "object left while the invocation awaited CPU";
+      replier.ok(reply.encode());
+      return;
+    }
     replier.ok(run_method(request).encode());
   });
 }
@@ -662,6 +680,21 @@ void MageServer::handle_get_load(common::NodeId caller, const Body& body,
   (void)body;
   proto::LoadReply reply;
   reply.load = transport_.network().load(self());
+  replier.ok(reply.encode());
+}
+
+void MageServer::handle_manifest(common::NodeId caller, const Body& body,
+                                 rmi::Replier replier) {
+  (void)caller;
+  auto request = proto::ManifestRequest::decode(body);
+  proto::ManifestReply reply;
+  for (const auto& name : registry_.local_names()) {
+    if (name.rfind(request.prefix, 0) != 0) continue;
+    // A component mid-transfer away from here is already leaving; offering
+    // it as a migration victim would race its own move.
+    if (in_transit_.contains(name)) continue;
+    reply.entries.emplace_back(name, registry_.epoch_of(name));
+  }
   replier.ok(reply.encode());
 }
 

@@ -116,6 +116,8 @@ class MageServer {
                      rmi::Replier replier);
   void handle_get_load(common::NodeId caller, const Body& body,
                        rmi::Replier replier);
+  void handle_manifest(common::NodeId caller, const Body& body,
+                       rmi::Replier replier);
   void handle_static_get(common::NodeId caller, const Body& body,
                          rmi::Replier replier);
   void handle_static_put(common::NodeId caller, const Body& body,

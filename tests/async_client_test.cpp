@@ -172,33 +172,24 @@ TEST(AsyncClientTest, ChaseRetriesPastStaleMovedHintUntilChainCatchesUp) {
   // The chaser (n4) has confirmed epoch knowledge of the second move but
   // no location knowledge, so it asks the static home n1 — whose Moved
   // hint carries the FIRST move's epoch.  The fence must reject it (never
-  // chase placement history backwards), and the chase keeps re-locating.
+  // chase placement history backwards), and the chase re-locates.
   AsyncClient chaser(*cluster.servers[3]);
   chaser.note_epoch("obj", fresh_epoch);
   auto invoked = chaser.invoke<std::int64_t>("obj", "increment");
 
-  // n1's own min_epoch-fenced lookups dead-end too (its knowledge is
-  // stale), so the chase spins... until an unfenced helper walk from n5
-  // collapses n1's forwarding entry to the fresh placement, at which point
-  // the next relocation attempt converges.  A genuine retry/hint/fence
-  // race, resolved deterministically.
-  bool helper_done = false;
-  cluster.sim.schedule_after(30'000, [&] {
-    AsyncClient* helper = new AsyncClient(*cluster.servers[4]);
-    helper->locate("obj").then([&, helper](common::NodeId host) {
-      EXPECT_EQ(host, cluster.ids[2]);
-      helper_done = true;
-      (void)helper;  // leaked deliberately: outlives its in-flight walk
-    });
-  });
-
+  // n1's own min_epoch-fenced lookup dead-ends too (its forwarding
+  // knowledge is one epoch behind the chaser's fence), but the chain
+  // still leads to the live binding — so locate()'s last-resort unfenced
+  // walk follows the stale link forward (epochs rise strictly along a
+  // chain) and converges without any outside help.  A genuine
+  // retry/hint/fence race, resolved deterministically.
   ASSERT_TRUE(cluster.sim.run_until([&] { return invoked.completed(); },
                                     5'000'000));
-  EXPECT_TRUE(helper_done);
   ASSERT_TRUE(invoked.has_value()) << invoked.error();
   EXPECT_EQ(invoked.value(), 1);  // exactly one execution despite the chase
   EXPECT_GE(cluster.counter("rts.stale_hints_rejected"), 1);
-  EXPECT_GE(cluster.counter("rts.async_relocates"), 2);
+  EXPECT_GE(cluster.counter("rts.async_relocates"), 1);
+  EXPECT_GE(cluster.counter("rts.unfenced_walks"), 1);
   EXPECT_EQ(cluster.counter("rts.async_invokes"), 1);
 }
 
@@ -419,6 +410,45 @@ AsyncChaosRun run_async_chaos(std::uint64_t seed, int threads) {
   run.relocates = ssim.counter("rts.async_relocates");
   run.redirects = ssim.counter("rts.async_redirects");
   return run;
+}
+
+// --- combinator edge cases -------------------------------------------------
+
+TEST(FutureEdgeTest, WhenAllOnEmptyVectorCompletesImmediately) {
+  // No simulation needed: zero futures means zero pending dependencies, so
+  // the combined future must resolve synchronously with an empty vector —
+  // the fan-out base case DistMap-style collections rely on.
+  std::vector<MageFuture<std::int64_t>> none;
+  bool resolved = false;
+  std::size_t count = 999;
+  when_all(none)
+      .then([&](std::vector<std::int64_t>& values) {
+        resolved = true;
+        count = values.size();
+      })
+      .on_error([&](const std::string& error) {
+        ADD_FAILURE() << "empty when_all failed: " << error;
+      });
+  EXPECT_TRUE(resolved);
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(FutureEdgeTest, WhenAnyOnEmptyVectorFailsCleanly) {
+  // A race with no contestants can never produce a winner: it must fail
+  // immediately (not hang) with a diagnosable error.
+  std::vector<MageFuture<std::int64_t>> none;
+  bool failed = false;
+  std::string message;
+  when_any(none)
+      .then([&](std::pair<std::size_t, std::int64_t>&) {
+        ADD_FAILURE() << "empty when_any produced a winner";
+      })
+      .on_error([&](const std::string& error) {
+        failed = true;
+        message = error;
+      });
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(message, "when_any on zero futures");
 }
 
 TEST(AsyncChaos, DigestIdenticalAcrossWorkerCountsAndSeeds) {

@@ -1,0 +1,92 @@
+// Distributed collections under chaos on the sharded engine: the lifeline
+// GLB workload (bench/support/glb_harness.hpp) drains an unbalanced tree
+// through DistMap expands while per-node rebalancers migrate partitions
+// and the fault schedule injects loss bursts and partition/heal pairs
+// racing those migrations.
+//
+// Asserted per seed: bit-identical content digests (and migration/steal
+// counts) at 1, 2, and 8 workers; exactly-once expansion per key via the
+// partition exec counters (zero violations, map size == precomputed tree
+// size, value sum == key count); and at least one load-driven partition
+// migration — the rebalancer must have acted, not merely survived.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/glb_harness.hpp"
+
+namespace mage::glb {
+namespace {
+
+class DistChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistChaos, GlbDrainsExactlyOnceAndDeterministically) {
+  GlbParams params;
+  params.seed = GetParam();
+  params.chaos = true;
+
+  std::vector<GlbRun> runs;
+  for (const int threads : {1, 2, 8}) {
+    runs.push_back(run_glb(params, threads));
+  }
+  const GlbRun& base = runs.front();
+  ASSERT_TRUE(base.completed);
+  EXPECT_GT(base.tree_size, 50u);  // smallest seeded tree (seed 47) is 85
+  EXPECT_GT(base.faults_applied, 0);  // the schedule actually fired
+
+  for (const GlbRun& run : runs) {
+    ASSERT_TRUE(run.completed);
+
+    // Exactly-once per key: every tree node expanded, executed once.
+    EXPECT_EQ(run.exec_violations, 0u);
+    EXPECT_EQ(run.map_count, run.tree_size);
+    EXPECT_EQ(run.map_sum, static_cast<std::int64_t>(run.tree_size));
+    EXPECT_EQ(run.processed, run.tree_size);
+    EXPECT_TRUE(run.exactly_once());
+
+    // Rebalancing happened while faults raced it.
+    EXPECT_GE(run.migrations, 1);
+    EXPECT_GE(run.lifeline_steals, 1);
+
+    // Sharded determinism contract, observed from the collection layer.
+    EXPECT_EQ(run.digest, base.digest);
+    EXPECT_EQ(run.processed, base.processed);
+    EXPECT_EQ(run.migrations, base.migrations);
+    EXPECT_EQ(run.lifeline_steals, base.lifeline_steals);
+    EXPECT_EQ(run.rebalance_moves, base.rebalance_moves);
+    EXPECT_EQ(run.dup_hits, base.dup_hits);
+    EXPECT_EQ(run.requeues, base.requeues);
+    EXPECT_EQ(run.table_repairs, base.table_repairs);
+    EXPECT_EQ(run.faults_applied, base.faults_applied);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistChaos,
+                         ::testing::Values(11ull, 23ull, 47ull));
+
+// Clean-network control: same workload, no faults — still deterministic,
+// still exactly-once, still migrating (the skew alone drives it), and no
+// driver ever needed an application-level requeue.
+TEST(DistChaosControl, CleanRunNeedsNoRequeues) {
+  GlbParams params;
+  params.seed = 23;
+  params.chaos = false;
+
+  const GlbRun one = run_glb(params, 1);
+  const GlbRun eight = run_glb(params, 8);
+  for (const GlbRun& run : {one, eight}) {
+    ASSERT_TRUE(run.completed);
+    EXPECT_TRUE(run.exactly_once());
+    EXPECT_GE(run.migrations, 1);
+    EXPECT_EQ(run.requeues, 0);
+    EXPECT_EQ(run.dup_hits, 0);
+    EXPECT_EQ(run.faults_applied, 0);
+  }
+  EXPECT_EQ(one.digest, eight.digest);
+  EXPECT_EQ(one.migrations, eight.migrations);
+  EXPECT_EQ(one.lifeline_steals, eight.lifeline_steals);
+}
+
+}  // namespace
+}  // namespace mage::glb

@@ -24,7 +24,6 @@
 #include <vector>
 
 #include "common/error.hpp"
-#include "rmi/failover.hpp"
 #include "rts/client.hpp"
 #include "rts/director.hpp"
 #include "rts/directory.hpp"
