@@ -75,8 +75,18 @@
 //                                  counters), digests are identical across
 //                                  worker counts, and at least one load-
 //                                  driven partition migration happened.
+//   ... --wan                      additionally runs the WAN scaling curves
+//                                  (64- and 128-node site-clustered meshes
+//                                  over CostModel::wan_site(), affinity
+//                                  node:shard mapping, per-pair lookahead
+//                                  matrix) across a worker ladder plus an
+//                                  identity-mapped control.  The JSON gains
+//                                  a "scaling" block; FAILS unless digests
+//                                  are identical across worker counts AND
+//                                  across mappings.
 //
 // Results are written to BENCH_storm.json.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -90,6 +100,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/affinity.hpp"
 #include "net/cost_model.hpp"
 #include "net/network.hpp"
 #include "rmi/transport.hpp"
@@ -160,6 +171,28 @@ struct StormRun {
   std::int64_t reply_cache_capacity_highwater = 0;  // summed across nodes
 };
 
+// Every engine mode snapshots the SAME registry counters through the same
+// keys — driver mode reads the shared registry, sharded modes sum across
+// shard registries.  (The driver-mode run block used to fill only a
+// hand-picked subset and record messages_sent: 0 and zeroed batch/cache
+// stats, which read as "the driver engine sent nothing" in the JSON.)
+template <typename Counter>
+void snapshot_counters(StormRun& r, Counter&& counter) {
+  r.evictions = counter("rmi.reply_cache_evictions");
+  r.retransmissions = counter("rmi.retransmissions");
+  r.duplicates_suppressed = counter("rmi.duplicates_suppressed");
+  r.evicted_reexecutions = counter("rmi.evicted_reexecutions");
+  r.fifo_violations = counter("net.fifo_violations");
+  r.messages_sent = counter("net.messages_sent");
+  r.batches_sent = counter("rmi.batches_sent");
+  r.batched_invokes = counter("rmi.batched_invokes");
+  r.batch_singletons = counter("rmi.batch_singletons");
+  r.reply_cache_grows = counter("rmi.reply_cache_grows");
+  r.reply_cache_shrinks = counter("rmi.reply_cache_shrinks");
+  r.reply_cache_capacity_highwater =
+      counter("rmi.reply_cache_capacity_highwater");
+}
+
 // FNV-1a fold of one (caller, seq) delivery into a node's order digest.
 std::uint64_t fold_digest(std::uint64_t digest, std::uint64_t caller,
                           std::uint64_t seq) {
@@ -175,6 +208,7 @@ struct Link {
   mage::rmi::Transport* transport;
   mage::common::NodeId dst;
   std::int64_t next_seq = 0;
+  std::int64_t total_calls = kCallsPerLink;
   // Sharded mode: completions are counted per SOURCE node so each slot has
   // exactly one writing shard; the driver predicate sums them at window
   // barriers (all workers parked — no torn reads possible).
@@ -201,7 +235,7 @@ const mage::serial::Buffer& storm_body(std::int64_t seq) {
 }
 
 void launch(Link& link) {
-  if (link.next_seq >= kCallsPerLink) return;
+  if (link.next_seq >= link.total_calls) return;
   // Interned once (thread-safe local-static init, first hit is driver-side
   // setup): re-interning per call would contend the registry mutex across
   // every worker and pollute the threaded measurement.
@@ -315,7 +349,7 @@ struct StormMesh {
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
         if (i != j) {
-          links.push_back(Link{transports[i].get(), ids[j], 0,
+          links.push_back(Link{transports[i].get(), ids[j], 0, kCallsPerLink,
                                &completed[ids[i].value()],
                                options.call_options});
         }
@@ -506,15 +540,12 @@ StormRun run_storm_chaos(int n, int threads) {
 
   result.calls = total;
   result.calls_per_sec = static_cast<double>(total) / result.wall_sec;
-  result.evictions = ssim.counter("rmi.reply_cache_evictions");
-  result.retransmissions = ssim.counter("rmi.retransmissions");
-  result.duplicates_suppressed = ssim.counter("rmi.duplicates_suppressed");
+  snapshot_counters(result,
+                    [&](const char* key) { return ssim.counter(key); });
   result.windows = ssim.windows();
   result.faults_applied = ssim.counter("net.faults_applied");
   result.messages_dropped_by_schedule =
       ssim.counter("net.messages_dropped_by_schedule");
-  result.evicted_reexecutions = ssim.counter("rmi.evicted_reexecutions");
-  result.fifo_violations = ssim.counter("net.fifo_violations");
   result.exactly_once = mesh.exactly_once();
   result.elections_held = ssim.counter("rts.elections_held");
   result.leader_changes = ssim.counter("rts.leader_changes");
@@ -556,10 +587,8 @@ StormRun run_storm(int n) {
 
   result.calls = total;
   result.calls_per_sec = static_cast<double>(total) / result.wall_sec;
-  result.evictions = sim.stats().counter("rmi.reply_cache_evictions");
-  result.retransmissions = sim.stats().counter("rmi.retransmissions");
-  result.duplicates_suppressed =
-      sim.stats().counter("rmi.duplicates_suppressed");
+  snapshot_counters(result,
+                    [&](const char* key) { return sim.stats().counter(key); });
   result.predicate_checks =
       sim.stats().counter("sim.predicate_checks") - checks_before;
   for (const auto& w : mesh.watch) result.order_violations += w.order_violations;
@@ -599,9 +628,8 @@ StormRun run_storm_sharded(int n, int threads) {
 
   result.calls = total;
   result.calls_per_sec = static_cast<double>(total) / result.wall_sec;
-  result.evictions = ssim.counter("rmi.reply_cache_evictions");
-  result.retransmissions = ssim.counter("rmi.retransmissions");
-  result.duplicates_suppressed = ssim.counter("rmi.duplicates_suppressed");
+  snapshot_counters(result,
+                    [&](const char* key) { return ssim.counter(key); });
   result.windows = ssim.windows();
   for (const auto& w : mesh.watch) {
     result.order_violations += w.order_violations;
@@ -657,19 +685,9 @@ StormRun run_storm_batched(int n, int threads) {
 
   result.calls = total;
   result.calls_per_sec = static_cast<double>(total) / result.wall_sec;
-  result.evictions = ssim.counter("rmi.reply_cache_evictions");
-  result.retransmissions = ssim.counter("rmi.retransmissions");
-  result.duplicates_suppressed = ssim.counter("rmi.duplicates_suppressed");
-  result.evicted_reexecutions = ssim.counter("rmi.evicted_reexecutions");
+  snapshot_counters(result,
+                    [&](const char* key) { return ssim.counter(key); });
   result.windows = ssim.windows();
-  result.messages_sent = ssim.counter("net.messages_sent");
-  result.batches_sent = ssim.counter("rmi.batches_sent");
-  result.batched_invokes = ssim.counter("rmi.batched_invokes");
-  result.batch_singletons = ssim.counter("rmi.batch_singletons");
-  result.reply_cache_grows = ssim.counter("rmi.reply_cache_grows");
-  result.reply_cache_shrinks = ssim.counter("rmi.reply_cache_shrinks");
-  result.reply_cache_capacity_highwater =
-      ssim.counter("rmi.reply_cache_capacity_highwater");
   for (const auto& w : mesh.watch) {
     result.order_violations += w.order_violations;
   }
@@ -702,6 +720,265 @@ StormRun run_storm_batched(int n, int threads) {
     std::exit(1);
   }
   return result;
+}
+
+// --- WAN scaling curves (--wan) ---------------------------------------------
+//
+// The all-to-all storm is the sharded engine's WORST case: every link is
+// cross-shard, so the slowest link's lookahead throttles every window and
+// the speedup on few cores hovers near 1.  The WAN mesh is the geometry
+// the engine is FOR: `sites` clusters of LAN-co-located nodes (all-to-all
+// chatter inside each site), joined by ~20ms WAN hops that only the site
+// leaders cross.  An affinity mapping puts each site on one shard, so the
+// chatter becomes intra-shard direct schedules and the only cross-shard
+// traffic rides links whose per-pair lookahead is the WAN hop — windows
+// tens of milliseconds of virtual time wide, one barrier each.  The curve
+// records throughput at 1/2/4/8 workers plus an identity-mapped (one node
+// per shard) control run, whose per-node digests must match the clustered
+// runs bit for bit — the mapping-independence contract on real hardware.
+
+constexpr mage::common::SimDuration kWanHopUs = 20'000;
+
+mage::net::CostModel wan_model() { return mage::net::CostModel::wan_site(); }
+
+struct WanParams {
+  int nodes = 64;
+  int sites = 8;
+  int calls_per_link = 200;        // site-local links
+  int cross_calls_per_link = 100;  // leader <-> leader links
+  bool identity_mapping = false;   // one shard per node (control run)
+};
+
+struct WanRun {
+  int workers = 0;
+  bool oversubscribed = false;
+  double wall_sec = 0;
+  double calls_per_sec = 0;
+  std::int64_t calls = 0;
+  std::int64_t windows = 0;
+  std::int64_t messages_sent = 0;
+  std::int64_t order_violations = 0;
+  std::vector<std::uint64_t> node_digests;
+};
+
+// Site-clustered mesh over `net`: all-to-all echo pipelines inside each
+// site, leader-to-leader pipelines across sites, cross-site links carrying
+// kWanHopUs of extra latency.
+struct WanMesh {
+  std::vector<mage::common::NodeId> ids;
+  std::vector<std::unique_ptr<mage::rmi::Transport>> transports;
+  std::vector<NodeWatch> watch;
+  std::vector<std::int64_t> completed;
+  std::vector<Link> links;
+  std::int64_t total_calls = 0;
+
+  WanMesh(mage::net::Network& net, const WanParams& p) {
+    using namespace mage;
+    const int per_site = p.nodes / p.sites;
+    for (int i = 0; i < p.nodes; ++i) {
+      ids.push_back(net.add_node("s" + std::to_string(i / per_site) + "n" +
+                                 std::to_string(i % per_site)));
+    }
+    for (int a = 0; a < p.nodes; ++a) {
+      for (int b = 0; b < p.nodes; ++b) {
+        if (a != b && a / per_site != b / per_site) {
+          net.set_extra_latency(ids[a], ids[b], kWanHopUs);
+        }
+      }
+    }
+    for (int i = 0; i < p.nodes; ++i) {
+      transports.push_back(std::make_unique<rmi::Transport>(net, ids[i]));
+    }
+    watch.resize(static_cast<std::size_t>(p.nodes) + 1);
+    for (auto& w : watch) {
+      w.last_seq.assign(static_cast<std::size_t>(p.nodes) + 1, -1);
+    }
+    completed.assign(static_cast<std::size_t>(p.nodes) + 1, 0);
+
+    const common::VerbId echo = common::intern_verb("storm.echo");
+    for (int i = 0; i < p.nodes; ++i) {
+      NodeWatch* w = &watch[ids[i].value()];
+      transports[i]->register_service(
+          echo, [w](common::NodeId caller, const serial::BufferChain& body,
+                    rmi::Replier replier) {
+            serial::ChainReader r(body);
+            const auto seq = static_cast<std::int64_t>(r.read_u64());
+            auto& last = w->last_seq[caller.value()];
+            if (seq <= last) ++w->order_violations;
+            last = seq;
+            w->digest = fold_digest(w->digest, caller.value(),
+                                    static_cast<std::uint64_t>(seq));
+            replier.ok(body);
+          });
+    }
+
+    auto add_link = [&](int src, int dst, int calls) {
+      links.push_back(Link{transports[src].get(), ids[dst], 0, calls,
+                           &completed[ids[src].value()],
+                           rmi::CallOptions{}});
+      total_calls += calls;
+    };
+    for (int site = 0; site < p.sites; ++site) {
+      const int base = site * per_site;
+      for (int i = 0; i < per_site; ++i) {
+        for (int j = 0; j < per_site; ++j) {
+          if (i != j) add_link(base + i, base + j, p.calls_per_link);
+        }
+      }
+    }
+    for (int sa = 0; sa < p.sites; ++sa) {
+      for (int sb = 0; sb < p.sites; ++sb) {
+        if (sa != sb) {
+          add_link(sa * per_site, sb * per_site, p.cross_calls_per_link);
+        }
+      }
+    }
+  }
+};
+
+// The communication graph the workload above implies, for the affinity
+// clusterer: what the mapping layer would learn from traffic counters in a
+// real deployment, the bench simply knows.
+std::vector<mage::net::AffinityEdge> wan_affinity_edges(const WanParams& p) {
+  std::vector<mage::net::AffinityEdge> edges;
+  const int per_site = p.nodes / p.sites;
+  for (int site = 0; site < p.sites; ++site) {
+    const int base = site * per_site;
+    for (int i = 0; i < per_site; ++i) {
+      for (int j = i + 1; j < per_site; ++j) {
+        edges.push_back({static_cast<std::size_t>(base + i),
+                         static_cast<std::size_t>(base + j),
+                         2.0 * p.calls_per_link});
+      }
+    }
+  }
+  for (int sa = 0; sa < p.sites; ++sa) {
+    for (int sb = sa + 1; sb < p.sites; ++sb) {
+      edges.push_back({static_cast<std::size_t>(sa * per_site),
+                       static_cast<std::size_t>(sb * per_site),
+                       2.0 * p.cross_calls_per_link});
+    }
+  }
+  return edges;
+}
+
+WanRun run_storm_wan(const WanParams& p, int workers) {
+  using namespace mage;
+  const net::CostModel model = wan_model();
+  const std::size_t shards = p.identity_mapping
+                                 ? static_cast<std::size_t>(p.nodes)
+                                 : static_cast<std::size_t>(p.sites);
+  sim::ShardedSim ssim(shards, 2026, net::Network::min_link_latency(model));
+  std::vector<std::size_t> mapping;
+  if (!p.identity_mapping) {
+    mapping = net::affinity_mapping(static_cast<std::size_t>(p.nodes), shards,
+                                    wan_affinity_edges(p));
+  }
+  net::Network net(ssim, model, std::move(mapping));
+  WanMesh mesh(net, p);
+  // Derive the per-pair lookahead matrix from the topology: cross-site
+  // shard pairs get base + kWanHopUs, giving every shard a ~20ms window.
+  net.refresh_pair_lookaheads();
+
+  WanRun result;
+  result.workers = std::min<int>(workers, static_cast<int>(shards));
+  const unsigned hw = std::thread::hardware_concurrency();
+  result.oversubscribed = hw != 0 && static_cast<unsigned>(result.workers) > hw;
+
+  const auto start = Clock::now();
+  for (auto& link : mesh.links) {
+    for (int w = 0; w < kWindow; ++w) launch(link);
+  }
+  const std::int64_t total = mesh.total_calls;
+  const bool done = ssim.run_until(
+      [&] {
+        std::int64_t sum = 0;
+        for (std::int64_t c : mesh.completed) sum += c;
+        return sum == total;
+      },
+      workers);
+  result.wall_sec = std::chrono::duration<double>(Clock::now() - start).count();
+  if (!done) {
+    std::cerr << "wan storm drained before completing all calls\n";
+    std::exit(1);
+  }
+  result.calls = total;
+  result.calls_per_sec = static_cast<double>(total) / result.wall_sec;
+  result.windows = ssim.windows();
+  result.messages_sent = ssim.counter("net.messages_sent");
+  for (const auto& w : mesh.watch) {
+    result.order_violations += w.order_violations;
+  }
+  for (std::size_t i = 1; i < mesh.watch.size(); ++i) {
+    result.node_digests.push_back(mesh.watch[i].digest);
+  }
+  if (result.order_violations != 0) {
+    std::cerr << "FAIL: " << result.order_violations
+              << " per-link ordering violations on the WAN mesh\n";
+    std::exit(1);
+  }
+  return result;
+}
+
+// One scaling curve: the worker ladder on the affinity mapping, plus (for
+// the headline mesh) the identity-mapped control whose digests prove
+// mapping independence.
+struct WanCurve {
+  WanParams params;
+  std::vector<WanRun> points;
+  WanRun identity;            // only when run_identity
+  bool ran_identity = false;
+  double speedup = 0.0;       // best non-oversubscribed point vs 1 worker
+  bool deterministic = true;
+  bool mapping_independent = true;
+};
+
+WanCurve run_wan_curve(WanParams params, const std::vector<int>& ladder,
+                       bool run_identity) {
+  WanCurve curve;
+  curve.params = params;
+  for (const int w : ladder) {
+    curve.points.push_back(run_storm_wan(params, w));
+    const WanRun& r = curve.points.back();
+    std::cout << "wan " << params.nodes << " nodes / " << params.sites
+              << " sites, " << r.workers << " workers"
+              << (r.oversubscribed ? " (oversubscribed)" : "") << ": "
+              << static_cast<std::int64_t>(r.calls_per_sec)
+              << " calls/sec, " << r.windows << " windows\n";
+    if (r.node_digests != curve.points.front().node_digests) {
+      curve.deterministic = false;
+    }
+  }
+  const double base = curve.points.front().calls_per_sec;
+  for (const WanRun& r : curve.points) {
+    if (!r.oversubscribed) {
+      curve.speedup = std::max(curve.speedup, r.calls_per_sec / base);
+    }
+  }
+  if (run_identity) {
+    params.identity_mapping = true;
+    curve.identity = run_storm_wan(
+        params, std::min(8, static_cast<int>(
+                                std::max(1u, std::thread::hardware_concurrency()))));
+    curve.ran_identity = true;
+    curve.mapping_independent =
+        curve.identity.node_digests == curve.points.front().node_digests;
+    std::cout << "wan identity control: " << curve.identity.windows
+              << " windows (vs " << curve.points.front().windows
+              << " clustered); per-node digests "
+              << (curve.mapping_independent ? "identical" : "DIVERGED")
+              << "\n";
+    if (!curve.mapping_independent) {
+      std::cerr << "FAIL: per-node delivery order depends on the node:shard "
+                   "mapping\n";
+      std::exit(1);
+    }
+  }
+  if (!curve.deterministic) {
+    std::cerr << "FAIL: wan per-node digests differ across worker counts\n";
+    std::exit(1);
+  }
+  return curve;
 }
 
 void print_run(const StormRun& r, bool chaos = false) {
@@ -798,6 +1075,7 @@ int main(int argc, char** argv) {
   int threads = 0;
   bool chaos = false;
   bool glb = false;
+  bool wan = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
@@ -809,6 +1087,8 @@ int main(int argc, char** argv) {
       chaos = true;
     } else if (std::strcmp(argv[i], "--glb") == 0) {
       glb = true;
+    } else if (std::strcmp(argv[i], "--wan") == 0) {
+      wan = true;
     } else {
       sizes = {parse_positive("node count", argv[i])};
     }
@@ -906,6 +1186,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- WAN scaling curves (see the block comment above WanParams) -----------
+  std::vector<WanCurve> wan_curves;
+  if (wan) {
+    WanParams p64;  // 8 sites x 8 nodes, the headline mesh
+    wan_curves.push_back(
+        run_wan_curve(p64, {1, 2, 4, 8}, /*run_identity=*/true));
+    WanParams p128;  // 8 sites x 16 nodes: double the per-shard work
+    p128.nodes = 128;
+    p128.calls_per_link = 50;
+    p128.cross_calls_per_link = 50;
+    wan_curves.push_back(
+        run_wan_curve(p128, {1, 8}, /*run_identity=*/false));
+  }
+
   // --- lifeline GLB over DistMap (chaos schedule always on) -----------------
   struct GlbSeed {
     std::uint64_t seed = 0;
@@ -988,9 +1282,21 @@ int main(int argc, char** argv) {
   const char* threaded_deterministic =
       single_sharded.node_digests == multi_sharded.node_digests ? "true"
                                                                 : "false";
+  // Annotation, not data-laundering: a worker count above the machine's
+  // hardware threads CANNOT speed up (the workers time-share one core and
+  // pay the barriers), so the gate reads this flag and the hardware_threads
+  // field instead of treating an oversubscribed ~1.0x as a regression.
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const auto oversub = [hw_threads](int workers) {
+    return hw_threads != 0 && static_cast<unsigned>(workers) > hw_threads
+               ? "true"
+               : "false";
+  };
   if (threads > 0) {
     json << ",\n  \"threaded\": {\n"
          << "    \"threads\": " << multi_sharded.threads << ",\n"
+         << "    \"oversubscribed\": " << oversub(multi_sharded.threads)
+         << ",\n"
          << "    \"deterministic\": " << threaded_deterministic << ",\n"
          << "    \"speedup\": " << speedup << ",\n"
          << "    \"single\":\n";
@@ -1000,6 +1306,8 @@ int main(int argc, char** argv) {
     json << "\n  }";
     json << ",\n  \"batch\": {\n"
          << "    \"threads\": " << batch_multi.threads << ",\n"
+         << "    \"oversubscribed\": " << oversub(batch_multi.threads)
+         << ",\n"
          << "    \"deterministic\": "
          << (batch_single.node_digests == batch_multi.node_digests
                  ? "true"
@@ -1018,6 +1326,8 @@ int main(int argc, char** argv) {
   if (chaos) {
     json << ",\n  \"chaos\": {\n"
          << "    \"threads\": " << chaos_multi.threads << ",\n"
+         << "    \"oversubscribed\": " << oversub(chaos_multi.threads)
+         << ",\n"
          << "    \"deterministic\": "
          << (chaos_single.node_digests == chaos_multi.node_digests
                  ? "true"
@@ -1072,6 +1382,47 @@ int main(int argc, char** argv) {
            << "      }" << (i + 1 < glb_seeds.size() ? "," : "") << "\n";
     }
     json << "    ]\n  }";
+  }
+  if (wan) {
+    json << ",\n  \"scaling\": [\n";
+    for (std::size_t c = 0; c < wan_curves.size(); ++c) {
+      const WanCurve& curve = wan_curves[c];
+      json << "    {\n"
+           << "      \"nodes\": " << curve.params.nodes << ",\n"
+           << "      \"sites\": " << curve.params.sites << ",\n"
+           << "      \"wan_hop_us\": " << kWanHopUs << ",\n"
+           << "      \"mapping\": \"affinity\",\n"
+           << "      \"calls\": " << curve.points.front().calls << ",\n"
+           << "      \"deterministic\": "
+           << (curve.deterministic ? "true" : "false") << ",\n"
+           << "      \"mapping_independent\": "
+           << (curve.mapping_independent ? "true" : "false") << ",\n"
+           << "      \"speedup\": " << curve.speedup << ",\n"
+           << "      \"points\": [\n";
+      for (std::size_t i = 0; i < curve.points.size(); ++i) {
+        const WanRun& r = curve.points[i];
+        json << "        {\n"
+             << "          \"workers\": " << r.workers << ",\n"
+             << "          \"oversubscribed\": "
+             << (r.oversubscribed ? "true" : "false") << ",\n"
+             << "          \"wall_sec\": " << r.wall_sec << ",\n"
+             << "          \"calls_per_sec\": " << r.calls_per_sec << ",\n"
+             << "          \"windows\": " << r.windows << ",\n"
+             << "          \"messages_sent\": " << r.messages_sent << "\n"
+             << "        }" << (i + 1 < curve.points.size() ? "," : "")
+             << "\n";
+      }
+      json << "      ]";
+      if (curve.ran_identity) {
+        json << ",\n      \"identity\": {\n"
+             << "        \"workers\": " << curve.identity.workers << ",\n"
+             << "        \"windows\": " << curve.identity.windows << ",\n"
+             << "        \"calls_per_sec\": " << curve.identity.calls_per_sec
+             << "\n      }";
+      }
+      json << "\n    }" << (c + 1 < wan_curves.size() ? "," : "") << "\n";
+    }
+    json << "  ]";
   }
   json << "\n}\n";
   std::cout << "wrote BENCH_storm.json\n";

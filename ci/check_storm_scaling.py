@@ -41,8 +41,21 @@ node expanded exactly once, at least one load-driven partition
 migration per seed, and the fault schedule genuinely applied.
 Pass --require-glb to fail when the block is missing.
 
+WAN runs (ISSUE 10: affinity mapping + per-pair lookahead) emit a
+`scaling` block when bench_storm runs with --wan: per-runner-class curves
+over the 64/128-node site-clustered WAN meshes.  This script validates
+each curve structurally (worker ladder starts at 1 and strictly
+increases, digests identical across worker counts AND across node:shard
+mappings, windows recorded, messages flowing) and — only when the runner
+actually has >= 4 hardware threads — requires a real > 1.0x speedup at
+some non-oversubscribed point.  Oversubscribed points (workers >
+hardware_threads) are annotated by the bench and never counted toward or
+against the speedup, so a 1-core container cannot record a fake
+regression.  Pass --require-speedup to fail when the block is missing.
+
 Usage: check_storm_scaling.py <BENCH_storm.json> [--require-chaos]
                               [--require-batch] [--require-glb]
+                              [--require-speedup]
 """
 import json
 import os
@@ -173,6 +186,66 @@ def check_glb(data, require_glb):
     return 0
 
 
+def check_wan_scaling(data, require_speedup):
+    curves = data.get("scaling")
+    if not curves:
+        if require_speedup:
+            print("no scaling block in BENCH_storm.json — run with --wan",
+                  file=sys.stderr)
+            return 1
+        return 0
+    hw = data.get("hardware_threads", 1)
+    failures = []
+    soft_failures = []  # speedup shortfalls honor BENCH_GATE_MODE=warn
+    for curve in curves:
+        tag = f"wan {curve.get('nodes')}n/{curve.get('sites')}s"
+        if not curve.get("deterministic", False):
+            failures.append(f"{tag}: digests diverged across worker counts")
+        if not curve.get("mapping_independent", False):
+            failures.append(f"{tag}: per-node delivery order depends on the "
+                            "node:shard mapping")
+        points = curve.get("points", [])
+        if not points or points[0].get("workers") != 1:
+            failures.append(f"{tag}: ladder must start at 1 worker")
+        workers = [p.get("workers", 0) for p in points]
+        if workers != sorted(set(workers)):
+            failures.append(f"{tag}: worker ladder {workers} is not "
+                            "strictly increasing")
+        for p in points:
+            ptag = f"{tag} @{p.get('workers')}w"
+            if p.get("windows", 0) < 1:
+                failures.append(f"{ptag}: no windows recorded")
+            if p.get("messages_sent", 0) < 1:
+                failures.append(f"{ptag}: messages_sent is zero — the "
+                                "counter registry is not wired through")
+        usable = [p for p in points if not p.get("oversubscribed", False)]
+        speedup = curve.get("speedup", 0.0)
+        note = ""
+        if hw >= 4 and len(usable) >= 2:
+            if speedup <= 1.0:
+                soft_failures.append(
+                    f"{tag}: speedup {speedup:.2f}x is not > 1.0x despite "
+                    f"{hw} hardware threads (non-oversubscribed ladder "
+                    f"{[p['workers'] for p in usable]})")
+        else:
+            note = (f" (not enforced: {hw} hardware threads, "
+                    f"{len(usable)} non-oversubscribed points)")
+        print(f"{tag}: {speedup:.2f}x best speedup over "
+              f"{[p['workers'] for p in points]} workers, "
+              f"{points[0].get('windows')} windows at 1w; "
+              "deterministic + mapping-independent held" + note)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    if soft_failures:
+        rc = 0
+        for f in soft_failures:
+            rc |= gate_failure(f)
+        return rc
+    return 0
+
+
 def check_chaos(data, require_chaos):
     chaos = data.get("chaos")
     if not chaos:
@@ -229,11 +302,13 @@ def check_chaos(data, require_chaos):
 
 
 def main():
-    flags = {"--require-chaos", "--require-batch", "--require-glb"}
+    flags = {"--require-chaos", "--require-batch", "--require-glb",
+             "--require-speedup"}
     args = [a for a in sys.argv[1:] if a not in flags]
     require_chaos = "--require-chaos" in sys.argv[1:]
     require_batch = "--require-batch" in sys.argv[1:]
     require_glb = "--require-glb" in sys.argv[1:]
+    require_speedup = "--require-speedup" in sys.argv[1:]
     with open(args[0]) as f:
         data = json.load(f)
     threaded = data.get("threaded")
@@ -251,6 +326,8 @@ def main():
     if check_batch(data, require_batch) != 0:
         return 1
     if check_glb(data, require_glb) != 0:
+        return 1
+    if check_wan_scaling(data, require_speedup) != 0:
         return 1
 
     hw = data.get("hardware_threads", 1)

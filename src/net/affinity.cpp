@@ -1,0 +1,95 @@
+#include "net/affinity.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mage::net {
+namespace {
+
+// Union-find with path halving; find also returns the group size through
+// the parallel size_ array indexed by root.
+std::size_t find_root(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::size_t> affinity_mapping(std::size_t node_count,
+                                          std::size_t shard_count,
+                                          std::vector<AffinityEdge> edges) {
+  if (shard_count == 0) {
+    throw common::MageError("affinity_mapping: shard_count must be >= 1");
+  }
+  for (const AffinityEdge& e : edges) {
+    if (e.a >= node_count || e.b >= node_count) {
+      throw common::MageError(
+          "affinity_mapping: edge (" + std::to_string(e.a) + ", " +
+          std::to_string(e.b) + ") references a node >= node_count " +
+          std::to_string(node_count));
+    }
+  }
+  const std::size_t capacity =
+      shard_count >= node_count ? 1
+                                : (node_count + shard_count - 1) / shard_count;
+
+  // Heaviest edges first; full tie order makes the mapping a pure function
+  // of the inputs (std::sort is not stable).
+  std::sort(edges.begin(), edges.end(),
+            [](const AffinityEdge& x, const AffinityEdge& y) {
+              if (x.weight != y.weight) return x.weight > y.weight;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+
+  std::vector<std::size_t> parent(node_count);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<std::size_t> size(node_count, 1);
+  for (const AffinityEdge& e : edges) {
+    if (e.a == e.b) continue;
+    const std::size_t ra = find_root(parent, e.a);
+    const std::size_t rb = find_root(parent, e.b);
+    if (ra == rb || size[ra] + size[rb] > capacity) continue;
+    // Deterministic union: the smaller root index becomes the group root.
+    const std::size_t root = std::min(ra, rb);
+    const std::size_t child = ra + rb - root;
+    parent[child] = root;
+    size[root] += size[child];
+  }
+
+  // Collect groups, largest first (ties by root index), then first-fit
+  // each onto the least-loaded shard (ties to the lowest shard index).
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    if (find_root(parent, i) == i) roots.push_back(i);
+  }
+  std::sort(roots.begin(), roots.end(), [&](std::size_t x, std::size_t y) {
+    if (size[x] != size[y]) return size[x] > size[y];
+    return x < y;
+  });
+
+  std::vector<std::size_t> load(shard_count, 0);
+  std::vector<std::size_t> group_shard(node_count, 0);
+  for (const std::size_t root : roots) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shard_count; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    group_shard[root] = best;
+    load[best] += size[root];
+  }
+
+  std::vector<std::size_t> mapping(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    mapping[i] = group_shard[find_root(parent, i)];
+  }
+  return mapping;
+}
+
+}  // namespace mage::net

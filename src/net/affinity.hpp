@@ -1,0 +1,49 @@
+// Affinity-aware node:shard mapping.
+//
+// The sharded engine pays for cross-shard traffic twice: every message
+// crosses a mailbox and waits for a window boundary, and the busiest
+// cross-shard link's lookahead bounds how wide windows can be.  Traffic
+// between nodes that SHARE a shard costs neither — it is scheduled
+// directly into the common event queue and does not constrain the
+// lookahead matrix at all.  So the mapping question is a graph-clustering
+// one: place chatty node pairs together, keep only quiet (ideally
+// high-latency) links on the shard boundary.
+//
+// affinity_mapping() is a deterministic greedy clusterer over a weighted
+// communication graph (weights are expected message counts or rates; the
+// caller knows its workload — e.g. bench_storm knows each site's nodes
+// talk all-to-all inside the site and only site leaders talk across).  It
+// is heuristic bin-packing, not an optimal partitioner — good enough to
+// turn a "nodes 2k and 2k+1 exchange 500 calls" workload into zero
+// cross-shard messages, which is what the scaling benches exercise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mage::net {
+
+// One weighted, undirected communication edge between two nodes, 0-based
+// (node i here is the i-th add_node call, NodeId i+1).
+struct AffinityEdge {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double weight = 1.0;
+};
+
+// Returns a node -> shard assignment (size node_count, entries in
+// [0, shard_count)) that greedily clusters heavy edges subject to a
+// per-shard capacity of ceil(node_count / shard_count) nodes:
+//   1. sort edges by weight descending (ties by endpoint indices, so the
+//      result is a pure function of the inputs);
+//   2. union the endpoints' groups when the merged group still fits the
+//      capacity;
+//   3. assign groups to shards largest-first, each onto the currently
+//      least-loaded shard (ties to the lowest shard index).
+// Throws common::MageError on shard_count == 0 or an edge endpoint out of
+// range.  Self-edges are ignored.
+std::vector<std::size_t> affinity_mapping(std::size_t node_count,
+                                          std::size_t shard_count,
+                                          std::vector<AffinityEdge> edges);
+
+}  // namespace mage::net

@@ -23,6 +23,14 @@ CostModel CostModel::modern_lan() {
   return m;
 }
 
+CostModel CostModel::wan_site() {
+  CostModel m = modern_lan();
+  m.propagation_us = 50;       // intra-site floor; WAN hops add extra latency
+  m.per_message_cpu_us = 10;   // base lookahead = 60us before WAN widening
+  m.connection_setup_us = 400;
+  return m;
+}
+
 CostModel CostModel::zero() {
   CostModel m;
   m.propagation_us = 1;

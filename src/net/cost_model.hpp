@@ -84,6 +84,14 @@ struct CostModel {
   // MAGE cost today" ablation.
   static CostModel modern_lan();
 
+  // Endpoint costs for a wide-area mesh (Section 7's "competing and
+  // disjoint administrative domains" vision): LAN-class machines whose
+  // base model covers only the intra-site hop — cross-site links add tens
+  // of milliseconds through Network::set_extra_latency, which is what
+  // feeds the sharded engine's per-pair lookahead matrix (a WAN hop buys
+  // its shards a wide conservative window).
+  static CostModel wan_site();
+
   // All latencies zero/tiny: used by logic-only unit tests that care about
   // behaviour, not time.
   static CostModel zero();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -21,8 +22,9 @@ Network::Network(sim::Simulation& sim, CostModel model)
   faults_applied_ = sim.stats().counter_handle("net.faults_applied");
 }
 
-Network::Network(sim::ShardedSim& sharded, CostModel model)
-    : sharded_(&sharded), model_(model) {
+Network::Network(sim::ShardedSim& sharded, CostModel model,
+                 std::vector<std::size_t> node_to_shard)
+    : sharded_(&sharded), model_(model), shard_map_(std::move(node_to_shard)) {
   if (min_link_latency(model_) < sharded.lookahead()) {
     throw common::MageError(
         "cost model's minimum cross-node delay (" +
@@ -30,6 +32,21 @@ Network::Network(sim::ShardedSim& sharded, CostModel model)
         "us) does not cover the sharded lookahead (" +
         std::to_string(sharded.lookahead()) +
         "us): a message could arrive inside the conservative window");
+  }
+  if (shard_map_.empty()) {
+    // Identity mapping: node i on shard i, the historical 1:1 layout.
+    shard_map_.resize(sharded.shard_count());
+    for (std::size_t i = 0; i < shard_map_.size(); ++i) shard_map_[i] = i;
+  } else {
+    for (std::size_t i = 0; i < shard_map_.size(); ++i) {
+      if (shard_map_[i] >= sharded.shard_count()) {
+        throw common::MageError(
+            "node:shard mapping sends node " + std::to_string(i + 1) +
+            " to shard " + std::to_string(shard_map_[i]) +
+            ", but the ShardedSim has only " +
+            std::to_string(sharded.shard_count()) + " shards");
+      }
+    }
   }
   // Faults apply at window boundaries (one thread, all workers parked);
   // shard 0's registry is the conventional home for driver-side counters.
@@ -79,16 +96,23 @@ void Network::require_fault_window(const char* what) const {
 
 common::NodeId Network::add_node(std::string label) {
   require_config_window("add_node");
-  if (sharded_ != nullptr && nodes_.size() >= sharded_->shard_count()) {
-    throw common::MageError("sharded network is full: " +
-                            std::to_string(sharded_->shard_count()) +
-                            " shards, cannot add node '" + label + "'");
+  if (sharded_ != nullptr && nodes_.size() >= shard_map_.size()) {
+    throw common::MageError("sharded network is full: the node:shard "
+                            "mapping covers " +
+                            std::to_string(shard_map_.size()) +
+                            " nodes, cannot add node '" + label + "'");
   }
   const common::NodeId id{static_cast<std::uint32_t>(nodes_.size() + 1)};
   NodeState state;
   state.label = std::move(label);
   nodes_.push_back(std::move(state));
   NodeState& stored = nodes_.back();
+  if (sharded_ != nullptr) {
+    // Per-node loss stream, a function of the run seed and the node id
+    // only — NOT of the shard — so chaos drop patterns survive remapping.
+    stored.loss_rng =
+        common::Rng(sharded_->seed() ^ (0x9E3779B97F4A7C15ull * id.value()));
+  }
   auto& stats = node_sim(id).stats();
   stored.messages_sent = stats.counter_handle("net.messages_sent");
   stored.bytes_sent = stats.counter_handle("net.bytes_sent");
@@ -124,8 +148,87 @@ sim::Simulation& Network::simulation() {
 
 sim::Simulation& Network::node_sim(common::NodeId node) {
   if (driver_sim_ != nullptr) return *driver_sim_;
-  assert(node.value() >= 1 && node.value() <= sharded_->shard_count());
-  return sharded_->shard(node.value() - 1);
+  assert(node.value() >= 1 && node.value() <= shard_map_.size());
+  return sharded_->shard(shard_map_[node.value() - 1]);
+}
+
+std::size_t Network::shard_of(common::NodeId node) const {
+  if (sharded_ == nullptr) {
+    throw common::MageError(
+        "Network::shard_of is sharded-mode only: driver mode has no shards");
+  }
+  assert(node.value() >= 1 && node.value() <= shard_map_.size());
+  return shard_map_[node.value() - 1];
+}
+
+void Network::refresh_pair_lookaheads() {
+  require_config_window("refresh_pair_lookaheads");
+  if (sharded_ == nullptr) return;
+  const std::size_t shard_total = sharded_->shard_count();
+  const common::SimDuration base = min_link_latency(model_);
+  // Tightest delay per directed shard pair: base + the smallest extra
+  // latency among that pair's links (unconfigured links have extra 0, and
+  // every node pair is a potential link, so any populated pair has a
+  // defined minimum).
+  std::vector<common::SimDuration> tightest(
+      shard_total * shard_total, std::numeric_limits<common::SimDuration>::max());
+  for (std::uint32_t a = 1; a <= nodes_.size(); ++a) {
+    for (std::uint32_t b = 1; b <= nodes_.size(); ++b) {
+      if (a == b) continue;
+      const std::size_t pa = shard_map_[a - 1];
+      const std::size_t pb = shard_map_[b - 1];
+      if (pa == pb) continue;  // intra-shard links never constrain windows
+      common::SimDuration delay = base;
+      if (const auto it =
+              extra_latency_.find({common::NodeId{a}, common::NodeId{b}});
+          it != extra_latency_.end()) {
+        delay += it->second;
+      }
+      auto& entry = tightest[pa * shard_total + pb];
+      entry = std::min(entry, delay);
+    }
+  }
+  for (std::size_t p = 0; p < shard_total; ++p) {
+    for (std::size_t q = 0; q < shard_total; ++q) {
+      const common::SimDuration la = tightest[p * shard_total + q];
+      if (p == q || la == std::numeric_limits<common::SimDuration>::max()) {
+        continue;  // no nodes (yet) on one side: leave the uniform default
+      }
+      sharded_->set_pair_lookahead(p, q, la);
+    }
+  }
+  validate_pair_lookaheads();
+}
+
+void Network::validate_pair_lookaheads() const {
+  if (sharded_ == nullptr) return;
+  const common::SimDuration base = min_link_latency(model_);
+  for (std::uint32_t a = 1; a <= nodes_.size(); ++a) {
+    for (std::uint32_t b = 1; b <= nodes_.size(); ++b) {
+      if (a == b) continue;
+      const std::size_t pa = shard_map_[a - 1];
+      const std::size_t pb = shard_map_[b - 1];
+      if (pa == pb) continue;
+      common::SimDuration delay = base;
+      if (const auto it =
+              extra_latency_.find({common::NodeId{a}, common::NodeId{b}});
+          it != extra_latency_.end()) {
+        delay += it->second;
+      }
+      const common::SimDuration la = sharded_->pair_lookahead(pa, pb);
+      if (la < 1 || delay < la) {
+        throw common::MageError(
+            "pair lookahead for shard link " + std::to_string(pa) + " -> " +
+            std::to_string(pb) + " is " + std::to_string(la) +
+            "us, but link " + nodes_[a - 1].label + " -> " +
+            nodes_[b - 1].label + " (node " + std::to_string(a) + " -> " +
+            std::to_string(b) + ") can deliver in " + std::to_string(delay) +
+            "us under this cost model: a mid-window send on that link would "
+            "land inside the conservative window (every entry must be >= 1us "
+            "and <= its links' minimum delay)");
+      }
+    }
+  }
 }
 
 void Network::set_handler(common::NodeId node, Handler handler) {
@@ -155,6 +258,12 @@ void Network::send(Message msg) {
 
   const common::SimTime sent_at = sender_sim.now();
   const bool loopback = msg.from == msg.to;
+  // Loss draws: the shared driver RNG in driver mode, the sender's own
+  // stream in sharded mode (a per-node function of the seed, so drop
+  // patterns survive node:shard remapping — a shard stream would braid
+  // co-located senders' draws together).
+  common::Rng& loss_rng =
+      sharded_ != nullptr ? from.loss_rng : sender_sim.rng();
 
   if (!loopback && (from.down || state(msg.to).down)) {
     ++*from.messages_dropped;
@@ -180,7 +289,7 @@ void Network::send(Message msg) {
     return;
   }
 
-  if (!loopback && loss_rate_ > 0.0 && sender_sim.rng().next_bool(loss_rate_)) {
+  if (!loopback && loss_rate_ > 0.0 && loss_rng.next_bool(loss_rate_)) {
     ++*from.messages_dropped;
     if (loss_from_schedule_) ++*from.messages_dropped_by_schedule;
     MAGE_DEBUG() << "dropped " << msg.label() << " " << msg.from << " -> "
@@ -199,7 +308,7 @@ void Network::send(Message msg) {
     const auto link = std::make_pair(msg.from, msg.to);
     const auto it = link_loss_.find(link);
     if (it != link_loss_.end() && it->second > 0.0 &&
-        sender_sim.rng().next_bool(it->second)) {
+        loss_rng.next_bool(it->second)) {
       ++*from.messages_dropped;
       ++*from.messages_dropped_by_link_loss;
       ++from.link_loss_drops_to[msg.to];
@@ -303,15 +412,29 @@ void Network::send(Message msg) {
     }
     node.handler(std::move(msg));
   };
-  if (loopback || driver_sim_ != nullptr) {
-    sender_sim.schedule_at(deliver_at, std::move(deliver), sim::Wake::No);
+  // Every delivery carries its source node id as the event-queue tie key:
+  // same-instant arrivals at one node execute in source order no matter
+  // which mechanism (direct schedule below vs. mailbox drain) inserted
+  // them — the keystone of the mapping-independence contract.
+  const std::uint32_t tie = msg.from.value();
+  if (loopback || driver_sim_ != nullptr ||
+      shard_map_[msg.from.value() - 1] == shard_map_[msg.to.value() - 1]) {
+    // Same engine context (driver mode, loopback, or co-located nodes in
+    // sharded mode): schedule straight into the shared queue.  This is the
+    // affinity-mapping payoff — an intra-shard message costs no mailbox,
+    // no barrier wait, and does not constrain the lookahead matrix.  Its
+    // TIMING is identical to the cross-shard path above, so the mapping
+    // never changes when a message arrives, only what carries it.
+    sender_sim.schedule_at(deliver_at, std::move(deliver), sim::Wake::No, tie);
   } else {
-    // Cross-shard: into the (from, to) mailbox; the destination shard
-    // drains it at the next window boundary.  deliver_at >= sent_at +
-    // lookahead by the construction-time cost-model check, so the event
-    // always lands outside the current conservative window.
-    sharded_->post(msg.from.value() - 1, msg.to.value() - 1, deliver_at,
-                   std::move(deliver), sim::Wake::No);
+    // Cross-shard: into the shard-pair mailbox; the destination shard
+    // drains it at the next window boundary.  deliver_at >= sent_at + the
+    // pair's lookahead entry (validate_pair_lookaheads enforces the matrix
+    // never over-promises), so the event always lands outside the current
+    // conservative window.
+    sharded_->post(shard_map_[msg.from.value() - 1],
+                   shard_map_[msg.to.value() - 1], deliver_at,
+                   std::move(deliver), sim::Wake::No, tie);
   }
 }
 

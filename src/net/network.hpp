@@ -21,14 +21,25 @@
 // Execution modes.  A Network runs over either
 //   * one driver sim::Simulation (the classic single-core mode: every node
 //     shares the queue, clock, RNG and stats registry), or
-//   * a sim::ShardedSim (multi-core mode: node i lives on shard i with its
-//     own queue/clock/RNG/stats; cross-node delivery is posted through the
-//     per-link mailboxes and every delay is >= the sharded lookahead).
+//   * a sim::ShardedSim (multi-core mode): each node lives on the shard the
+//     node:shard mapping assigns it (identity — node i on shard i — by
+//     default; pass an affinity mapping to cluster chatty nodes, see
+//     net/affinity.hpp).  Delivery between co-located nodes is scheduled
+//     directly into the shared shard queue; cross-shard delivery is posted
+//     through the per-link mailboxes, and every cross-shard delay is >= the
+//     shard pair's lookahead matrix entry (refresh_pair_lookaheads derives
+//     the matrix from the cost model + per-link extra latency, so a WAN hop
+//     widens its shards' conservative windows).  Message TIMING is
+//     identical either way — the mapping changes which mechanism carries a
+//     message, never when it arrives — and deliveries carry their source
+//     node id as the event-queue tie key, so per-node event order is
+//     bit-identical under any mapping and any worker count.
 // The threading contract in sharded mode (enforced, not advisory): all
 // configuration — adding nodes, handlers, fault injection, tracing — is
 // driver-only and throws while workers run; per-node state (counters,
-// connection warmth, ordering floors, the load metric) is only ever
-// touched from the owning node's shard.  See docs/ARCHITECTURE.md.
+// connection warmth, ordering floors, the loss RNG, the load metric) is
+// only ever touched from the owning node's shard.  See
+// docs/ARCHITECTURE.md.
 #pragma once
 
 #include <functional>
@@ -40,6 +51,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/rng.hpp"
 #include "net/cost_model.hpp"
 #include "net/fault_schedule.hpp"
 #include "net/message.hpp"
@@ -55,11 +67,14 @@ class Network {
   // Driver mode: all nodes share `sim`.
   Network(sim::Simulation& sim, CostModel model);
 
-  // Sharded mode: node i (the i-th add_node) lives on shard i of
-  // `sharded`; at most sharded.shard_count() nodes may be added.  Requires
-  // the model's minimum cross-node delay to cover the sharded lookahead
-  // (checked at construction).
-  Network(sim::ShardedSim& sharded, CostModel model);
+  // Sharded mode.  `node_to_shard` maps node i (the i-th add_node, NodeId
+  // i+1) to its shard; at most node_to_shard.size() nodes may be added.
+  // Empty (the default) means the identity mapping — node i on shard i,
+  // capacity sharded.shard_count().  Build a clustering mapping with
+  // net::affinity_mapping().  Requires the model's minimum cross-node
+  // delay to cover the sharded base lookahead (checked at construction).
+  Network(sim::ShardedSim& sharded, CostModel model,
+          std::vector<std::size_t> node_to_shard = {});
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -195,6 +210,26 @@ class Network {
   [[nodiscard]] bool is_sharded() const { return sharded_ != nullptr; }
   [[nodiscard]] sim::ShardedSim* sharded() { return sharded_; }
 
+  // The shard a node's events run on (sharded mode; throws in driver mode).
+  [[nodiscard]] std::size_t shard_of(common::NodeId node) const;
+
+  // Recomputes the ShardedSim pair-lookahead matrix from the cost model,
+  // the per-link extra latencies and the node:shard mapping: entry (p, q)
+  // becomes the minimum delay any message from a node on p to a node on q
+  // can experience (min_link_latency + the smallest extra latency among
+  // those directed links).  Call after configuring extra latencies and
+  // before running; ends by validating the installed matrix (below).
+  // Driver-only; a no-op in driver mode.
+  void refresh_pair_lookaheads();
+
+  // Checks the installed matrix against this network: every entry must be
+  // >= 1 simulated microsecond and no cross-shard directed link may be
+  // able to deliver faster than its shard pair's entry claims — a matrix
+  // that over-promises would make ShardedSim::post throw mid-window (or,
+  // unchecked, corrupt the conservative bound).  Throws naming the
+  // offending link.  Driver-only; a no-op in driver mode.
+  void validate_pair_lookaheads() const;
+
   // The minimum delay any cross-node message can experience under `model`
   // — the conservative lookahead a ShardedSim driving this network must
   // use.  (Connection setup, wire time, extra link latency and ordering
@@ -235,6 +270,13 @@ class Network {
     // Per-link loss provenance, sender-owned (plain ints, not registry
     // counters: the key space is dynamic).
     std::map<common::NodeId, std::int64_t> link_loss_drops_to;
+    // Sharded mode: loss draws come from this per-NODE stream (seeded from
+    // the ShardedSim seed + the node id at add_node) rather than the shard
+    // RNG, so a node's drop pattern is a function of its own send sequence
+    // — identical under any node:shard mapping, which a shared shard
+    // stream could not be once two senders co-locate.  Driver mode keeps
+    // drawing from the shared driver RNG.
+    common::Rng loss_rng{0};
     // Hot-path counters, resolved from the node's own stats registry at
     // add_node (per-shard registries in sharded mode; all handles alias
     // the same slots in driver mode).
@@ -272,6 +314,9 @@ class Network {
   sim::Simulation* driver_sim_ = nullptr;
   sim::ShardedSim* sharded_ = nullptr;
   CostModel model_;
+  // Sharded mode: shard_map_[i] is node i+1's shard; its size is the node
+  // capacity.  Identity unless a mapping was passed at construction.
+  std::vector<std::size_t> shard_map_;
   std::vector<NodeState> nodes_;
   std::set<std::pair<common::NodeId, common::NodeId>> warm_connections_;
   std::set<std::pair<common::NodeId, common::NodeId>> partitions_;

@@ -5,7 +5,8 @@
 
 namespace mage::sim {
 
-EventId EventQueue::schedule(common::SimTime at, Action action, bool wake) {
+EventId EventQueue::schedule(common::SimTime at, Action action, bool wake,
+                             std::uint32_t tie) {
   std::uint32_t slot;
   if (free_head_ != kNil) {
     slot = free_head_;
@@ -20,7 +21,7 @@ EventId EventQueue::schedule(common::SimTime at, Action action, bool wake) {
   node.seq = seq;
   node.live = true;
   node.wake = wake;
-  heap_.push_back(HeapEntry{at, seq, slot});
+  heap_.push_back(HeapEntry{at, seq, slot, tie});
   sift_up(heap_.size() - 1);
   ++live_;
   return EventId{slot, seq};

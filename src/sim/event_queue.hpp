@@ -1,9 +1,17 @@
 // Discrete-event queue with deterministic tie-breaking.
 //
-// Events scheduled for the same instant fire in scheduling order (FIFO by a
-// monotonically increasing sequence number), so a seed plus a program fully
-// determines a simulation run — a property every test in this repository
-// leans on.
+// Events scheduled for the same instant fire in (tie, scheduling order):
+// an explicit u32 tie key first, then FIFO by a monotonically increasing
+// sequence number, so a seed plus a program fully determines a simulation
+// run — a property every test in this repository leans on.
+//
+// The tie key exists for the sharded engine's mapping-independence
+// contract: a network delivery is stamped with its SOURCE node id, so two
+// messages arriving at one node at the same instant from different peers
+// execute in source-node order no matter when (or through which mechanism
+// — direct schedule vs. boundary mailbox drain) each was inserted.  Local
+// events keep the default tie of 0 and so run before any same-instant
+// delivery, matching the classic insertion-order behaviour.
 //
 // Steady-state scheduling is allocation-free: actions are move-only
 // callables with inline storage (common::UniqueFunction) parked in a pooled
@@ -41,8 +49,11 @@ class EventQueue {
   // its predicate only after waking events (or an explicit wake()), so
   // internal bookkeeping events (retransmission timers, wire deliveries,
   // marshalling delays) schedule with wake=false and the layers that invoke
-  // user code wake explicitly at the callback boundary.
-  EventId schedule(common::SimTime at, Action action, bool wake = true);
+  // user code wake explicitly at the callback boundary.  `tie` orders
+  // same-instant events before the FIFO sequence number (see file comment);
+  // network deliveries pass their source node id, everything else 0.
+  EventId schedule(common::SimTime at, Action action, bool wake = true,
+                   std::uint32_t tie = 0);
 
   // Cancels a scheduled event; a no-op if it already fired (or was already
   // cancelled).  Returns true when the event was live.
@@ -77,9 +88,11 @@ class EventQueue {
     common::SimTime at;
     std::uint64_t seq;
     std::uint32_t slot;  // index into slab_
+    std::uint32_t tie;   // same-instant priority (source node id; 0 local)
 
     [[nodiscard]] bool before(const HeapEntry& other) const {
       if (at != other.at) return at < other.at;
+      if (tie != other.tie) return tie < other.tie;
       return seq < other.seq;
     }
   };

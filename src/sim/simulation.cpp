@@ -14,14 +14,16 @@ Simulation::Simulation(std::uint64_t seed)
           stats_.counter_handle("sim.wake_contract_violations")) {}
 
 EventId Simulation::schedule_at(common::SimTime at, EventQueue::Action action,
-                                Wake wake) {
+                                Wake wake, std::uint32_t tie) {
   assert(at >= now_ && "cannot schedule into the past");
-  return queue_.schedule(at, std::move(action), wake == Wake::Yes);
+  return queue_.schedule(at, std::move(action), wake == Wake::Yes, tie);
 }
 
 EventId Simulation::schedule_after(common::SimDuration delay,
-                                   EventQueue::Action action, Wake wake) {
-  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action), wake);
+                                   EventQueue::Action action, Wake wake,
+                                   std::uint32_t tie) {
+  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action), wake,
+                     tie);
 }
 
 bool Simulation::step_event() {

@@ -41,10 +41,15 @@ class Simulation {
 
   [[nodiscard]] common::SimTime now() const { return now_; }
 
+  // `tie` orders same-instant events deterministically before insertion
+  // order (EventQueue tie key): the network stamps deliveries with their
+  // source node id so a node observes equal-time arrivals in source order
+  // regardless of the node:shard mapping or engine mode.  Ordinary events
+  // leave it 0 and run before any same-instant delivery.
   EventId schedule_at(common::SimTime at, EventQueue::Action action,
-                      Wake wake = Wake::Yes);
+                      Wake wake = Wake::Yes, std::uint32_t tie = 0);
   EventId schedule_after(common::SimDuration delay, EventQueue::Action action,
-                         Wake wake = Wake::Yes);
+                         Wake wake = Wake::Yes, std::uint32_t tie = 0);
 
   // Cancels a scheduled event; no-op if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -2,8 +2,10 @@
 // mesh, replayed bit-identically at any worker count.
 //
 // One 64-bit seed determines EVERYTHING about a chaos run: the fault
-// schedule (via its own Rng stream), the per-shard RNG streams (and so
-// every IID loss decision), and therefore every drop, retransmission,
+// schedule (via its own Rng stream), the per-NODE loss RNG streams (each
+// seeded from the master seed and the node's id, so every IID loss
+// decision is a function of the node's own send sequence — surviving any
+// node:shard remapping), and therefore every drop, retransmission,
 // duplicate, and re-delivery.  `run_chaos_storm(seed, threads)` runs the
 // same all-to-all echo storm under the same generated schedule at any
 // worker count and returns per-node execution digests plus the full
@@ -24,10 +26,11 @@
 // single-queue driver engine (faults applied at exact times rather than
 // window boundaries): semantic properties (b)-(d) must hold there too,
 // which is how single-threaded and sharded fault behavior are asserted
-// equivalent.  (Digests are engine-local: the driver engine has one RNG
-// stream, the sharded engine one per shard, so drop patterns — and thus
-// timestamps — legitimately differ between engines, never between worker
-// counts of the sharded engine.)
+// equivalent.  (Digests are engine-local: the driver engine draws loss
+// from one shared RNG stream, the sharded engine from one stream per
+// node, so drop patterns — and thus timestamps — legitimately differ
+// between engines, never between worker counts or node:shard mappings of
+// the sharded engine.)
 #pragma once
 
 #include <cstdint>
